@@ -1,0 +1,42 @@
+//! Criterion micro-benchmark: the runtime simulator — how fast simulated
+//! minutes execute, for the RLD and ROD deployments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rld_bench::runtime_capacity;
+use rld_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let query = Query::q1_stock_monitoring();
+    let nodes = 4;
+    let capacity = runtime_capacity(&query, nodes, 3.0);
+    let cluster = Cluster::homogeneous(nodes, capacity).unwrap();
+    let config = SimConfig {
+        duration_secs: 60.0,
+        ..SimConfig::default()
+    };
+    let sim = Simulator::new(query.clone(), cluster.clone(), config).unwrap();
+    let workload = StockWorkload::default_config();
+    let rld_solution = RldOptimizer::new(query.clone(), RldConfig::default())
+        .optimize(&cluster)
+        .unwrap();
+
+    let mut group = c.benchmark_group("simulator_60s");
+    group.sample_size(20);
+    group.bench_function("rld_q1_4nodes", |b| {
+        b.iter(|| {
+            let mut sys = rld_solution.deploy();
+            black_box(sim.run(&workload, &mut sys).unwrap())
+        })
+    });
+    group.bench_function("rod_q1_4nodes", |b| {
+        b.iter(|| {
+            let mut sys = deploy_rod(&query, &query.default_stats(), &cluster).unwrap();
+            black_box(sim.run(&workload, &mut sys).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

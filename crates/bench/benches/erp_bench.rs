@@ -1,0 +1,58 @@
+//! Criterion micro-benchmark: robust logical plan generation (ERP vs ES vs RS)
+//! on Q1's 2-D parameter space — the compile-time cost behind Figures 10–11.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rld_core::prelude::*;
+use std::hint::black_box;
+
+fn space(query: &Query, u: u32) -> ParameterSpace {
+    let est = query
+        .selectivity_estimates(2, UncertaintyLevel::new(u))
+        .unwrap();
+    ParameterSpace::from_estimates(&est, query.default_stats(), (4 * u as usize + 1).max(3))
+        .unwrap()
+}
+
+fn bench_logical_generators(c: &mut Criterion) {
+    let query = Query::q1_stock_monitoring();
+    let sp = space(&query, 2);
+    let mut group = c.benchmark_group("logical_plan_generation");
+    group.bench_function("erp_q1_u2", |b| {
+        b.iter(|| {
+            let opt = JoinOrderOptimizer::new(query.clone());
+            let erp = EarlyTerminatedRobustPartitioning::new(
+                &opt,
+                &sp,
+                ErpConfig::with_epsilon(0.2),
+            );
+            black_box(erp.generate().unwrap())
+        })
+    });
+    group.bench_function("es_q1_u2", |b| {
+        b.iter(|| {
+            let opt = JoinOrderOptimizer::new(query.clone());
+            let es = ExhaustiveSearch::new(&opt, &sp);
+            black_box(es.generate().unwrap())
+        })
+    });
+    group.bench_function("rs_q1_u2", |b| {
+        b.iter(|| {
+            let opt = JoinOrderOptimizer::new(query.clone());
+            let rs = RandomSearch::new(&opt, &sp, 7);
+            black_box(rs.generate().unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_black_box_optimizer(c: &mut Criterion) {
+    let query = Query::q2_ten_way_join();
+    let stats = query.default_stats();
+    let opt = JoinOrderOptimizer::new(query);
+    c.bench_function("rank_optimizer_q2", |b| {
+        b.iter(|| black_box(opt.optimize(&stats).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_logical_generators, bench_black_box_optimizer);
+criterion_main!(benches);

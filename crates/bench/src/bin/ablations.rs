@@ -1,0 +1,104 @@
+//! Ablation studies called out in DESIGN.md:
+//!
+//! 1. **Occurrence model** (§5.2): weighting robust logical plans by the
+//!    normal occurrence model vs treating every cell as equally likely.
+//! 2. **Distance metric** in the ERP weight function (Manhattan vs Euclidean).
+//! 3. **Robustness threshold ε sweep**: how the number of robust plans and
+//!    optimizer calls shrink as ε grows (the effect discussed under WRP's
+//!    limitations).
+
+use rld_bench::{capacity_for, print_table, space_for, EXPERIMENT_SEED};
+use rld_core::prelude::*;
+use rld_core::paramspace::DistanceMetric;
+
+fn main() {
+    let query = Query::q1_stock_monitoring();
+    let _ = EXPERIMENT_SEED;
+
+    // 1. Occurrence model ablation.
+    {
+        let space = space_for(&query, 2, 3);
+        let opt = JoinOrderOptimizer::new(query.clone());
+        let erp =
+            EarlyTerminatedRobustPartitioning::new(&opt, &space, ErpConfig::with_epsilon(0.2));
+        let (solution, _) = erp.generate().unwrap();
+        let mut rows = Vec::new();
+        for (name, model) in [
+            ("Normal", OccurrenceModel::Normal),
+            ("Uniform", OccurrenceModel::Uniform),
+        ] {
+            let support = SupportModel::build(&query, &space, &solution, model).unwrap();
+            let cluster = Cluster::homogeneous(3, capacity_for(&support, 2.5)).unwrap();
+            let (pp, stats) = GreedyPhy::new().generate(&support, &cluster).unwrap();
+            rows.push(vec![
+                name.to_string(),
+                format!("{:.4}", stats.score),
+                format!("{:.3}", support.coverage(&pp, &cluster)),
+                stats.supported_plans.to_string(),
+            ]);
+        }
+        print_table(
+            "Ablation 1 — occurrence model used to weight logical plans (GreedyPhy, 3 nodes)",
+            &["model", "score", "coverage", "supported"],
+            &rows,
+        );
+    }
+
+    // 2. Distance metric ablation in ERP's weight function.
+    {
+        let space = space_for(&query, 2, 3);
+        let mut rows = Vec::new();
+        for (name, metric) in [
+            ("Manhattan", DistanceMetric::Manhattan),
+            ("Euclidean", DistanceMetric::Euclidean),
+        ] {
+            let opt = JoinOrderOptimizer::new(query.clone());
+            let erp = EarlyTerminatedRobustPartitioning::new(
+                &opt,
+                &space,
+                ErpConfig::with_epsilon(0.2),
+            )
+            .with_metric(metric);
+            let (solution, stats) = erp.generate().unwrap();
+            let ev = CoverageEvaluator::new(query.clone(), space.clone(), 0.2).unwrap();
+            rows.push(vec![
+                name.to_string(),
+                stats.optimizer_calls.to_string(),
+                solution.len().to_string(),
+                format!("{:.3}", ev.true_coverage(&solution).unwrap()),
+            ]);
+        }
+        print_table(
+            "Ablation 2 — distance metric in the ERP weight function",
+            &["metric", "calls", "plans", "coverage"],
+            &rows,
+        );
+    }
+
+    // 3. Robustness threshold sweep.
+    {
+        let mut rows = Vec::new();
+        for epsilon in [0.05, 0.1, 0.2, 0.3, 0.5] {
+            let space = space_for(&query, 2, 3);
+            let opt = JoinOrderOptimizer::new(query.clone());
+            let erp = EarlyTerminatedRobustPartitioning::new(
+                &opt,
+                &space,
+                ErpConfig::with_epsilon(epsilon),
+            );
+            let (solution, stats) = erp.generate().unwrap();
+            let ev = CoverageEvaluator::new(query.clone(), space.clone(), epsilon).unwrap();
+            rows.push(vec![
+                format!("{epsilon}"),
+                stats.optimizer_calls.to_string(),
+                solution.len().to_string(),
+                format!("{:.3}", ev.true_coverage(&solution).unwrap()),
+            ]);
+        }
+        print_table(
+            "Ablation 3 — robustness threshold epsilon sweep (ERP, Q1, U = 3)",
+            &["epsilon", "calls", "plans", "coverage"],
+            &rows,
+        );
+    }
+}

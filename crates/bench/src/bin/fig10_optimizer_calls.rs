@@ -1,0 +1,26 @@
+//! Figure 10: number of optimizer calls made by ES / RS / ERP while building
+//! a robust logical solution for Q1 (5-way join), varying the uncertainty
+//! level U ∈ {1..5} for robustness thresholds ε ∈ {0.1, 0.2, 0.3}.
+
+use rld_bench::{compare_logical_generators, print_table};
+use rld_core::prelude::Query;
+
+fn main() {
+    let query = Query::q1_stock_monitoring();
+    for epsilon in [0.1, 0.2, 0.3] {
+        let mut rows = Vec::new();
+        for u in 1..=5u32 {
+            let results = compare_logical_generators(&query, 2, u, epsilon, None, false);
+            let mut row = vec![u.to_string()];
+            for r in &results {
+                row.push(format!("{}", r.calls));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Figure 10 — optimizer calls, Q1, epsilon = {epsilon}"),
+            &["U", "ES", "RS", "ERP"],
+            &rows,
+        );
+    }
+}

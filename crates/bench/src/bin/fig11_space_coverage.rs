@@ -1,0 +1,27 @@
+//! Figure 11: parameter-space coverage achieved by ES / RS / ERP for Q1 as a
+//! function of the optimizer-call budget {10, 50, 100, 200, 300}, at U = 2
+//! and ε ∈ {0.1, 0.2, 0.3}.
+
+use rld_bench::{compare_logical_generators, print_table};
+use rld_core::prelude::Query;
+
+fn main() {
+    let query = Query::q1_stock_monitoring();
+    for epsilon in [0.1, 0.2, 0.3] {
+        let mut rows = Vec::new();
+        for budget in [10usize, 50, 100, 200, 300] {
+            let results =
+                compare_logical_generators(&query, 2, 2, epsilon, Some(budget), true);
+            let mut row = vec![budget.to_string()];
+            for r in &results {
+                row.push(format!("{:.3}", r.coverage));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Figure 11 — space coverage, Q1, epsilon = {epsilon}, U = 2"),
+            &["calls", "ES", "RS", "ERP"],
+            &rows,
+        );
+    }
+}

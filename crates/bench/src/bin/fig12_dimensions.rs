@@ -1,0 +1,26 @@
+//! Figure 12: number of optimizer calls made by ES / RS / ERP for Q2 (10-way
+//! join) as the number of parameter-space dimensions grows from 2 to 5, for
+//! the paper's three (ε, U) configurations.
+
+use rld_bench::{compare_logical_generators, print_table};
+use rld_core::prelude::Query;
+
+fn main() {
+    let query = Query::q2_ten_way_join();
+    for (epsilon, u) in [(0.3, 1u32), (0.2, 2), (0.1, 3)] {
+        let mut rows = Vec::new();
+        for dims in 2..=5usize {
+            let results = compare_logical_generators(&query, dims, u, epsilon, None, false);
+            let mut row = vec![dims.to_string()];
+            for r in &results {
+                row.push(format!("{}", r.calls));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Figure 12 — optimizer calls, Q2, epsilon = {epsilon}, U = {u}"),
+            &["dims", "ES", "RS", "ERP"],
+            &rows,
+        );
+    }
+}

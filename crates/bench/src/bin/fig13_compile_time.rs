@@ -1,0 +1,46 @@
+//! Figure 13: physical-plan compile time (ms) of GreedyPhy / OptPrune / ES as
+//! the number of machines varies, for Q1 (2–6 machines) and Q2 (6–10
+//! machines), at ε = 0.2 and U ∈ {1, 2, 3}.
+//!
+//! Exhaustive physical search over Q2's 10 operators on 6–10 machines would
+//! enumerate ≥ 6^10 assignments, which is beyond any reasonable budget (the
+//! paper ran it on much smaller sub-problems); those cells are reported as
+//! `n/a`, consistent with EXPERIMENTS.md.
+
+use rld_bench::{build_support_model, capacity_for, print_table};
+use rld_core::prelude::*;
+
+fn main() {
+    let q1 = Query::q1_stock_monitoring();
+    let q2 = Query::q2_ten_way_join();
+    for (query, machines) in [(&q1, 2..=6usize), (&q2, 6..=10usize)] {
+        for u in [1u32, 2, 3] {
+            let model = build_support_model(query, 2, u, 0.2);
+            let capacity = capacity_for(&model, machines.clone().count() as f64 / 2.0);
+            let mut rows = Vec::new();
+            for n in machines.clone() {
+                let cluster = Cluster::homogeneous(n, capacity).unwrap();
+                let (_, g) = GreedyPhy::new().generate(&model, &cluster).unwrap();
+                let (_, o) = OptPrune::new().generate(&model, &cluster).unwrap();
+                let es_time = ExhaustivePhysicalSearch::new()
+                    .generate(&model, &cluster)
+                    .map(|(_, s)| format!("{:.3}", s.elapsed_ms()))
+                    .unwrap_or_else(|_| "n/a".to_string());
+                rows.push(vec![
+                    n.to_string(),
+                    format!("{:.3}", g.elapsed_ms()),
+                    format!("{:.3}", o.elapsed_ms()),
+                    es_time,
+                ]);
+            }
+            print_table(
+                &format!(
+                    "Figure 13 — compile time (ms), {}, epsilon = 0.2, U = {u}",
+                    query.name
+                ),
+                &["machines", "GreedyPhy", "OptPrune", "ES"],
+                &rows,
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 14: parameter-space coverage of the physical plan produced by
+//! GreedyPhy / OptPrune / ES as the number of machines varies, for Q1
+//! (2–6 machines) and Q2 (6–10 machines), at ε = 0.2 and U ∈ {1, 2, 3}.
+//!
+//! Coverage is the fraction of the parameter space's cells that belong to the
+//! robust region of some logical plan the physical plan supports.
+
+use rld_bench::{build_support_model, capacity_for, print_table};
+use rld_core::prelude::*;
+
+fn main() {
+    let q1 = Query::q1_stock_monitoring();
+    let q2 = Query::q2_ten_way_join();
+    for (query, machines) in [(&q1, 2..=6usize), (&q2, 6..=10usize)] {
+        for u in [1u32, 2, 3] {
+            let model = build_support_model(query, 2, u, 0.2);
+            let capacity = capacity_for(&model, machines.clone().count() as f64 / 2.0);
+            let mut rows = Vec::new();
+            for n in machines.clone() {
+                let cluster = Cluster::homogeneous(n, capacity).unwrap();
+                let (gp, _) = GreedyPhy::new().generate(&model, &cluster).unwrap();
+                let (op, _) = OptPrune::new().generate(&model, &cluster).unwrap();
+                let es_cov = ExhaustivePhysicalSearch::new()
+                    .generate(&model, &cluster)
+                    .map(|(pp, _)| format!("{:.3}", model.coverage(&pp, &cluster)))
+                    .unwrap_or_else(|_| "n/a".to_string());
+                rows.push(vec![
+                    n.to_string(),
+                    format!("{:.3}", model.coverage(&gp, &cluster)),
+                    format!("{:.3}", model.coverage(&op, &cluster)),
+                    es_cov,
+                ]);
+            }
+            print_table(
+                &format!(
+                    "Figure 14 — physical plan space coverage, {}, epsilon = 0.2, U = {u}",
+                    query.name
+                ),
+                &["machines", "GreedyPhy", "OptPrune", "ES"],
+                &rows,
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 15a: average tuple processing time (ms) of ROD / DYN / RLD when the
+//! input rates are scaled to 50%–400% of the planned rates (30-minute
+//! simulated runs of the 10-way join workload).
+
+use rld_bench::{compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity};
+use rld_core::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let query = Query::q2_ten_way_join();
+    let nodes = 10;
+    // Cluster sized so that 100% load fits comfortably but 300–400% does not.
+    let capacity = runtime_capacity(&query, nodes, 3.0);
+    let mut rows = Vec::new();
+    for ratio in [0.5, 1.0, 2.0, 3.0, 4.0] {
+        let workload = regime_switching_workload(&query, 60.0, RatePattern::Constant(ratio));
+        let results = compare_runtime_systems(&query, &workload, nodes, capacity, 1800.0);
+        let by_name: BTreeMap<String, f64> = results
+            .iter()
+            .map(|r| (r.system.clone(), r.metrics.avg_tuple_processing_ms))
+            .collect();
+        rows.push(vec![
+            format!("{}%", (ratio * 100.0) as u32),
+            by_name.get("ROD").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
+            by_name.get("DYN").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
+            by_name.get("RLD").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
+        ]);
+    }
+    print_table(
+        "Figure 15a — average tuple processing time (ms) vs input-rate ratio",
+        &["rate", "ROD", "DYN", "RLD"],
+        &rows,
+    );
+}

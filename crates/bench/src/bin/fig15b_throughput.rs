@@ -1,0 +1,41 @@
+//! Figure 15b: cumulative number of result tuples produced by ROD / DYN / RLD
+//! over a 60-minute run in which the input rates step from 50% to 100% at
+//! minute 20 and to 200% at minute 40.
+
+use rld_bench::{compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity};
+use rld_core::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let query = Query::q2_ten_way_join();
+    let nodes = 10;
+    let capacity = runtime_capacity(&query, nodes, 2.5);
+    let workload = regime_switching_workload(
+        &query,
+        90.0,
+        RatePattern::Steps(vec![(0.0, 0.5), (1200.0, 1.0), (2400.0, 2.0)]),
+    );
+    let results = compare_runtime_systems(&query, &workload, nodes, capacity, 3600.0);
+    let timelines: BTreeMap<String, Vec<(u64, u64)>> = results
+        .iter()
+        .map(|r| (r.system.clone(), r.metrics.produced_timeline.clone()))
+        .collect();
+    let mut rows = Vec::new();
+    for minute in (10..=60).step_by(10) {
+        let mut row = vec![minute.to_string()];
+        for sys in ["ROD", "DYN", "RLD"] {
+            let v = timelines
+                .get(sys)
+                .and_then(|tl| tl.iter().find(|(m, _)| *m == minute))
+                .map(|(_, c)| c.to_string())
+                .unwrap_or_else(|| "n/a".into());
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 15b — cumulative result tuples produced (rate steps at 20 and 40 min)",
+        &["minute", "ROD", "DYN", "RLD"],
+        &rows,
+    );
+}

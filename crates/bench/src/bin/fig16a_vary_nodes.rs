@@ -1,0 +1,41 @@
+//! Figure 16a: average tuple processing time (ms) of ROD / DYN / RLD as the
+//! number of cluster nodes varies over {5, 10, 15} under a periodically
+//! fluctuating workload.
+
+use rld_bench::{compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity};
+use rld_core::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let query = Query::q2_ten_way_join();
+    let mut rows = Vec::new();
+    for nodes in [5usize, 10, 15] {
+        // Total cluster slack kept constant: fewer nodes means tighter nodes.
+        let capacity = runtime_capacity(&query, nodes, 3.0);
+        let workload = regime_switching_workload(
+            &query,
+            60.0,
+            RatePattern::Periodic {
+                period_secs: 10.0,
+                high_scale: 2.0,
+                low_scale: 0.5,
+            },
+        );
+        let results = compare_runtime_systems(&query, &workload, nodes, capacity, 900.0);
+        let by_name: BTreeMap<String, f64> = results
+            .iter()
+            .map(|r| (r.system.clone(), r.metrics.avg_tuple_processing_ms))
+            .collect();
+        rows.push(vec![
+            nodes.to_string(),
+            by_name.get("ROD").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
+            by_name.get("DYN").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
+            by_name.get("RLD").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
+        ]);
+    }
+    print_table(
+        "Figure 16a — average tuple processing time (ms) vs number of nodes",
+        &["nodes", "ROD", "DYN", "RLD"],
+        &rows,
+    );
+}

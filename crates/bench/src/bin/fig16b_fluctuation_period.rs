@@ -1,0 +1,41 @@
+//! Figure 16b: average tuple processing time (ms) of ROD / DYN / RLD as the
+//! input-rate fluctuation period varies over {5, 10, 20} seconds (rates
+//! alternate between a high and a low phase of equal length).
+
+use rld_bench::{compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity};
+use rld_core::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let query = Query::q2_ten_way_join();
+    let nodes = 10;
+    let capacity = runtime_capacity(&query, nodes, 3.0);
+    let mut rows = Vec::new();
+    for period in [5.0f64, 10.0, 20.0] {
+        let workload = regime_switching_workload(
+            &query,
+            period * 6.0,
+            RatePattern::Periodic {
+                period_secs: period,
+                high_scale: 2.0,
+                low_scale: 0.5,
+            },
+        );
+        let results = compare_runtime_systems(&query, &workload, nodes, capacity, 900.0);
+        let by_name: BTreeMap<String, f64> = results
+            .iter()
+            .map(|r| (r.system.clone(), r.metrics.avg_tuple_processing_ms))
+            .collect();
+        rows.push(vec![
+            format!("{period}s"),
+            by_name.get("ROD").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
+            by_name.get("DYN").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
+            by_name.get("RLD").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
+        ]);
+    }
+    print_table(
+        "Figure 16b — average tuple processing time (ms) vs fluctuation period",
+        &["period", "ROD", "DYN", "RLD"],
+        &rows,
+    );
+}

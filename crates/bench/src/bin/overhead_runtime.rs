@@ -1,0 +1,39 @@
+//! §6.5 runtime overhead: the share of cluster work spent on anything other
+//! than query processing — per-batch plan classification for RLD, operator
+//! migrations for DYN, and (by construction) zero for ROD.
+
+use rld_bench::{compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity};
+use rld_core::prelude::*;
+
+fn main() {
+    let query = Query::q2_ten_way_join();
+    let nodes = 10;
+    let capacity = runtime_capacity(&query, nodes, 3.0);
+    let workload = regime_switching_workload(
+        &query,
+        90.0,
+        RatePattern::Periodic {
+            period_secs: 10.0,
+            high_scale: 2.0,
+            low_scale: 0.5,
+        },
+    );
+    let results = compare_runtime_systems(&query, &workload, nodes, capacity, 900.0);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.clone(),
+                format!("{:.2}%", r.metrics.overhead_fraction() * 100.0),
+                r.metrics.migrations.to_string(),
+                r.metrics.plan_switches.to_string(),
+                format!("{:.1}", r.metrics.avg_tuple_processing_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Runtime overhead — share of work beyond query processing",
+        &["system", "overhead", "migrations", "plan switches", "avg ms"],
+        &rows,
+    );
+}

@@ -1,0 +1,57 @@
+//! Table 2: summary statistics of the synthetic data distributions
+//! (Uniform(0, 100) and Poisson(λ = 1)) plus the system parameters the
+//! runtime experiments use.
+
+use rld_bench::{print_table, EXPERIMENT_SEED};
+use rld_core::common::rng::rng_from_seed;
+use rld_workloads::{summary_stats, ValueDistribution};
+
+fn stats_row(name: &str, dist: ValueDistribution, n: usize) -> Vec<String> {
+    let mut rng = rng_from_seed(EXPERIMENT_SEED);
+    let samples = dist.sample_n(&mut rng, n);
+    let s = summary_stats(&samples);
+    vec![
+        name.to_string(),
+        format!("{:.1}", s.min),
+        format!("{:.1}", s.max),
+        format!("{:.1}", s.median),
+        format!("{:.2}", s.mean),
+        format!("{:.2}", s.ave_dev),
+        format!("{:.2}", s.std_dev),
+        format!("{:.2}", s.variance),
+        format!("{:.2}", s.skew),
+        format!("{:.2}", s.kurtosis),
+    ]
+}
+
+fn main() {
+    print_table(
+        "Table 2 — system parameters",
+        &["parameter", "value"],
+        &[
+            vec!["data arrival".into(), "Poisson".into()],
+            vec!["mean inter-arrival".into(), "500 ms".into()],
+            vec!["max tuples dequeued".into(), "1000".into()],
+            vec!["batch (ruster) size".into(), "100 tuples".into()],
+        ],
+    );
+    print_table(
+        "Table 2 — data distributions (100k samples)",
+        &[
+            "distribution",
+            "min",
+            "max",
+            "med",
+            "mean",
+            "ave.dev",
+            "st.dev",
+            "var",
+            "skew",
+            "kurt",
+        ],
+        &[
+            stats_row("Uniform(0,100)", ValueDistribution::table2_uniform(), 100_000),
+            stats_row("Poisson(1)", ValueDistribution::table2_poisson(), 100_000),
+        ],
+    );
+}

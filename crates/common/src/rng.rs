@@ -1,0 +1,143 @@
+//! Deterministic random-number helpers.
+//!
+//! Every stochastic component in the workspace (workload generators, the RS
+//! baseline sampler, Poisson arrivals in the simulator) takes an explicit
+//! seed so that experiments — and therefore EXPERIMENTS.md — are exactly
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// The seeded RNG type used throughout the workspace.
+pub type SeededRng = StdRng;
+
+/// Create a deterministic RNG from a 64-bit seed.
+pub fn rng_from_seed(seed: u64) -> SeededRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive a child seed from a parent seed and a stream/component label, so
+/// that independent components driven by the same experiment seed do not
+/// share random sequences.
+pub fn derive_seed(parent: u64, label: &str) -> u64 {
+    // FNV-1a over the label, mixed with the parent seed.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in label.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash ^ parent.rotate_left(17)
+}
+
+/// Draw a sample from an exponential distribution with the given mean.
+///
+/// Used for Poisson arrival processes (Table 2: Poisson arrivals with a
+/// 500 ms mean inter-arrival time).
+pub fn sample_exponential(rng: &mut impl Rng, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive");
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Draw a sample from a Poisson distribution with parameter `lambda` using
+/// Knuth's method (adequate for the small λ used by the paper's synthetic
+/// data, Table 2 uses λ = 1).
+pub fn sample_poisson(rng: &mut impl Rng, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "poisson lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k: u64 = 0;
+    let mut p = 1.0;
+    loop {
+        k += 1;
+        p *= rng.random_range(0.0..1.0f64);
+        if p <= l {
+            return k - 1;
+        }
+        // Guard against pathological λ values.
+        if k > 10_000_000 {
+            return k;
+        }
+    }
+}
+
+/// Draw a sample from a normal distribution via the Box–Muller transform.
+pub fn sample_normal(rng: &mut impl Rng, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    if std_dev == 0.0 {
+        return mean;
+    }
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        for _ in 0..16 {
+            let x: f64 = a.random();
+            let y: f64 = b.random();
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_labels_give_different_child_seeds() {
+        let s1 = derive_seed(7, "stock");
+        let s2 = derive_seed(7, "news");
+        let s3 = derive_seed(8, "stock");
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+        // deterministic
+        assert_eq!(derive_seed(7, "stock"), s1);
+    }
+
+    #[test]
+    fn exponential_mean_is_approximately_correct() {
+        let mut rng = rng_from_seed(1);
+        let n = 20_000;
+        let mean = 500.0;
+        let sum: f64 = (0..n).map(|_| sample_exponential(&mut rng, mean)).sum();
+        let avg = sum / n as f64;
+        assert!((avg - mean).abs() / mean < 0.05, "avg={avg}");
+    }
+
+    #[test]
+    fn poisson_mean_is_approximately_lambda() {
+        let mut rng = rng_from_seed(2);
+        let n = 20_000;
+        let lambda = 1.0;
+        let sum: u64 = (0..n).map(|_| sample_poisson(&mut rng, lambda)).sum();
+        let avg = sum as f64 / n as f64;
+        assert!((avg - lambda).abs() < 0.05, "avg={avg}");
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn normal_moments_are_approximately_correct() {
+        let mut rng = rng_from_seed(3);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std={}", var.sqrt());
+        assert_eq!(sample_normal(&mut rng, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential mean must be positive")]
+    fn exponential_rejects_non_positive_mean() {
+        let mut rng = rng_from_seed(4);
+        sample_exponential(&mut rng, 0.0);
+    }
+}

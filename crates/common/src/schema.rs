@@ -1,0 +1,223 @@
+//! Stream schemas: field names and data types.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The scalar data types supported by RLD stream tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Application timestamp (ms).
+    Timestamp,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+            DataType::Timestamp => "TIMESTAMP",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A named, typed field of a stream schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name, unique within its schema.
+    pub name: String,
+    /// Field type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Create a new field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered collection of [`Field`]s describing tuples of one stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Create a schema from a list of fields.
+    ///
+    /// Field names must be unique; duplicates keep only the first occurrence.
+    pub fn new(fields: Vec<Field>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let fields = fields
+            .into_iter()
+            .filter(|f| seen.insert(f.name.clone()))
+            .collect();
+        Self { fields }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Self::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Validates that a row of values conforms to this schema
+    /// (same arity; each non-null value has the declared type).
+    pub fn validate(&self, values: &[Value]) -> bool {
+        if values.len() != self.fields.len() {
+            return false;
+        }
+        values.iter().zip(&self.fields).all(|(v, f)| {
+            v.is_null()
+                || v.data_type()
+                    .map(|dt| dt == f.data_type)
+                    .unwrap_or(false)
+        })
+    }
+
+    /// Concatenate two schemas (used when a join produces a combined tuple).
+    /// Colliding names from `other` get a `right_` prefix.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &other.fields {
+            let name = if self.index_of(&f.name).is_some() {
+                format!("right_{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.data_type));
+        }
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stock_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("symbol", DataType::Text),
+            ("price", DataType::Float),
+            ("ts", DataType::Timestamp),
+        ])
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = stock_schema();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("price"), Some(1));
+        assert_eq!(s.index_of("volume"), None);
+        assert_eq!(s.field("symbol").unwrap().data_type, DataType::Text);
+    }
+
+    #[test]
+    fn duplicate_fields_are_dropped() {
+        let s = Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("a", DataType::Float),
+            ("b", DataType::Int),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.field("a").unwrap().data_type, DataType::Int);
+    }
+
+    #[test]
+    fn validate_checks_arity_and_types() {
+        let s = stock_schema();
+        assert!(s.validate(&[
+            Value::from("AAPL"),
+            Value::from(101.5),
+            Value::Timestamp(10)
+        ]));
+        assert!(s.validate(&[Value::Null, Value::from(101.5), Value::Timestamp(10)]));
+        assert!(!s.validate(&[Value::from("AAPL"), Value::from(101.5)]));
+        assert!(!s.validate(&[
+            Value::from(1i64),
+            Value::from(101.5),
+            Value::Timestamp(10)
+        ]));
+    }
+
+    #[test]
+    fn join_prefixes_collisions() {
+        let a = Schema::from_pairs(&[("id", DataType::Int), ("price", DataType::Float)]);
+        let b = Schema::from_pairs(&[("id", DataType::Int), ("subject", DataType::Text)]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 4);
+        assert!(j.index_of("right_id").is_some());
+        assert!(j.index_of("subject").is_some());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let s = Schema::from_pairs(&[("x", DataType::Int)]);
+        assert_eq!(s.to_string(), "(x: INT)");
+        assert!(stock_schema().to_string().contains("price: FLOAT"));
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::default();
+        assert!(s.is_empty());
+        assert!(s.validate(&[]));
+    }
+}

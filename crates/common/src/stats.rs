@@ -1,0 +1,274 @@
+//! Statistic estimates and runtime statistics snapshots.
+//!
+//! The paper's parameter space is built around single-point estimates `E`
+//! of operator selectivities and stream input rates, each annotated with an
+//! integer *uncertainty level* `U` (Algorithm 1). At runtime the statistics
+//! monitor produces [`StatsSnapshot`]s — the actual observed values — which
+//! the online classifier maps back into the parameter space to pick the
+//! robust logical plan to execute.
+
+use crate::ids::{OperatorId, StreamId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies one monitored statistic: either an operator selectivity or a
+/// stream input rate. These are the dimensions of the parameter space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StatKey {
+    /// The selectivity of an operator.
+    Selectivity(OperatorId),
+    /// The input rate (tuples/sec) of a stream.
+    InputRate(StreamId),
+}
+
+impl fmt::Display for StatKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatKey::Selectivity(op) => write!(f, "sel({op})"),
+            StatKey::InputRate(s) => write!(f, "rate({s})"),
+        }
+    }
+}
+
+/// Integer uncertainty level of a statistic estimate.
+///
+/// `U = 1` means low uncertainty (e.g. the estimate comes from representative
+/// training data); larger values widen the parameter-space interval around
+/// the estimate by `±0.1 · U` per Algorithm 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UncertaintyLevel(pub u32);
+
+impl UncertaintyLevel {
+    /// The unit step Δ of Algorithm 1 in the paper.
+    pub const UNIT_STEP: f64 = 0.1;
+
+    /// Create a new uncertainty level.
+    pub const fn new(level: u32) -> Self {
+        Self(level)
+    }
+
+    /// The relative half-width `Δ · U` of the interval around the estimate.
+    pub fn relative_half_width(self) -> f64 {
+        Self::UNIT_STEP * self.0 as f64
+    }
+
+    /// Lower bound of the interval around `estimate` (Algorithm 1: `E·(1−ΔU)`),
+    /// clamped at zero since selectivities and rates are non-negative.
+    pub fn lo(self, estimate: f64) -> f64 {
+        (estimate * (1.0 - self.relative_half_width())).max(0.0)
+    }
+
+    /// Upper bound of the interval around `estimate` (Algorithm 1: `E·(1+ΔU)`).
+    pub fn hi(self, estimate: f64) -> f64 {
+        estimate * (1.0 + self.relative_half_width())
+    }
+}
+
+impl fmt::Display for UncertaintyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U{}", self.0)
+    }
+}
+
+/// A single-point statistic estimate plus its uncertainty level — one entry
+/// of the vector `E` / `U` in the paper's problem statement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StatisticEstimate {
+    /// Which statistic this estimates.
+    pub key: StatKey,
+    /// The single-point estimate value.
+    pub value: f64,
+    /// How uncertain the estimate is.
+    pub uncertainty: UncertaintyLevel,
+}
+
+impl StatisticEstimate {
+    /// Create a new estimate.
+    pub fn new(key: StatKey, value: f64, uncertainty: UncertaintyLevel) -> Self {
+        Self {
+            key,
+            value,
+            uncertainty,
+        }
+    }
+
+    /// Interval `[lo, hi]` spanned by this estimate in the parameter space.
+    pub fn interval(&self) -> (f64, f64) {
+        (
+            self.uncertainty.lo(self.value),
+            self.uncertainty.hi(self.value),
+        )
+    }
+}
+
+/// A snapshot of actual statistic values — what the statistics monitor
+/// observes at runtime, or what a workload generator declares as ground truth
+/// at a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    entries: BTreeMap<StatKey, f64>,
+}
+
+impl StatsSnapshot {
+    /// Create an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a snapshot from `(key, value)` pairs.
+    pub fn from_entries(entries: impl IntoIterator<Item = (StatKey, f64)>) -> Self {
+        Self {
+            entries: entries.into_iter().collect(),
+        }
+    }
+
+    /// Set a statistic value.
+    pub fn set(&mut self, key: StatKey, value: f64) {
+        self.entries.insert(key, value);
+    }
+
+    /// Look up a statistic value.
+    pub fn get(&self, key: StatKey) -> Option<f64> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Selectivity of an operator, if recorded.
+    pub fn selectivity(&self, op: OperatorId) -> Option<f64> {
+        self.get(StatKey::Selectivity(op))
+    }
+
+    /// Input rate of a stream, if recorded.
+    pub fn input_rate(&self, stream: StreamId) -> Option<f64> {
+        self.get(StatKey::InputRate(stream))
+    }
+
+    /// Number of recorded statistics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(key, value)` pairs in deterministic (key) order.
+    pub fn iter(&self) -> impl Iterator<Item = (StatKey, f64)> + '_ {
+        self.entries.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merge another snapshot into this one; `other` wins on conflicts.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        for (k, v) in other.iter() {
+            self.entries.insert(k, v);
+        }
+    }
+
+    /// Returns a copy with every value blended towards `other` by factor
+    /// `alpha` (exponential smoothing, used by the statistics monitor).
+    pub fn smoothed_towards(&self, other: &StatsSnapshot, alpha: f64) -> StatsSnapshot {
+        let alpha = alpha.clamp(0.0, 1.0);
+        let mut out = self.clone();
+        for (k, v) in other.iter() {
+            let blended = match self.get(k) {
+                Some(old) => old * (1.0 - alpha) + v * alpha,
+                None => v,
+            };
+            out.set(k, blended);
+        }
+        out
+    }
+}
+
+impl FromIterator<(StatKey, f64)> for StatsSnapshot {
+    fn from_iter<T: IntoIterator<Item = (StatKey, f64)>>(iter: T) -> Self {
+        Self::from_entries(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm1_interval_matches_paper_example() {
+        // Paper Example 2: E = {δ1 = 0.4, λN = 100}, U = 2
+        // → δ1 ∈ [0.32, 0.48], λN ∈ [80, 120].
+        let u = UncertaintyLevel::new(2);
+        let sel = StatisticEstimate::new(StatKey::Selectivity(OperatorId::new(0)), 0.4, u);
+        let (lo, hi) = sel.interval();
+        assert!((lo - 0.32).abs() < 1e-12);
+        assert!((hi - 0.48).abs() < 1e-12);
+
+        let rate = StatisticEstimate::new(StatKey::InputRate(StreamId::new(0)), 100.0, u);
+        let (lo, hi) = rate.interval();
+        assert!((lo - 80.0).abs() < 1e-12);
+        assert!((hi - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_uncertainty_clamps_at_zero() {
+        let u = UncertaintyLevel::new(15); // 150% half width
+        assert_eq!(u.lo(0.4), 0.0);
+        assert!(u.hi(0.4) > 0.4);
+    }
+
+    #[test]
+    fn snapshot_set_get() {
+        let mut s = StatsSnapshot::new();
+        assert!(s.is_empty());
+        s.set(StatKey::Selectivity(OperatorId::new(1)), 0.7);
+        s.set(StatKey::InputRate(StreamId::new(0)), 120.0);
+        assert_eq!(s.selectivity(OperatorId::new(1)), Some(0.7));
+        assert_eq!(s.input_rate(StreamId::new(0)), Some(120.0));
+        assert_eq!(s.selectivity(OperatorId::new(9)), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn merge_prefers_other() {
+        let mut a = StatsSnapshot::from_entries([(StatKey::InputRate(StreamId::new(0)), 10.0)]);
+        let b = StatsSnapshot::from_entries([
+            (StatKey::InputRate(StreamId::new(0)), 20.0),
+            (StatKey::Selectivity(OperatorId::new(0)), 0.5),
+        ]);
+        a.merge(&b);
+        assert_eq!(a.input_rate(StreamId::new(0)), Some(20.0));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn smoothing_blends_values() {
+        let a = StatsSnapshot::from_entries([(StatKey::InputRate(StreamId::new(0)), 100.0)]);
+        let b = StatsSnapshot::from_entries([(StatKey::InputRate(StreamId::new(0)), 200.0)]);
+        let s = a.smoothed_towards(&b, 0.25);
+        assert!((s.input_rate(StreamId::new(0)).unwrap() - 125.0).abs() < 1e-12);
+        // alpha is clamped
+        let s2 = a.smoothed_towards(&b, 5.0);
+        assert_eq!(s2.input_rate(StreamId::new(0)), Some(200.0));
+    }
+
+    #[test]
+    fn stat_key_display() {
+        assert_eq!(
+            StatKey::Selectivity(OperatorId::new(2)).to_string(),
+            "sel(op2)"
+        );
+        assert_eq!(StatKey::InputRate(StreamId::new(1)).to_string(), "rate(s1)");
+        assert_eq!(UncertaintyLevel::new(3).to_string(), "U3");
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let s = StatsSnapshot::from_entries([
+            (StatKey::InputRate(StreamId::new(1)), 1.0),
+            (StatKey::Selectivity(OperatorId::new(0)), 2.0),
+            (StatKey::InputRate(StreamId::new(0)), 3.0),
+        ]);
+        let keys: Vec<_> = s.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

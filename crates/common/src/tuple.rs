@@ -1,0 +1,159 @@
+//! Stream tuples and batches.
+//!
+//! The runtime executor in the paper assigns a logical plan to tuples *in
+//! batches* (the QueryMesh "ruster" concept — Table 2 uses a minimum ruster
+//! size of 100 tuples), so [`Batch`] is the unit that flows through the
+//! simulated executor.
+
+use crate::ids::StreamId;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// One data tuple from an input stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Stream this tuple arrived on.
+    pub stream: StreamId,
+    /// Application timestamp in milliseconds (drives sliding windows).
+    pub timestamp: u64,
+    /// Field values, positionally matching the stream's schema.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Create a tuple.
+    pub fn new(stream: StreamId, timestamp: u64, values: Vec<Value>) -> Self {
+        Self {
+            stream,
+            timestamp,
+            values,
+        }
+    }
+
+    /// Value at a field index, if present.
+    pub fn value(&self, index: usize) -> Option<&Value> {
+        self.values.get(index)
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// A batch ("ruster") of tuples from the same stream that is routed through
+/// a single logical plan by the online classifier.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Batch {
+    /// Tuples in arrival order.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Batch {
+    /// Create an empty batch.
+    pub fn new() -> Self {
+        Self { tuples: Vec::new() }
+    }
+
+    /// Create a batch from tuples.
+    pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
+        Self { tuples }
+    }
+
+    /// Number of tuples in the batch.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a tuple.
+    pub fn push(&mut self, t: Tuple) {
+        self.tuples.push(t);
+    }
+
+    /// Earliest application timestamp in the batch, if any.
+    pub fn min_timestamp(&self) -> Option<u64> {
+        self.tuples.iter().map(|t| t.timestamp).min()
+    }
+
+    /// Latest application timestamp in the batch, if any.
+    pub fn max_timestamp(&self) -> Option<u64> {
+        self.tuples.iter().map(|t| t.timestamp).max()
+    }
+
+    /// Split the batch into chunks of at most `chunk_size` tuples, preserving order.
+    pub fn chunks(&self, chunk_size: usize) -> Vec<Batch> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        self.tuples
+            .chunks(chunk_size)
+            .map(|c| Batch::from_tuples(c.to_vec()))
+            .collect()
+    }
+}
+
+impl FromIterator<Tuple> for Batch {
+    fn from_iter<T: IntoIterator<Item = Tuple>>(iter: T) -> Self {
+        Batch::from_tuples(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ts: u64) -> Tuple {
+        Tuple::new(StreamId::new(0), ts, vec![Value::Int(ts as i64)])
+    }
+
+    #[test]
+    fn tuple_accessors() {
+        let tup = Tuple::new(
+            StreamId::new(2),
+            42,
+            vec![Value::from("AAPL"), Value::from(1.5)],
+        );
+        assert_eq!(tup.arity(), 2);
+        assert_eq!(tup.value(0).unwrap().as_str(), Some("AAPL"));
+        assert_eq!(tup.value(5), None);
+        assert_eq!(tup.stream, StreamId::new(2));
+    }
+
+    #[test]
+    fn batch_timestamps() {
+        let b: Batch = vec![t(5), t(1), t(9)].into_iter().collect();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.min_timestamp(), Some(1));
+        assert_eq!(b.max_timestamp(), Some(9));
+        assert_eq!(Batch::new().min_timestamp(), None);
+    }
+
+    #[test]
+    fn batch_chunking_preserves_order_and_sizes() {
+        let b: Batch = (0..10).map(t).collect();
+        let chunks = b.chunks(4);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[2].len(), 2);
+        assert_eq!(chunks[0].tuples[0].timestamp, 0);
+        assert_eq!(chunks[2].tuples[1].timestamp, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_panics() {
+        Batch::new().chunks(0);
+    }
+
+    #[test]
+    fn push_grows_batch() {
+        let mut b = Batch::new();
+        assert!(b.is_empty());
+        b.push(t(1));
+        b.push(t(2));
+        assert_eq!(b.len(), 2);
+    }
+}

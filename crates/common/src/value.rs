@@ -1,0 +1,212 @@
+//! The value model carried in stream tuples.
+//!
+//! The paper's workloads (stock prices, news keywords, sensor readings)
+//! only require a handful of scalar types; we keep the enum small so that
+//! tuple copies in the simulator stay cheap.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single scalar value inside a [`crate::tuple::Tuple`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float (prices, sensor readings).
+    Float(f64),
+    /// UTF-8 text (symbols, company names, news subjects).
+    Text(String),
+    /// Boolean flag.
+    Bool(bool),
+    /// Milliseconds since an arbitrary epoch (application timestamps).
+    Timestamp(u64),
+    /// Explicit null.
+    Null,
+}
+
+impl Value {
+    /// Returns the value as an `f64` when it has a natural numeric interpretation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Timestamp(t) => Some(*t as f64),
+            Value::Text(_) | Value::Null => None,
+        }
+    }
+
+    /// Returns the value as an `i64` when it is integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Timestamp(t) => Some(*t as i64),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the text content when the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The [`crate::schema::DataType`] of the value, or `None` for nulls.
+    pub fn data_type(&self) -> Option<crate::schema::DataType> {
+        use crate::schema::DataType;
+        match self {
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+            Value::Null => None,
+        }
+    }
+
+    /// Total ordering used for equi-join comparisons and sorting.
+    ///
+    /// Values of different types compare by type tag; `Null` sorts first.
+    /// Float NaN is treated as greater than every other float so the order
+    /// is total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) => 2,
+                Value::Float(_) => 3,
+                Value::Timestamp(_) => 4,
+                Value::Text(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Timestamp(a), Value::Timestamp(b)) => a.cmp(b),
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Equality used by equi-join predicates (numeric cross-type comparison allowed).
+    pub fn join_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Timestamp(t) => write!(f, "@{t}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_accessors() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+        assert_eq!(Value::Int(4).as_i64(), Some(4));
+        assert_eq!(Value::Timestamp(9).as_i64(), Some(9));
+        assert_eq!(Value::Float(1.0).as_i64(), None);
+    }
+
+    #[test]
+    fn cross_type_numeric_ordering() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(1).total_cmp(&Value::Float(1.5)), Ordering::Less);
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(2)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn null_sorts_first_and_is_detected() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+        assert_eq!(Value::Null.total_cmp(&Value::Int(-100)), Ordering::Less);
+    }
+
+    #[test]
+    fn join_equality() {
+        assert!(Value::Text("AAPL".into()).join_eq(&Value::from("AAPL")));
+        assert!(!Value::Text("AAPL".into()).join_eq(&Value::from("MSFT")));
+        assert!(Value::Int(7).join_eq(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn display_round_trip_examples() {
+        assert_eq!(Value::from(42i64).to_string(), "42");
+        assert_eq!(Value::from("IBM").to_string(), "IBM");
+        assert_eq!(Value::Timestamp(5).to_string(), "@5");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn data_types_match_variants() {
+        use crate::schema::DataType;
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Float(1.0).data_type(), Some(DataType::Float));
+        assert_eq!(Value::Null.data_type(), None);
+    }
+
+    #[test]
+    fn nan_is_totally_ordered() {
+        let nan = Value::Float(f64::NAN);
+        // total_cmp is consistent: nan vs nan is Equal, and ordering is total.
+        assert_eq!(nan.total_cmp(&Value::Float(f64::NAN)), Ordering::Equal);
+        assert_eq!(Value::Float(1.0).total_cmp(&nan), Ordering::Less);
+    }
+}

@@ -1,0 +1,54 @@
+//! Convenience constructors for the ROD and DYN baseline deployments used in
+//! the runtime comparison (§6.5).
+
+use rld_common::{Query, Result, StatsSnapshot};
+use rld_engine::SystemUnderTest;
+use rld_physical::{Cluster, DynPlanner, RodPlanner};
+
+/// Build the ROD baseline deployment: one logical plan optimal at the given
+/// statistics, placed statically and never adapted.
+pub fn deploy_rod(query: &Query, stats: &StatsSnapshot, cluster: &Cluster) -> Result<SystemUnderTest> {
+    let plan = RodPlanner::new().plan(query, stats, cluster, 1.0)?;
+    Ok(SystemUnderTest::rod(plan.logical, plan.physical))
+}
+
+/// Build the DYN baseline deployment: one logical plan, placed for the given
+/// statistics, rebalanced by operator migration every `rebalance_period_secs`.
+pub fn deploy_dyn(
+    query: &Query,
+    stats: &StatsSnapshot,
+    cluster: &Cluster,
+    rebalance_period_secs: f64,
+) -> Result<SystemUnderTest> {
+    let planner = DynPlanner::new();
+    let (logical, physical) = planner.initial_plan(query, stats, cluster)?;
+    Ok(SystemUnderTest::dyn_system(
+        logical,
+        physical,
+        planner,
+        rebalance_period_secs,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_deploy_successfully() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(4, 1e9).unwrap();
+        let rod = deploy_rod(&q, &q.default_stats(), &cluster).unwrap();
+        assert_eq!(rod.name(), "ROD");
+        let dyn_sys = deploy_dyn(&q, &q.default_stats(), &cluster, 5.0).unwrap();
+        assert_eq!(dyn_sys.name(), "DYN");
+    }
+
+    #[test]
+    fn baselines_fail_on_impossible_clusters() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(2, 1e-9).unwrap();
+        assert!(deploy_rod(&q, &q.default_stats(), &cluster).is_err());
+        assert!(deploy_dyn(&q, &q.default_stats(), &cluster, 5.0).is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! The end-to-end RLD optimizer: parameter space → robust logical solution →
+//! robust physical plan.
+
+use rld_common::{Query, Result, RldError, StatisticEstimate, UncertaintyLevel};
+use rld_engine::SystemUnderTest;
+use rld_logical::{
+    CoverageEvaluator, EarlyTerminatedRobustPartitioning, ErpConfig, LogicalPlanGenerator,
+    RobustLogicalSolution, SearchStats,
+};
+use rld_paramspace::{OccurrenceModel, ParameterSpace};
+use rld_physical::{
+    Cluster, GreedyPhy, OptPrune, PhysicalPlan, PhysicalPlanGenerator, PhysicalSearchStats,
+    SupportModel,
+};
+use rld_query::JoinOrderOptimizer;
+use serde::{Deserialize, Serialize};
+
+/// Which §5 algorithm produces the physical plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PhysicalStrategy {
+    /// GreedyPhy (Algorithm 4): linear time, possibly sub-optimal.
+    Greedy,
+    /// OptPrune (Algorithm 5): optimal, branch-and-bound bounded by GreedyPhy.
+    #[default]
+    OptPrune,
+}
+
+/// Configuration of the end-to-end RLD optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RldConfig {
+    /// How many of the query's operator selectivities are treated as
+    /// uncertain (they become the parameter-space dimensions).
+    pub uncertain_selectivities: usize,
+    /// The uncertainty level `U` assigned to each uncertain estimate
+    /// (Algorithm 1 widens the interval by ±0.1·U).
+    pub uncertainty: UncertaintyLevel,
+    /// Grid steps per dimension of the discretized space.
+    pub grid_steps: usize,
+    /// ERP configuration: robustness threshold ε plus the probabilistic
+    /// early-termination parameters of Theorems 1–2.
+    pub erp: ErpConfig,
+    /// Occurrence-probability model used to weight robust logical plans.
+    pub occurrence: OccurrenceModel,
+    /// Physical plan generation strategy.
+    pub physical_strategy: PhysicalStrategy,
+    /// Runtime classification overhead charged per batch (fraction of the
+    /// batch's query work; the paper measured ≈ 2%).
+    pub classification_overhead: f64,
+}
+
+impl Default for RldConfig {
+    fn default() -> Self {
+        Self {
+            uncertain_selectivities: 2,
+            uncertainty: UncertaintyLevel::new(2),
+            grid_steps: ParameterSpace::DEFAULT_STEPS,
+            erp: ErpConfig::default(),
+            occurrence: OccurrenceModel::Normal,
+            physical_strategy: PhysicalStrategy::default(),
+            classification_overhead: 0.02,
+        }
+    }
+}
+
+impl RldConfig {
+    /// Convenience: set the robustness threshold ε.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.erp.robustness_epsilon = epsilon;
+        self
+    }
+
+    /// Convenience: set the uncertainty level.
+    pub fn with_uncertainty(mut self, u: u32) -> Self {
+        self.uncertainty = UncertaintyLevel::new(u);
+        self
+    }
+
+    /// Convenience: set the number of uncertain dimensions.
+    pub fn with_dimensions(mut self, dims: usize) -> Self {
+        self.uncertain_selectivities = dims;
+        self
+    }
+}
+
+/// The complete output of RLD compile-time optimization.
+#[derive(Debug, Clone)]
+pub struct RldSolution {
+    /// The parameter space the solution was computed over.
+    pub space: ParameterSpace,
+    /// The robust logical solution (plans + robust regions).
+    pub logical: RobustLogicalSolution,
+    /// Statistics of the logical search (optimizer calls etc., Figures 10–12).
+    pub logical_stats: SearchStats,
+    /// The single robust physical plan.
+    pub physical: PhysicalPlan,
+    /// Statistics of the physical search (compile time etc., Figures 13–14).
+    pub physical_stats: PhysicalSearchStats,
+    /// The support model used to score physical plans.
+    pub support: SupportModel,
+    /// The classification overhead to charge at runtime.
+    pub classification_overhead: f64,
+}
+
+impl RldSolution {
+    /// Fraction of the parameter space covered by the logical plans the
+    /// physical plan supports on the given cluster (Figure 14's metric).
+    pub fn physical_coverage(&self, cluster: &Cluster) -> f64 {
+        self.support.coverage(&self.physical, cluster)
+    }
+
+    /// The physical plan's score: total occurrence weight of the supported
+    /// logical plans.
+    pub fn physical_score(&self, cluster: &Cluster) -> f64 {
+        self.support.score(&self.physical, cluster)
+    }
+
+    /// Deploy the solution as a runtime system for the simulator.
+    pub fn deploy(&self) -> SystemUnderTest {
+        SystemUnderTest::rld(
+            self.support.query(),
+            self.space.clone(),
+            self.logical.clone(),
+            self.physical.clone(),
+            self.classification_overhead,
+        )
+    }
+}
+
+/// The end-to-end RLD optimizer (the "robust plan optimizer" box of Figure 5).
+#[derive(Debug, Clone)]
+pub struct RldOptimizer {
+    query: Query,
+    config: RldConfig,
+}
+
+impl RldOptimizer {
+    /// Create an optimizer for a query.
+    pub fn new(query: Query, config: RldConfig) -> Self {
+        Self { query, config }
+    }
+
+    /// The query being optimized.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RldConfig {
+        &self.config
+    }
+
+    /// Build the parameter space implied by the configuration.
+    pub fn build_space(&self) -> Result<ParameterSpace> {
+        let estimates = self
+            .query
+            .selectivity_estimates(self.config.uncertain_selectivities, self.config.uncertainty)?;
+        self.build_space_from(&estimates)
+    }
+
+    /// Build a parameter space from explicit statistic estimates (use this to
+    /// include input-rate dimensions or custom uncertainty levels).
+    pub fn build_space_from(&self, estimates: &[StatisticEstimate]) -> Result<ParameterSpace> {
+        ParameterSpace::from_estimates(
+            estimates,
+            self.query.default_stats(),
+            self.config.grid_steps,
+        )
+    }
+
+    /// Run the full two-step optimization on the default parameter space.
+    pub fn optimize(&self, cluster: &Cluster) -> Result<RldSolution> {
+        let space = self.build_space()?;
+        self.optimize_in_space(cluster, space)
+    }
+
+    /// Run the full two-step optimization on an explicit parameter space.
+    pub fn optimize_in_space(
+        &self,
+        cluster: &Cluster,
+        space: ParameterSpace,
+    ) -> Result<RldSolution> {
+        // Step 1: robust logical solution via ERP.
+        let black_box = JoinOrderOptimizer::new(self.query.clone());
+        let erp = EarlyTerminatedRobustPartitioning::new(&black_box, &space, self.config.erp);
+        let (logical, logical_stats) = erp.generate()?;
+        if logical.is_empty() {
+            return Err(RldError::PlanGeneration(
+                "ERP produced an empty robust logical solution".into(),
+            ));
+        }
+
+        // Step 2: robust physical plan supporting the logical solution.
+        let support = SupportModel::build(&self.query, &space, &logical, self.config.occurrence)?;
+        let (physical, physical_stats) = match self.config.physical_strategy {
+            PhysicalStrategy::Greedy => GreedyPhy::new().generate(&support, cluster)?,
+            PhysicalStrategy::OptPrune => OptPrune::new().generate(&support, cluster)?,
+        };
+
+        Ok(RldSolution {
+            space,
+            logical,
+            logical_stats,
+            physical,
+            physical_stats,
+            support,
+            classification_overhead: self.config.classification_overhead,
+        })
+    }
+
+    /// Ground-truth coverage evaluation of an already computed solution
+    /// (uses its own optimizer calls; intended for reports, not planning).
+    pub fn evaluate_coverage(&self, solution: &RldSolution) -> Result<f64> {
+        let evaluator = CoverageEvaluator::new(
+            self.query.clone(),
+            solution.space.clone(),
+            self.config.erp.robustness_epsilon,
+        )?;
+        evaluator.true_coverage(&solution.logical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rld_common::StatKey;
+
+    fn cluster_for(query: &Query, nodes: usize, slack: f64) -> Cluster {
+        // Capacity proportional to the worst-case single-operator load.
+        let cm = rld_query::CostModel::new(query.clone());
+        let plan = rld_query::LogicalPlan::identity(query);
+        let loads = cm.operator_loads(&plan, &query.default_stats()).unwrap();
+        let max_load = loads.iter().cloned().fold(0.0f64, f64::max);
+        Cluster::homogeneous(nodes, max_load * slack).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_q1_produces_full_coverage_with_ample_resources() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = cluster_for(&q, 4, 100.0);
+        let optimizer = RldOptimizer::new(q, RldConfig::default());
+        let solution = optimizer.optimize(&cluster).unwrap();
+        assert!(!solution.logical.is_empty());
+        assert!(solution.logical_stats.optimizer_calls > 0);
+        assert_eq!(solution.physical.num_operators(), 5);
+        // Ample resources: every logical plan supported.
+        assert_eq!(solution.physical_stats.dropped_plans, 0);
+        assert!(solution.physical_coverage(&cluster) > 0.9);
+        let true_cov = optimizer.evaluate_coverage(&solution).unwrap();
+        assert!(true_cov > 0.8, "true coverage {true_cov}");
+    }
+
+    #[test]
+    fn greedy_and_optprune_strategies_both_work() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = cluster_for(&q, 3, 2.0);
+        let greedy = RldOptimizer::new(
+            q.clone(),
+            RldConfig {
+                physical_strategy: PhysicalStrategy::Greedy,
+                ..RldConfig::default()
+            },
+        )
+        .optimize(&cluster)
+        .unwrap();
+        let optimal = RldOptimizer::new(
+            q,
+            RldConfig {
+                physical_strategy: PhysicalStrategy::OptPrune,
+                ..RldConfig::default()
+            },
+        )
+        .optimize(&cluster)
+        .unwrap();
+        assert!(optimal.physical_score(&cluster) + 1e-9 >= greedy.physical_score(&cluster));
+    }
+
+    #[test]
+    fn custom_estimates_can_include_rate_dimensions() {
+        let q = Query::q1_stock_monitoring();
+        let optimizer = RldOptimizer::new(q.clone(), RldConfig::default());
+        let estimates = q
+            .estimates_for(&[
+                (
+                    StatKey::Selectivity(rld_common::OperatorId::new(0)),
+                    UncertaintyLevel::new(2),
+                ),
+                (
+                    StatKey::InputRate(q.driving_stream),
+                    UncertaintyLevel::new(2),
+                ),
+            ])
+            .unwrap();
+        let space = optimizer.build_space_from(&estimates).unwrap();
+        assert_eq!(space.num_dims(), 2);
+        let cluster = cluster_for(&q, 4, 100.0);
+        let solution = optimizer.optimize_in_space(&cluster, space).unwrap();
+        assert!(!solution.logical.is_empty());
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = RldConfig::default()
+            .with_epsilon(0.3)
+            .with_uncertainty(4)
+            .with_dimensions(3);
+        assert_eq!(cfg.erp.robustness_epsilon, 0.3);
+        assert_eq!(cfg.uncertainty, UncertaintyLevel::new(4));
+        assert_eq!(cfg.uncertain_selectivities, 3);
+    }
+
+    #[test]
+    fn deploy_produces_an_rld_runtime_system() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = cluster_for(&q, 4, 100.0);
+        let solution = RldOptimizer::new(q, RldConfig::default())
+            .optimize(&cluster)
+            .unwrap();
+        let system = solution.deploy();
+        assert_eq!(system.name(), "RLD");
+    }
+
+    #[test]
+    fn invalid_dimension_count_is_rejected() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = cluster_for(&q, 3, 10.0);
+        let optimizer = RldOptimizer::new(
+            q,
+            RldConfig {
+                uncertain_selectivities: 99,
+                ..RldConfig::default()
+            },
+        );
+        assert!(optimizer.optimize(&cluster).is_err());
+    }
+}

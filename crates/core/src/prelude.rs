@@ -1,0 +1,35 @@
+//! One-stop imports for applications built on RLD.
+//!
+//! ```
+//! use rld_core::prelude::*;
+//! let query = Query::q1_stock_monitoring();
+//! let cluster = Cluster::homogeneous(4, 1e6).unwrap();
+//! let solution = RldOptimizer::new(query, RldConfig::default())
+//!     .optimize(&cluster)
+//!     .unwrap();
+//! assert!(solution.logical.len() >= 1);
+//! ```
+
+pub use crate::baselines::{deploy_dyn, deploy_rod};
+pub use crate::optimizer::{PhysicalStrategy, RldConfig, RldOptimizer, RldSolution};
+
+pub use rld_common::{
+    Batch, DataType, NodeId, OperatorId, OperatorKind, OperatorSpec, Query, QueryBuilder, Result,
+    RldError, Schema, StatKey, StatisticEstimate, StatsSnapshot, StreamId, StreamSpec, Tuple,
+    UncertaintyLevel, Value,
+};
+pub use rld_engine::{RunMetrics, SimConfig, Simulator, SystemUnderTest};
+pub use rld_logical::{
+    CoverageEvaluator, EarlyTerminatedRobustPartitioning, ErpConfig, ExhaustiveSearch,
+    LogicalPlanGenerator, RandomSearch, RobustLogicalSolution, SearchStats,
+    WeightedRobustPartitioning,
+};
+pub use rld_paramspace::{OccurrenceModel, ParameterSpace, Point, Region};
+pub use rld_physical::{
+    Cluster, DynPlanner, ExhaustivePhysicalSearch, GreedyPhy, OptPrune, PhysicalPlan,
+    PhysicalPlanGenerator, PhysicalSearchStats, RodPlanner, SupportModel,
+};
+pub use rld_query::{CostModel, JoinOrderOptimizer, LogicalPlan, OptStrategy, Optimizer};
+pub use rld_workloads::{
+    RatePattern, SelectivityPattern, SensorWorkload, StockWorkload, SyntheticWorkload, Workload,
+};

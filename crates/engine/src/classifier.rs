@@ -1,0 +1,181 @@
+//! The online classifier (§3, "Robust load executor").
+//!
+//! RLD runs on top of a QueryMesh-style multi-route executor: each incoming
+//! tuple batch is classified by the latest monitored statistics and routed
+//! through the robust logical plan whose robust region contains (or is
+//! closest to) that point of the parameter space. The classification itself
+//! costs a small fraction of the query-processing work (~2% in the paper's
+//! measurements), which the simulator charges as overhead.
+
+use rld_common::StatsSnapshot;
+use rld_logical::RobustLogicalSolution;
+use rld_paramspace::ParameterSpace;
+use rld_query::{CostModel, LogicalPlan};
+
+/// Per-batch logical plan selector used by the RLD runtime.
+#[derive(Debug, Clone)]
+pub struct OnlineClassifier {
+    space: ParameterSpace,
+    solution: RobustLogicalSolution,
+    cost_model: Option<CostModel>,
+    switches: usize,
+    last_plan: Option<LogicalPlan>,
+}
+
+impl OnlineClassifier {
+    /// Create a classifier over a robust logical solution. Without a cost
+    /// model it routes purely by robust-region containment; with one (see
+    /// [`OnlineClassifier::with_cost_model`]) it picks the cheapest covering
+    /// plan, which is what the QueryMesh executor's classifier effectively
+    /// does with its per-statistics plan index.
+    pub fn new(space: ParameterSpace, solution: RobustLogicalSolution) -> Self {
+        Self {
+            space,
+            solution,
+            cost_model: None,
+            switches: 0,
+            last_plan: None,
+        }
+    }
+
+    /// Attach a cost model so classification picks, among the robust plans
+    /// whose region contains the observed statistics (falling back to all
+    /// plans when none covers them), the one with the lowest estimated cost.
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = Some(cost_model);
+        self
+    }
+
+    /// The robust logical solution being routed over.
+    pub fn solution(&self) -> &RobustLogicalSolution {
+        &self.solution
+    }
+
+    /// Number of times the selected plan changed between consecutive batches.
+    pub fn plan_switches(&self) -> usize {
+        self.switches
+    }
+
+    /// Whether the monitored statistics are still inside the modelled
+    /// parameter space; when they are not, RLD's guarantees no longer hold
+    /// (the paper notes migration would be needed for truly unexpected
+    /// fluctuations).
+    pub fn stats_in_space(&self, stats: &StatsSnapshot) -> bool {
+        self.space.covers_snapshot(stats)
+    }
+
+    /// Select the logical plan for a batch given the monitored statistics.
+    /// Returns `None` only if the solution is empty.
+    pub fn classify(&mut self, stats: &StatsSnapshot) -> Option<LogicalPlan> {
+        let point = self.space.project_snapshot(stats);
+        let plan = match &self.cost_model {
+            Some(cm) => {
+                // Candidates: plans whose robust region covers the point; if
+                // none does (statistics drifted outside every region), fall
+                // back to every plan in the solution.
+                let covering: Vec<&LogicalPlan> = self
+                    .solution
+                    .entries()
+                    .iter()
+                    .filter(|e| e.covers(&point))
+                    .map(|e| &e.plan)
+                    .collect();
+                let candidates: Vec<&LogicalPlan> = if covering.is_empty() {
+                    self.solution.plans().collect()
+                } else {
+                    covering
+                };
+                candidates
+                    .into_iter()
+                    .min_by(|a, b| {
+                        let ca = cm.plan_cost(a, stats).unwrap_or(f64::INFINITY);
+                        let cb = cm.plan_cost(b, stats).unwrap_or(f64::INFINITY);
+                        ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+                    })?
+                    .clone()
+            }
+            None => self.solution.plan_for(&point)?.clone(),
+        };
+        if self.last_plan.as_ref() != Some(&plan) {
+            if self.last_plan.is_some() {
+                self.switches += 1;
+            }
+            self.last_plan = Some(plan.clone());
+        }
+        Some(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rld_common::{OperatorId, Query, StatKey, UncertaintyLevel};
+    use rld_logical::{EarlyTerminatedRobustPartitioning, ErpConfig, LogicalPlanGenerator};
+    use rld_query::JoinOrderOptimizer;
+
+    fn fixture() -> (Query, ParameterSpace, RobustLogicalSolution) {
+        let q = Query::q1_stock_monitoring();
+        let est = q.selectivity_estimates(2, UncertaintyLevel::new(3)).unwrap();
+        let space = ParameterSpace::from_estimates(&est, q.default_stats(), 9).unwrap();
+        let opt = JoinOrderOptimizer::new(q.clone());
+        let erp =
+            EarlyTerminatedRobustPartitioning::new(&opt, &space, ErpConfig::with_epsilon(0.2));
+        let (solution, _) = erp.generate().unwrap();
+        (q, space, solution)
+    }
+
+    #[test]
+    fn classify_returns_a_plan_from_the_solution() {
+        let (q, space, solution) = fixture();
+        let mut c = OnlineClassifier::new(space, solution.clone());
+        let plan = c.classify(&q.default_stats()).unwrap();
+        assert!(solution.plans().any(|p| *p == plan));
+        assert!(c.stats_in_space(&q.default_stats()));
+    }
+
+    #[test]
+    fn plan_switches_are_counted() {
+        let (q, space, solution) = fixture();
+        if solution.len() < 2 {
+            // Nothing to switch between; the classifier must still be stable.
+            let mut c = OnlineClassifier::new(space, solution);
+            c.classify(&q.default_stats());
+            c.classify(&q.default_stats());
+            assert_eq!(c.plan_switches(), 0);
+            return;
+        }
+        let mut c = OnlineClassifier::new(space.clone(), solution);
+        // Very low selectivities vs very high selectivities should route to
+        // different plans if the solution has more than one.
+        let mut low = q.default_stats();
+        let mut high = q.default_stats();
+        for op in q.operator_ids().iter().take(2) {
+            low.set(StatKey::Selectivity(*op), 0.05);
+            high.set(StatKey::Selectivity(*op), 0.95);
+        }
+        let p_low = c.classify(&low).unwrap();
+        let _ = c.classify(&high).unwrap();
+        let p_low_again = c.classify(&low).unwrap();
+        assert_eq!(p_low, p_low_again);
+        // Same stats always give the same plan; switch counting is monotone.
+        let switches = c.plan_switches();
+        c.classify(&low);
+        assert_eq!(c.plan_switches(), switches);
+    }
+
+    #[test]
+    fn out_of_space_stats_detected() {
+        let (q, space, solution) = fixture();
+        let c = OnlineClassifier::new(space, solution);
+        let mut wild = q.default_stats();
+        wild.set(StatKey::Selectivity(OperatorId::new(0)), 5.0);
+        assert!(!c.stats_in_space(&wild));
+    }
+
+    #[test]
+    fn empty_solution_returns_none() {
+        let (q, space, _) = fixture();
+        let mut c = OnlineClassifier::new(space, RobustLogicalSolution::new());
+        assert!(c.classify(&q.default_stats()).is_none());
+    }
+}

@@ -1,0 +1,226 @@
+//! Runtime metrics collected by the simulator.
+//!
+//! These are the measurements the paper reports in §6.5: average tuple
+//! processing time (Figures 15a, 16a, 16b), the cumulative number of result
+//! tuples produced over time (Figure 15b), and the runtime overhead beyond
+//! query processing (classification for RLD, migrations for DYN).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Metrics of one simulated run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Name of the system under test (`"RLD"`, `"ROD"`, `"DYN"`).
+    pub system: String,
+    /// Simulated duration in seconds.
+    pub duration_secs: f64,
+    /// Number of driving tuples that arrived.
+    pub tuples_arrived: u64,
+    /// Number of driving tuples fully processed within the simulation horizon.
+    pub tuples_processed: u64,
+    /// Number of result tuples produced within the horizon.
+    pub tuples_produced: u64,
+    /// Mean per-tuple processing time (milliseconds) over processed tuples.
+    pub avg_tuple_processing_ms: f64,
+    /// 95th-percentile per-tuple processing time (milliseconds).
+    pub p95_tuple_processing_ms: f64,
+    /// Cumulative result tuples at one-minute granularity: `(minute, count)`.
+    pub produced_timeline: Vec<(u64, u64)>,
+    /// Number of operator migrations performed (DYN only).
+    pub migrations: u64,
+    /// Number of logical plan switches performed (RLD only).
+    pub plan_switches: u64,
+    /// Total query-processing work done (cost units).
+    pub query_work: f64,
+    /// Total overhead work done (cost units): migrations + classification.
+    pub overhead_work: f64,
+    /// Mean node utilization over the run, in `[0, 1]`.
+    pub mean_utilization: f64,
+    /// Maximum backlog observed on any node (cost units).
+    pub max_backlog: f64,
+}
+
+impl RunMetrics {
+    /// Runtime overhead as a fraction of total work.
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.query_work + self.overhead_work;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.overhead_work / total
+        }
+    }
+
+    /// Result-tuple throughput per second over the whole run.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.duration_secs <= 0.0 {
+            0.0
+        } else {
+            self.tuples_produced as f64 / self.duration_secs
+        }
+    }
+
+    /// Fraction of arrived tuples fully processed within the horizon.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.tuples_arrived == 0 {
+            1.0
+        } else {
+            self.tuples_processed as f64 / self.tuples_arrived as f64
+        }
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: avg={:.1}ms p95={:.1}ms produced={} migrations={} switches={} overhead={:.1}%",
+            self.system,
+            self.avg_tuple_processing_ms,
+            self.p95_tuple_processing_ms,
+            self.tuples_produced,
+            self.migrations,
+            self.plan_switches,
+            self.overhead_fraction() * 100.0
+        )
+    }
+}
+
+/// Online accumulator for per-tuple latencies and the produced-tuple timeline.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsAccumulator {
+    latencies_ms: Vec<f64>,
+    produced_events: Vec<(f64, u64)>,
+}
+
+impl MetricsAccumulator {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a processed batch: `tuples` driving tuples with the given
+    /// per-tuple latency, producing `produced` result tuples at completion
+    /// time `completion_secs`.
+    pub fn record_batch(
+        &mut self,
+        tuples: u64,
+        latency_ms: f64,
+        produced: u64,
+        completion_secs: f64,
+    ) {
+        if tuples > 0 {
+            self.latencies_ms.push(latency_ms.max(0.0));
+        }
+        if produced > 0 {
+            self.produced_events.push((completion_secs, produced));
+        }
+    }
+
+    /// Weighted latency samples recorded so far.
+    pub fn num_samples(&self) -> usize {
+        self.latencies_ms.len()
+    }
+
+    /// Mean of the recorded latencies.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        self.latencies_ms.iter().sum::<f64>() / self.latencies_ms.len() as f64
+    }
+
+    /// The p-th percentile (0–100) of the recorded latencies.
+    pub fn percentile_latency_ms(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// Total result tuples produced up to (and including) `t_secs`.
+    pub fn produced_by(&self, t_secs: f64) -> u64 {
+        self.produced_events
+            .iter()
+            .filter(|(t, _)| *t <= t_secs + 1e-9)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Cumulative produced-tuple timeline at one-minute granularity over
+    /// `duration_secs`.
+    pub fn timeline(&self, duration_secs: f64) -> Vec<(u64, u64)> {
+        let minutes = (duration_secs / 60.0).ceil() as u64;
+        (1..=minutes.max(1))
+            .map(|m| (m, self.produced_by(m as f64 * 60.0)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_fraction_and_throughput() {
+        let m = RunMetrics {
+            system: "RLD".into(),
+            duration_secs: 100.0,
+            tuples_produced: 500,
+            query_work: 900.0,
+            overhead_work: 100.0,
+            tuples_arrived: 1000,
+            tuples_processed: 800,
+            ..RunMetrics::default()
+        };
+        assert!((m.overhead_fraction() - 0.1).abs() < 1e-12);
+        assert!((m.throughput_per_sec() - 5.0).abs() < 1e-12);
+        assert!((m.completion_ratio() - 0.8).abs() < 1e-12);
+        assert!(m.to_string().contains("RLD"));
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let m = RunMetrics::default();
+        assert_eq!(m.overhead_fraction(), 0.0);
+        assert_eq!(m.throughput_per_sec(), 0.0);
+        assert_eq!(m.completion_ratio(), 1.0);
+    }
+
+    #[test]
+    fn accumulator_statistics() {
+        let mut acc = MetricsAccumulator::new();
+        for (i, lat) in [10.0, 20.0, 30.0, 40.0, 50.0].iter().enumerate() {
+            acc.record_batch(10, *lat, 5, 60.0 * (i as f64 + 1.0));
+        }
+        assert_eq!(acc.num_samples(), 5);
+        assert!((acc.mean_latency_ms() - 30.0).abs() < 1e-12);
+        assert!(acc.percentile_latency_ms(95.0) >= 40.0);
+        assert_eq!(acc.produced_by(120.0), 10);
+        assert_eq!(acc.produced_by(1e9), 25);
+        let timeline = acc.timeline(300.0);
+        assert_eq!(timeline.len(), 5);
+        assert_eq!(timeline[1], (2, 10));
+        assert_eq!(timeline[4], (5, 25));
+    }
+
+    #[test]
+    fn empty_accumulator() {
+        let acc = MetricsAccumulator::new();
+        assert_eq!(acc.mean_latency_ms(), 0.0);
+        assert_eq!(acc.percentile_latency_ms(99.0), 0.0);
+        assert_eq!(acc.produced_by(100.0), 0);
+        assert_eq!(acc.timeline(30.0), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn zero_tuple_batches_are_ignored() {
+        let mut acc = MetricsAccumulator::new();
+        acc.record_batch(0, 99.0, 0, 1.0);
+        assert_eq!(acc.num_samples(), 0);
+    }
+}

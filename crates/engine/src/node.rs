@@ -1,0 +1,149 @@
+//! Simulated cluster nodes.
+
+use rld_common::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One simulated machine: a work server with a fixed processing capacity
+/// (cost units per second) and a FIFO backlog of queued work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimNode {
+    /// The node's identifier.
+    pub id: NodeId,
+    /// Processing capacity in cost units per second.
+    pub capacity: f64,
+    /// Queued, not yet processed work in cost units.
+    pub backlog: f64,
+    /// Total query work processed so far.
+    pub work_done: f64,
+    /// Total overhead work (migrations, classification) processed so far.
+    pub overhead_done: f64,
+    /// Overhead work still queued (subset of `backlog`).
+    overhead_pending: f64,
+}
+
+impl SimNode {
+    /// Create an idle node.
+    pub fn new(id: NodeId, capacity: f64) -> Self {
+        assert!(capacity > 0.0, "node capacity must be positive");
+        Self {
+            id,
+            capacity,
+            backlog: 0.0,
+            work_done: 0.0,
+            overhead_done: 0.0,
+            overhead_pending: 0.0,
+        }
+    }
+
+    /// Enqueue query-processing work (cost units).
+    pub fn enqueue_work(&mut self, work: f64) {
+        debug_assert!(work >= 0.0);
+        self.backlog += work.max(0.0);
+    }
+
+    /// Enqueue overhead work (migration state transfer, plan classification).
+    pub fn enqueue_overhead(&mut self, work: f64) {
+        debug_assert!(work >= 0.0);
+        let w = work.max(0.0);
+        self.backlog += w;
+        self.overhead_pending += w;
+    }
+
+    /// The queueing delay (seconds) a new arrival would currently experience
+    /// before its own work starts being served.
+    pub fn queueing_delay_secs(&self) -> f64 {
+        self.backlog / self.capacity
+    }
+
+    /// Time (seconds) this node needs to process `work` cost units once it
+    /// reaches the head of the queue.
+    pub fn service_time_secs(&self, work: f64) -> f64 {
+        work.max(0.0) / self.capacity
+    }
+
+    /// Advance the node by `dt` seconds of processing, draining the backlog.
+    /// Returns the amount of work actually processed this tick.
+    pub fn tick(&mut self, dt_secs: f64) -> f64 {
+        let can_do = self.capacity * dt_secs.max(0.0);
+        let done = can_do.min(self.backlog);
+        self.backlog -= done;
+        // Attribute drained work proportionally to overhead vs query work.
+        let overhead_share = if done > 0.0 && self.backlog + done > 0.0 {
+            (self.overhead_pending / (self.backlog + done)).clamp(0.0, 1.0) * done
+        } else {
+            0.0
+        };
+        let overhead_share = overhead_share.min(self.overhead_pending);
+        self.overhead_pending -= overhead_share;
+        self.overhead_done += overhead_share;
+        self.work_done += done - overhead_share;
+        done
+    }
+
+    /// Utilization over an interval of `dt` seconds given the work processed.
+    pub fn utilization(&self, work_processed: f64, dt_secs: f64) -> f64 {
+        if dt_secs <= 0.0 {
+            return 0.0;
+        }
+        (work_processed / (self.capacity * dt_secs)).clamp(0.0, 1.0)
+    }
+
+    /// Whether the node currently has more work queued than it can process in
+    /// the given horizon (used to detect saturation).
+    pub fn is_saturated(&self, horizon_secs: f64) -> bool {
+        self.backlog > self.capacity * horizon_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_drains_backlog_up_to_capacity() {
+        let mut n = SimNode::new(NodeId::new(0), 100.0);
+        n.enqueue_work(250.0);
+        assert_eq!(n.tick(1.0), 100.0);
+        assert_eq!(n.backlog, 150.0);
+        assert_eq!(n.tick(1.0), 100.0);
+        assert_eq!(n.tick(1.0), 50.0);
+        assert_eq!(n.backlog, 0.0);
+        assert_eq!(n.tick(1.0), 0.0);
+        assert!((n.work_done - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queueing_and_service_times() {
+        let mut n = SimNode::new(NodeId::new(1), 50.0);
+        n.enqueue_work(100.0);
+        assert!((n.queueing_delay_secs() - 2.0).abs() < 1e-12);
+        assert!((n.service_time_secs(25.0) - 0.5).abs() < 1e-12);
+        assert!(n.is_saturated(1.0));
+        assert!(!n.is_saturated(10.0));
+    }
+
+    #[test]
+    fn overhead_is_tracked_separately() {
+        let mut n = SimNode::new(NodeId::new(0), 100.0);
+        n.enqueue_work(60.0);
+        n.enqueue_overhead(40.0);
+        let done = n.tick(1.0);
+        assert!((done - 100.0).abs() < 1e-9);
+        assert!((n.overhead_done - 40.0).abs() < 1e-6);
+        assert!((n.work_done - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let n = SimNode::new(NodeId::new(0), 100.0);
+        assert_eq!(n.utilization(50.0, 1.0), 0.5);
+        assert_eq!(n.utilization(500.0, 1.0), 1.0);
+        assert_eq!(n.utilization(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node capacity must be positive")]
+    fn zero_capacity_panics() {
+        SimNode::new(NodeId::new(0), 0.0);
+    }
+}

@@ -1,0 +1,416 @@
+//! The discrete-time simulation loop.
+
+use crate::metrics::{MetricsAccumulator, RunMetrics};
+use crate::monitor::StatisticsMonitor;
+use crate::node::SimNode;
+use crate::system::SystemUnderTest;
+use rld_common::rng::{derive_seed, rng_from_seed, sample_poisson};
+use rld_common::{NodeId, Query, Result, RldError};
+use rld_physical::Cluster;
+use rld_query::CostModel;
+use rld_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Simulation parameters. Defaults follow Table 2 where applicable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Length of one simulation tick in seconds.
+    pub tick_secs: f64,
+    /// Total simulated duration in seconds (the paper runs 30–60 minutes).
+    pub duration_secs: f64,
+    /// Statistics-monitor sampling period in seconds.
+    pub monitor_period_secs: f64,
+    /// Statistics-monitor exponential smoothing factor in `(0, 1]`.
+    pub monitor_alpha: f64,
+    /// Cost (in cost units) of migrating one kilobyte of operator state.
+    pub migration_cost_per_kb: f64,
+    /// Fixed cost (in cost units) per operator migration, covering suspension
+    /// and re-deployment of the operator.
+    pub migration_fixed_cost: f64,
+    /// Seed for arrival-process randomness.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            tick_secs: 1.0,
+            duration_secs: 300.0,
+            monitor_period_secs: 5.0,
+            monitor_alpha: 0.6,
+            migration_cost_per_kb: 0.5,
+            migration_fixed_cost: 50.0,
+            seed: 0xD5_CAFE,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.tick_secs <= 0.0 || !self.tick_secs.is_finite() {
+            return Err(RldError::Runtime("tick_secs must be positive".into()));
+        }
+        if self.duration_secs <= 0.0 || !self.duration_secs.is_finite() {
+            return Err(RldError::Runtime("duration_secs must be positive".into()));
+        }
+        if self.monitor_period_secs <= 0.0 {
+            return Err(RldError::Runtime(
+                "monitor_period_secs must be positive".into(),
+            ));
+        }
+        if !(self.monitor_alpha > 0.0 && self.monitor_alpha <= 1.0) {
+            return Err(RldError::Runtime(
+                "monitor_alpha must be in (0, 1]".into(),
+            ));
+        }
+        if self.migration_cost_per_kb < 0.0 || self.migration_fixed_cost < 0.0 {
+            return Err(RldError::Runtime(
+                "migration costs must be non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The discrete-time DSPS simulator.
+pub struct Simulator {
+    query: Query,
+    cluster: Cluster,
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Create a simulator for a query on a cluster.
+    pub fn new(query: Query, cluster: Cluster, config: SimConfig) -> Result<Self> {
+        config.validate()?;
+        query.validate()?;
+        Ok(Self {
+            query,
+            cluster,
+            config,
+        })
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Run one system under test against a workload and collect metrics.
+    pub fn run(
+        &self,
+        workload: &dyn Workload,
+        system: &mut SystemUnderTest,
+    ) -> Result<RunMetrics> {
+        let cost_model = CostModel::new(self.query.clone());
+        let mut nodes: Vec<SimNode> = self
+            .cluster
+            .node_ids()
+            .into_iter()
+            .map(|id| SimNode::new(id, self.cluster.capacity(id)))
+            .collect();
+        let mut monitor = StatisticsMonitor::new(
+            self.query.default_stats(),
+            self.config.monitor_period_secs,
+            self.config.monitor_alpha,
+        );
+        let mut acc = MetricsAccumulator::new();
+        let mut rng = rng_from_seed(derive_seed(self.config.seed, system.name()));
+
+        let mut tuples_arrived: u64 = 0;
+        let mut tuples_processed: u64 = 0;
+        // Result tuples are produced at fractional rates (the product of all
+        // selectivities can be well below one per driving tuple), so carry the
+        // fractional remainder across batches instead of rounding it away.
+        let mut produced_carry = 0.0f64;
+        let mut total_work_capacity_used = 0.0f64;
+        let mut max_backlog = 0.0f64;
+        let mut ticks = 0u64;
+
+        let dt = self.config.tick_secs;
+        let mut t = 0.0f64;
+        while t < self.config.duration_secs {
+            let truth = workload.stats_at(t);
+            monitor.observe(t, &truth);
+            let monitored = monitor.current().clone();
+
+            // Give DYN a chance to migrate before the batch is processed.
+            let decisions =
+                system.maybe_migrate(t, &self.query, &cost_model, &monitored, &self.cluster)?;
+            for d in &decisions {
+                let work = self.config.migration_fixed_cost
+                    + self.config.migration_cost_per_kb * (d.state_bytes as f64 / 1024.0);
+                nodes[d.from.index()].enqueue_overhead(work / 2.0);
+                nodes[d.to.index()].enqueue_overhead(work / 2.0);
+            }
+
+            // Arrivals for this tick (Poisson thinning of the true rate).
+            let rate = cost_model.input_rate(self.query.driving_stream, &truth);
+            let n_tuples = sample_poisson(&mut rng, (rate * dt).max(0.0));
+            if n_tuples > 0 {
+                tuples_arrived += n_tuples;
+                let logical = system.plan_for_batch(&monitored).ok_or_else(|| {
+                    RldError::Runtime("system has no logical plan for the batch".into())
+                })?;
+                let physical = system.physical().clone();
+
+                // Per-operator work for the whole batch at the true statistics.
+                let work_by_op =
+                    cost_model.per_driving_tuple_work_by_operator(&logical, &truth)?;
+                let mut node_work = vec![0.0f64; nodes.len()];
+                for op in logical.ordering() {
+                    let node = physical.node_of(*op).unwrap_or(NodeId::new(0));
+                    if node.index() >= node_work.len() {
+                        return Err(RldError::Runtime(format!(
+                            "physical plan places {op} on unknown node {node}"
+                        )));
+                    }
+                    node_work[node.index()] += work_by_op[op.index()] * n_tuples as f64;
+                }
+
+                // Latency: queueing delay plus service time on every node the
+                // batch's pipeline touches, in plan order.
+                let mut latency_secs = 0.0;
+                let mut visited = vec![false; nodes.len()];
+                for op in logical.ordering() {
+                    let node = physical.node_of(*op).expect("validated above");
+                    if !visited[node.index()] {
+                        visited[node.index()] = true;
+                        latency_secs += nodes[node.index()].queueing_delay_secs()
+                            + nodes[node.index()].service_time_secs(node_work[node.index()]);
+                    }
+                }
+
+                // Classification overhead (RLD): a fraction of the batch's
+                // work charged to the node hosting the plan's first operator.
+                let overhead_fraction = system.classification_overhead();
+                if overhead_fraction > 0.0 {
+                    let total_batch_work: f64 = node_work.iter().sum();
+                    if let Some(first_op) = logical.ordering().first() {
+                        let node = physical.node_of(*first_op).expect("validated above");
+                        nodes[node.index()]
+                            .enqueue_overhead(total_batch_work * overhead_fraction);
+                    }
+                }
+
+                for (node, work) in nodes.iter_mut().zip(&node_work) {
+                    node.enqueue_work(*work);
+                }
+
+                let produced_exact =
+                    n_tuples as f64 * cost_model.output_per_input(&truth) + produced_carry;
+                let produced = produced_exact.floor().max(0.0) as u64;
+                produced_carry = produced_exact - produced as f64;
+                let completion = t + latency_secs;
+                if completion <= self.config.duration_secs {
+                    tuples_processed += n_tuples;
+                }
+                acc.record_batch(n_tuples, latency_secs * 1000.0, produced, completion);
+            }
+
+            // Drain every node for this tick.
+            for node in &mut nodes {
+                let done = node.tick(dt);
+                total_work_capacity_used += done;
+                max_backlog = max_backlog.max(node.backlog);
+            }
+            ticks += 1;
+            t += dt;
+        }
+
+        let query_work: f64 = nodes.iter().map(|n| n.work_done).sum();
+        let overhead_work: f64 = nodes.iter().map(|n| n.overhead_done).sum();
+        let capacity_total = self.cluster.total_capacity() * dt * ticks as f64;
+        Ok(RunMetrics {
+            system: system.name().to_string(),
+            duration_secs: self.config.duration_secs,
+            tuples_arrived,
+            tuples_processed,
+            tuples_produced: acc.produced_by(self.config.duration_secs),
+            avg_tuple_processing_ms: acc.mean_latency_ms(),
+            p95_tuple_processing_ms: acc.percentile_latency_ms(95.0),
+            produced_timeline: acc.timeline(self.config.duration_secs),
+            migrations: system.migrations(),
+            plan_switches: system.plan_switches(),
+            query_work,
+            overhead_work,
+            mean_utilization: if capacity_total > 0.0 {
+                (total_work_capacity_used / capacity_total).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            max_backlog,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rld_common::UncertaintyLevel;
+    use rld_logical::{EarlyTerminatedRobustPartitioning, ErpConfig, LogicalPlanGenerator};
+    use rld_paramspace::{OccurrenceModel, ParameterSpace};
+    use rld_physical::{DynPlanner, GreedyPhy, PhysicalPlanGenerator, RodPlanner, SupportModel};
+    use rld_query::{JoinOrderOptimizer, Optimizer};
+    use rld_workloads::{RatePattern, StockWorkload};
+
+    fn capacity_for(query: &Query, slack: f64) -> f64 {
+        let cm = CostModel::new(query.clone());
+        let opt = JoinOrderOptimizer::new(query.clone());
+        let lp = opt.optimize(&query.default_stats()).unwrap();
+        let loads = cm.operator_loads(&lp, &query.default_stats()).unwrap();
+        loads.iter().cloned().fold(0.0f64, f64::max) * slack
+    }
+
+    fn build_systems(query: &Query, cluster: &Cluster) -> (SystemUnderTest, SystemUnderTest, SystemUnderTest) {
+        let est = query
+            .selectivity_estimates(2, UncertaintyLevel::new(3))
+            .unwrap();
+        let space =
+            ParameterSpace::from_estimates(&est, query.default_stats(), 9).unwrap();
+        let opt = JoinOrderOptimizer::new(query.clone());
+        let erp =
+            EarlyTerminatedRobustPartitioning::new(&opt, &space, ErpConfig::with_epsilon(0.2));
+        let (solution, _) = erp.generate().unwrap();
+        let model =
+            SupportModel::build(query, &space, &solution, OccurrenceModel::Normal).unwrap();
+        let (rld_pp, _) = GreedyPhy::new().generate(&model, cluster).unwrap();
+        let rld = SystemUnderTest::rld(query, space, solution, rld_pp, 0.02);
+
+        let rod_plan = RodPlanner::new()
+            .plan(query, &query.default_stats(), cluster, 1.0)
+            .unwrap();
+        let rod = SystemUnderTest::rod(rod_plan.logical, rod_plan.physical);
+
+        let dyn_planner = DynPlanner::new();
+        let (lp, pp) = dyn_planner
+            .initial_plan(query, &query.default_stats(), cluster)
+            .unwrap();
+        let dyn_sys = SystemUnderTest::dyn_system(lp, pp, dyn_planner, 5.0);
+        (rld, rod, dyn_sys)
+    }
+
+    #[test]
+    fn simulator_runs_all_three_systems() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(4, capacity_for(&q, 3.0)).unwrap();
+        let config = SimConfig {
+            duration_secs: 60.0,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(q.clone(), cluster.clone(), config).unwrap();
+        let workload = StockWorkload::new(20.0, RatePattern::Constant(1.0));
+        let (mut rld, mut rod, mut dyn_sys) = build_systems(&q, &cluster);
+        for sys in [&mut rld, &mut rod, &mut dyn_sys] {
+            let metrics = sim.run(&workload, sys).unwrap();
+            assert!(metrics.tuples_arrived > 0, "{}: no arrivals", metrics.system);
+            assert!(
+                metrics.avg_tuple_processing_ms >= 0.0,
+                "{}: negative latency",
+                metrics.system
+            );
+            assert!(!metrics.produced_timeline.is_empty());
+            assert!(metrics.mean_utilization >= 0.0 && metrics.mean_utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn overload_increases_latency() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(3, capacity_for(&q, 1.6)).unwrap();
+        let config = SimConfig {
+            duration_secs: 120.0,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(q.clone(), cluster.clone(), config).unwrap();
+        let calm = StockWorkload::new(30.0, RatePattern::Constant(0.5));
+        let storm = StockWorkload::new(30.0, RatePattern::Constant(4.0));
+        let (_, mut rod_a, _) = build_systems(&q, &cluster);
+        let (_, mut rod_b, _) = build_systems(&q, &cluster);
+        let low = sim.run(&calm, &mut rod_a).unwrap();
+        let high = sim.run(&storm, &mut rod_b).unwrap();
+        assert!(
+            high.avg_tuple_processing_ms > low.avg_tuple_processing_ms,
+            "overload should raise latency: {} vs {}",
+            high.avg_tuple_processing_ms,
+            low.avg_tuple_processing_ms
+        );
+    }
+
+    #[test]
+    fn rld_overhead_stays_small() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(4, capacity_for(&q, 3.0)).unwrap();
+        let config = SimConfig {
+            duration_secs: 90.0,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(q.clone(), cluster.clone(), config).unwrap();
+        let workload = StockWorkload::new(30.0, RatePattern::Constant(1.0));
+        let (mut rld, _, _) = build_systems(&q, &cluster);
+        let metrics = sim.run(&workload, &mut rld).unwrap();
+        // ~2% classification overhead, no migrations.
+        assert!(metrics.overhead_fraction() < 0.05, "{}", metrics.overhead_fraction());
+        assert_eq!(metrics.migrations, 0);
+    }
+
+    #[test]
+    fn produced_timeline_is_monotone() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(4, capacity_for(&q, 3.0)).unwrap();
+        let config = SimConfig {
+            duration_secs: 180.0,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(q.clone(), cluster.clone(), config).unwrap();
+        let workload = StockWorkload::default_config();
+        let (_, mut rod, _) = build_systems(&q, &cluster);
+        let metrics = sim.run(&workload, &mut rod).unwrap();
+        let counts: Vec<u64> = metrics.produced_timeline.iter().map(|(_, c)| *c).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*counts.last().unwrap(), metrics.tuples_produced);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SimConfig::default().validate().is_ok());
+        let bad = SimConfig {
+            tick_secs: 0.0,
+            ..SimConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = SimConfig {
+            monitor_alpha: 2.0,
+            ..SimConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = SimConfig {
+            migration_fixed_cost: -1.0,
+            ..SimConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(2, 100.0).unwrap();
+        assert!(Simulator::new(q, cluster, bad).is_err());
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_same_seed() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(4, capacity_for(&q, 3.0)).unwrap();
+        let config = SimConfig {
+            duration_secs: 45.0,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(q.clone(), cluster.clone(), config).unwrap();
+        let workload = StockWorkload::default_config();
+        let (_, mut rod_a, _) = build_systems(&q, &cluster);
+        let (_, mut rod_b, _) = build_systems(&q, &cluster);
+        let a = sim.run(&workload, &mut rod_a).unwrap();
+        let b = sim.run(&workload, &mut rod_b).unwrap();
+        assert_eq!(a.tuples_arrived, b.tuples_arrived);
+        assert_eq!(a.tuples_produced, b.tuples_produced);
+        assert!((a.avg_tuple_processing_ms - b.avg_tuple_processing_ms).abs() < 1e-9);
+    }
+}

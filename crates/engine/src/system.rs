@@ -1,0 +1,270 @@
+//! The three deployments compared at runtime (§6.5): RLD, ROD and DYN.
+
+use crate::classifier::OnlineClassifier;
+use rld_common::{Query, Result, StatsSnapshot};
+use rld_logical::RobustLogicalSolution;
+use rld_paramspace::ParameterSpace;
+use rld_physical::{Cluster, DynPlanner, MigrationDecision, PhysicalPlan};
+use rld_query::{CostModel, LogicalPlan};
+
+/// A deployed stream processing configuration whose runtime behaviour the
+/// simulator exercises.
+pub enum SystemUnderTest {
+    /// Robust Load Distribution: a fixed physical plan supporting a set of
+    /// robust logical plans, switched per batch by the online classifier.
+    Rld {
+        /// The per-batch plan selector.
+        classifier: OnlineClassifier,
+        /// The single robust physical plan (never changes at runtime).
+        physical: PhysicalPlan,
+        /// Classification overhead as a fraction of the batch's query work.
+        classification_overhead: f64,
+    },
+    /// Resilient Operator Distribution: one logical plan, one static
+    /// placement, no runtime adaptation at all.
+    Rod {
+        /// The single logical plan.
+        logical: LogicalPlan,
+        /// The static placement.
+        physical: PhysicalPlan,
+    },
+    /// Dynamic load distribution: one logical plan, but the placement is
+    /// rebalanced at runtime by migrating operators off overloaded nodes.
+    Dyn {
+        /// The single logical plan.
+        logical: LogicalPlan,
+        /// The current placement (changes as operators migrate).
+        physical: PhysicalPlan,
+        /// The migration controller.
+        planner: DynPlanner,
+        /// How often the controller re-evaluates the placement, in seconds.
+        rebalance_period_secs: f64,
+        /// Simulated time of the last rebalancing decision.
+        last_rebalance_at: f64,
+        /// Total migrations performed so far.
+        migrations: u64,
+    },
+}
+
+impl SystemUnderTest {
+    /// Build the RLD deployment. The classifier routes each batch to the
+    /// cheapest robust plan covering the monitored statistics, using the
+    /// query's cost model.
+    pub fn rld(
+        query: &Query,
+        space: ParameterSpace,
+        solution: RobustLogicalSolution,
+        physical: PhysicalPlan,
+        classification_overhead: f64,
+    ) -> Self {
+        SystemUnderTest::Rld {
+            classifier: OnlineClassifier::new(space, solution)
+                .with_cost_model(CostModel::new(query.clone())),
+            physical,
+            classification_overhead: classification_overhead.max(0.0),
+        }
+    }
+
+    /// Build the ROD deployment.
+    pub fn rod(logical: LogicalPlan, physical: PhysicalPlan) -> Self {
+        SystemUnderTest::Rod { logical, physical }
+    }
+
+    /// Build the DYN deployment.
+    pub fn dyn_system(
+        logical: LogicalPlan,
+        physical: PhysicalPlan,
+        planner: DynPlanner,
+        rebalance_period_secs: f64,
+    ) -> Self {
+        SystemUnderTest::Dyn {
+            logical,
+            physical,
+            planner,
+            rebalance_period_secs: rebalance_period_secs.max(0.1),
+            last_rebalance_at: f64::NEG_INFINITY,
+            migrations: 0,
+        }
+    }
+
+    /// The system's short name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemUnderTest::Rld { .. } => "RLD",
+            SystemUnderTest::Rod { .. } => "ROD",
+            SystemUnderTest::Dyn { .. } => "DYN",
+        }
+    }
+
+    /// The current physical placement.
+    pub fn physical(&self) -> &PhysicalPlan {
+        match self {
+            SystemUnderTest::Rld { physical, .. } => physical,
+            SystemUnderTest::Rod { physical, .. } => physical,
+            SystemUnderTest::Dyn { physical, .. } => physical,
+        }
+    }
+
+    /// The logical plan to use for the next batch, given the monitor's
+    /// current statistics view.
+    pub fn plan_for_batch(&mut self, monitored: &StatsSnapshot) -> Option<LogicalPlan> {
+        match self {
+            SystemUnderTest::Rld { classifier, .. } => classifier.classify(monitored),
+            SystemUnderTest::Rod { logical, .. } => Some(logical.clone()),
+            SystemUnderTest::Dyn { logical, .. } => Some(logical.clone()),
+        }
+    }
+
+    /// Classification overhead fraction (RLD only).
+    pub fn classification_overhead(&self) -> f64 {
+        match self {
+            SystemUnderTest::Rld {
+                classification_overhead,
+                ..
+            } => *classification_overhead,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of logical plan switches performed so far (RLD only).
+    pub fn plan_switches(&self) -> u64 {
+        match self {
+            SystemUnderTest::Rld { classifier, .. } => classifier.plan_switches() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Number of operator migrations performed so far (DYN only).
+    pub fn migrations(&self) -> u64 {
+        match self {
+            SystemUnderTest::Dyn { migrations, .. } => *migrations,
+            _ => 0,
+        }
+    }
+
+    /// Give the system a chance to adapt its placement at time `t` given the
+    /// monitored statistics. Only DYN ever migrates; the returned decisions
+    /// have already been applied to the system's placement, and the simulator
+    /// charges their cost.
+    pub fn maybe_migrate(
+        &mut self,
+        t_secs: f64,
+        query: &Query,
+        cost_model: &CostModel,
+        monitored: &StatsSnapshot,
+        cluster: &Cluster,
+    ) -> Result<Vec<MigrationDecision>> {
+        match self {
+            SystemUnderTest::Dyn {
+                logical,
+                physical,
+                planner,
+                rebalance_period_secs,
+                last_rebalance_at,
+                migrations,
+            } => {
+                if t_secs - *last_rebalance_at < *rebalance_period_secs {
+                    return Ok(Vec::new());
+                }
+                *last_rebalance_at = t_secs;
+                let loads = cost_model.operator_loads(logical, monitored)?;
+                let decisions = planner.rebalance(query, physical, &loads, cluster)?;
+                for d in &decisions {
+                    *physical = physical.with_operator_moved(d.operator, d.to)?;
+                }
+                *migrations += decisions.len() as u64;
+                Ok(decisions)
+            }
+            _ => Ok(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rld_common::UncertaintyLevel;
+    use rld_logical::{EarlyTerminatedRobustPartitioning, ErpConfig, LogicalPlanGenerator};
+    use rld_paramspace::OccurrenceModel;
+    use rld_physical::{GreedyPhy, PhysicalPlanGenerator, RodPlanner, SupportModel};
+    use rld_query::{JoinOrderOptimizer, Optimizer};
+
+    fn build_rld() -> (Query, SystemUnderTest) {
+        let q = Query::q1_stock_monitoring();
+        let est = q.selectivity_estimates(2, UncertaintyLevel::new(3)).unwrap();
+        let space = ParameterSpace::from_estimates(&est, q.default_stats(), 9).unwrap();
+        let opt = JoinOrderOptimizer::new(q.clone());
+        let erp =
+            EarlyTerminatedRobustPartitioning::new(&opt, &space, ErpConfig::with_epsilon(0.2));
+        let (solution, _) = erp.generate().unwrap();
+        let model = SupportModel::build(&q, &space, &solution, OccurrenceModel::Normal).unwrap();
+        let cluster = Cluster::homogeneous(4, 1e9).unwrap();
+        let (pp, _) = GreedyPhy::new().generate(&model, &cluster).unwrap();
+        let system = SystemUnderTest::rld(&q, space, solution, pp, 0.02);
+        (q, system)
+    }
+
+    #[test]
+    fn rld_system_classifies_batches() {
+        let (q, mut sys) = build_rld();
+        assert_eq!(sys.name(), "RLD");
+        assert!(sys.plan_for_batch(&q.default_stats()).is_some());
+        assert!((sys.classification_overhead() - 0.02).abs() < 1e-12);
+        assert_eq!(sys.migrations(), 0);
+    }
+
+    #[test]
+    fn rod_system_never_changes_plan() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(3, 1e9).unwrap();
+        let rod = RodPlanner::new()
+            .plan(&q, &q.default_stats(), &cluster, 1.0)
+            .unwrap();
+        let mut sys = SystemUnderTest::rod(rod.logical.clone(), rod.physical.clone());
+        assert_eq!(sys.name(), "ROD");
+        let a = sys.plan_for_batch(&q.default_stats()).unwrap();
+        let mut shifted = q.default_stats();
+        shifted.set(
+            rld_common::StatKey::Selectivity(rld_common::OperatorId::new(0)),
+            0.05,
+        );
+        let b = sys.plan_for_batch(&shifted).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sys.classification_overhead(), 0.0);
+        assert_eq!(sys.plan_switches(), 0);
+    }
+
+    #[test]
+    fn dyn_system_migrates_under_overload() {
+        let q = Query::q1_stock_monitoring();
+        // Capacity chosen so the default-stat loads roughly fit, then we
+        // triple the rates so one node overloads.
+        let cost_model = CostModel::new(q.clone());
+        let opt = JoinOrderOptimizer::new(q.clone());
+        let lp = opt.optimize(&q.default_stats()).unwrap();
+        let loads = cost_model.operator_loads(&lp, &q.default_stats()).unwrap();
+        let total: f64 = loads.iter().sum();
+        let cluster = Cluster::homogeneous(4, total * 0.7).unwrap();
+        let planner = DynPlanner::new();
+        let (logical, physical) = planner.initial_plan(&q, &q.default_stats(), &cluster).unwrap();
+        let mut sys = SystemUnderTest::dyn_system(logical, physical, planner, 1.0);
+        assert_eq!(sys.name(), "DYN");
+
+        let mut surged = q.default_stats();
+        surged.set(
+            rld_common::StatKey::InputRate(q.driving_stream),
+            q.streams[0].rate_estimate * 3.0,
+        );
+        let decisions = sys
+            .maybe_migrate(10.0, &q, &cost_model, &surged, &cluster)
+            .unwrap();
+        // Either it migrated, or the placement was already as balanced as it
+        // can be; both are valid, but the bookkeeping must be consistent.
+        assert_eq!(sys.migrations(), decisions.len() as u64);
+        // Within the rebalance period, no second migration round happens.
+        let again = sys
+            .maybe_migrate(10.5, &q, &cost_model, &surged, &cluster)
+            .unwrap();
+        assert!(again.is_empty());
+    }
+}

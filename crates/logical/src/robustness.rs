@@ -1,0 +1,237 @@
+//! ε-robustness checking (Definition 1) with memoized optimizer calls.
+//!
+//! Definition 1: a logical plan `lp` is ε-robust in a sub-space `S_i` when
+//!
+//! ```text
+//! cost(lp, pntHi) ≤ (1 + ε) · cost(lp_opt@pntHi, pntHi)
+//! ```
+//!
+//! Because the cost model is monotone along every dimension (§2.3), a plan
+//! that is within `(1+ε)` of the optimum at *both* corners of a sub-space has
+//! its cost at every interior point bounded between its own cost at `pntLo`
+//! and `(1+ε)` times the optimal cost at `pntHi` — the provable bound the
+//! paper describes after Definition 1. The checker therefore verifies both
+//! corners.
+//!
+//! The checker memoizes optimizer results and plan costs per grid point so
+//! that corners shared between neighbouring sub-spaces are optimized only
+//! once; the number of *distinct* optimizer invocations is what the
+//! partitioning algorithms report (the quantity the paper minimizes).
+
+use crate::solution::RobustLogicalSolution;
+use rld_common::{Result, StatsSnapshot};
+use rld_paramspace::{GridPoint, ParameterSpace, Region};
+use rld_query::{LogicalPlan, Optimizer};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Robustness checker bound to an optimizer, a parameter space and a
+/// robustness threshold ε.
+pub struct RobustnessChecker<'a, O: Optimizer> {
+    optimizer: &'a O,
+    space: &'a ParameterSpace,
+    epsilon: f64,
+    cache: RefCell<HashMap<GridPoint, CachedOptimum>>,
+}
+
+#[derive(Clone)]
+struct CachedOptimum {
+    plan: LogicalPlan,
+    cost: f64,
+}
+
+impl<'a, O: Optimizer> RobustnessChecker<'a, O> {
+    /// Create a checker. `epsilon` is the robustness threshold of Definition 1
+    /// (the paper sweeps 0.1–0.3).
+    pub fn new(optimizer: &'a O, space: &'a ParameterSpace, epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        Self {
+            optimizer,
+            space,
+            epsilon,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The robustness threshold ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The parameter space being searched.
+    pub fn space(&self) -> &ParameterSpace {
+        self.space
+    }
+
+    /// Number of optimizer calls made through this checker so far
+    /// (cache hits are free).
+    pub fn optimizer_calls(&self) -> usize {
+        self.optimizer.call_count()
+    }
+
+    /// The statistics snapshot at a grid point.
+    pub fn snapshot_at(&self, point: &GridPoint) -> StatsSnapshot {
+        self.space.snapshot_at(point)
+    }
+
+    /// The optimal plan at a grid point, memoized.
+    pub fn optimal_plan_at(&self, point: &GridPoint) -> Result<LogicalPlan> {
+        Ok(self.cached_optimum(point)?.plan)
+    }
+
+    /// The optimal plan's cost at a grid point, memoized.
+    pub fn optimal_cost_at(&self, point: &GridPoint) -> Result<f64> {
+        Ok(self.cached_optimum(point)?.cost)
+    }
+
+    /// Cost of an arbitrary plan at a grid point.
+    pub fn plan_cost_at(&self, plan: &LogicalPlan, point: &GridPoint) -> Result<f64> {
+        let stats = self.space.snapshot_at(point);
+        self.optimizer.plan_cost(plan, &stats)
+    }
+
+    /// Definition 1 at a single grid point: is `plan` within `(1+ε)` of the
+    /// optimum at that point?
+    pub fn is_robust_at(&self, plan: &LogicalPlan, point: &GridPoint) -> Result<bool> {
+        let optimal = self.optimal_cost_at(point)?;
+        let cost = self.plan_cost_at(plan, point)?;
+        Ok(cost <= (1.0 + self.epsilon) * optimal + 1e-12)
+    }
+
+    /// Region-level robustness used by the partitioning algorithms: `plan` is
+    /// accepted for `region` when it satisfies Definition 1 at both corners
+    /// (`pntLo` and `pntHi`), which by cost monotonicity bounds its cost over
+    /// the whole sub-space.
+    pub fn is_robust_in_region(&self, plan: &LogicalPlan, region: &Region) -> Result<bool> {
+        Ok(self.is_robust_at(plan, &region.pnt_lo())?
+            && self.is_robust_at(plan, &region.pnt_hi())?)
+    }
+
+    /// Exhaustively verify Definition 1 at *every* cell of a region. Only
+    /// used by tests and the evaluation harness — the algorithms themselves
+    /// rely on the corner bound to stay cheap.
+    pub fn is_robust_everywhere(&self, plan: &LogicalPlan, region: &Region) -> Result<bool> {
+        for cell in region.cells() {
+            if !self.is_robust_at(plan, &cell)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether a solution already contains a plan equal to `plan`.
+    pub fn solution_contains(&self, solution: &RobustLogicalSolution, plan: &LogicalPlan) -> bool {
+        solution.contains_plan(plan)
+    }
+
+    fn cached_optimum(&self, point: &GridPoint) -> Result<CachedOptimum> {
+        if let Some(hit) = self.cache.borrow().get(point) {
+            return Ok(hit.clone());
+        }
+        let stats = self.space.snapshot_at(point);
+        let plan = self.optimizer.optimize(&stats)?;
+        let cost = self.optimizer.plan_cost(&plan, &stats)?;
+        let entry = CachedOptimum { plan, cost };
+        self.cache.borrow_mut().insert(point.clone(), entry.clone());
+        Ok(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rld_common::{Query, UncertaintyLevel};
+    use rld_query::JoinOrderOptimizer;
+
+    fn setup(epsilon: f64) -> (Query, ParameterSpace) {
+        let q = Query::q1_stock_monitoring();
+        let estimates = q
+            .selectivity_estimates(2, UncertaintyLevel::new(3))
+            .unwrap();
+        let space =
+            ParameterSpace::from_estimates(&estimates, q.default_stats(), 9).unwrap();
+        let _ = epsilon;
+        (q, space)
+    }
+
+    #[test]
+    fn optimal_plan_is_always_robust_at_its_point() {
+        let (q, space) = setup(0.1);
+        let opt = JoinOrderOptimizer::new(q);
+        let checker = RobustnessChecker::new(&opt, &space, 0.1);
+        for point in [space.pnt_lo(), space.pnt_hi(), space.centre()] {
+            let plan = checker.optimal_plan_at(&point).unwrap();
+            assert!(checker.is_robust_at(&plan, &point).unwrap());
+        }
+    }
+
+    #[test]
+    fn cache_avoids_duplicate_optimizer_calls() {
+        let (q, space) = setup(0.1);
+        let opt = JoinOrderOptimizer::new(q);
+        let checker = RobustnessChecker::new(&opt, &space, 0.1);
+        let p = space.pnt_hi();
+        checker.optimal_plan_at(&p).unwrap();
+        checker.optimal_plan_at(&p).unwrap();
+        checker.optimal_cost_at(&p).unwrap();
+        assert_eq!(checker.optimizer_calls(), 1);
+        checker.optimal_plan_at(&space.pnt_lo()).unwrap();
+        assert_eq!(checker.optimizer_calls(), 2);
+    }
+
+    #[test]
+    fn large_epsilon_accepts_more_plans() {
+        let (q, space) = setup(0.0);
+        let opt = JoinOrderOptimizer::new(q.clone());
+        let tight = RobustnessChecker::new(&opt, &space, 0.0);
+        let loose = RobustnessChecker::new(&opt, &space, 10.0);
+        // A deliberately bad plan: reverse of the optimum at pntHi.
+        let hi = space.pnt_hi();
+        let best = tight.optimal_plan_at(&hi).unwrap();
+        let mut rev: Vec<_> = best.ordering().to_vec();
+        rev.reverse();
+        let bad = LogicalPlan::new(rev);
+        // With a huge epsilon everything is robust.
+        assert!(loose.is_robust_at(&bad, &hi).unwrap());
+        // With epsilon == 0 only optimal-cost plans are robust.
+        let bad_cost = tight.plan_cost_at(&bad, &hi).unwrap();
+        let opt_cost = tight.optimal_cost_at(&hi).unwrap();
+        if bad_cost > opt_cost * 1.0001 {
+            assert!(!tight.is_robust_at(&bad, &hi).unwrap());
+        }
+    }
+
+    #[test]
+    fn region_robustness_checks_both_corners() {
+        let (q, space) = setup(0.2);
+        let opt = JoinOrderOptimizer::new(q);
+        let checker = RobustnessChecker::new(&opt, &space, 0.2);
+        let region = Region::full(&space);
+        let lo_plan = checker.optimal_plan_at(&region.pnt_lo()).unwrap();
+        let robust = checker.is_robust_in_region(&lo_plan, &region).unwrap();
+        // Whatever the verdict, it must agree with checking the corners directly.
+        let expected = checker.is_robust_at(&lo_plan, &region.pnt_lo()).unwrap()
+            && checker.is_robust_at(&lo_plan, &region.pnt_hi()).unwrap();
+        assert_eq!(robust, expected);
+    }
+
+    #[test]
+    fn everywhere_check_implies_corner_check() {
+        let (q, space) = setup(0.3);
+        let opt = JoinOrderOptimizer::new(q);
+        let checker = RobustnessChecker::new(&opt, &space, 0.3);
+        let region = Region::new(vec![0, 0], vec![3, 3]);
+        let plan = checker.optimal_plan_at(&region.pnt_lo()).unwrap();
+        if checker.is_robust_everywhere(&plan, &region).unwrap() {
+            assert!(checker.is_robust_in_region(&plan, &region).unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be non-negative")]
+    fn negative_epsilon_panics() {
+        let (q, space) = setup(0.1);
+        let opt = JoinOrderOptimizer::new(q);
+        let _ = RobustnessChecker::new(&opt, &space, -0.5);
+    }
+}

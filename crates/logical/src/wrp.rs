@@ -1,0 +1,250 @@
+//! Weight-driven Robust Partitioning (WRP, Algorithm 2).
+//!
+//! WRP recursively partitions the parameter space: for each sub-space it asks
+//! the black-box optimizer for the optimal plans at the corners, accepts the
+//! sub-space when the bottom-corner plan is ε-robust across it (Definition 1
+//! via the corner bound), and otherwise splits the sub-space at the highest-
+//! weight interior point (the §4.2 weight function) and recurses. Unlike
+//! ERP it has no early-termination rule, so it keeps refining until every
+//! sub-space is robust — the behaviour whose cost explosion motivates ERP.
+
+use crate::robustness::RobustnessChecker;
+use crate::solution::RobustLogicalSolution;
+use crate::stats::SearchStats;
+use crate::LogicalPlanGenerator;
+use rld_common::Result;
+use rld_paramspace::{DistanceMetric, GridPoint, ParameterSpace, Region, WeightMap};
+use rld_query::Optimizer;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Termination rule for the shared partitioning engine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AgingTermination {
+    /// Stop once this many consecutive optimizer probes yield no new plan.
+    pub threshold: usize,
+}
+
+/// Outcome flags shared by WRP / ERP.
+pub(crate) struct PartitionOutcome {
+    pub solution: RobustLogicalSolution,
+    pub stats: SearchStats,
+}
+
+/// Shared partitioning engine used by both WRP (no aging termination) and
+/// ERP (aging termination per Theorem 1).
+pub(crate) fn partition_search<O: Optimizer>(
+    checker: &RobustnessChecker<'_, O>,
+    termination: Option<AgingTermination>,
+    max_calls: Option<usize>,
+    metric: DistanceMetric,
+) -> Result<PartitionOutcome> {
+    let start = Instant::now();
+    let space = checker.space();
+    let calls_before = checker.optimizer_calls();
+    let mut solution = RobustLogicalSolution::new();
+    let mut queue: VecDeque<Region> = VecDeque::new();
+    queue.push_back(Region::full(space));
+
+    let mut aging_counter = 0usize;
+    let mut partitions = 0usize;
+    let mut examined = 0usize;
+    let mut terminated_early = false;
+
+    while let Some(region) = queue.pop_front() {
+        if let Some(budget) = max_calls {
+            if checker.optimizer_calls() - calls_before >= budget {
+                terminated_early = true;
+                break;
+            }
+        }
+        if let Some(term) = termination {
+            if aging_counter > term.threshold {
+                terminated_early = true;
+                break;
+            }
+        }
+        examined += 1;
+
+        let pnt_lo = region.pnt_lo();
+        let pnt_hi = region.pnt_hi();
+        let opt_lo = checker.optimal_plan_at(&pnt_lo)?;
+        let opt_hi = checker.optimal_plan_at(&pnt_hi)?;
+
+        let mut discovered = false;
+        let robust = checker.is_robust_in_region(&opt_lo, &region)?;
+        if robust {
+            discovered |= solution.add(opt_lo.clone(), region.clone());
+            if opt_hi != opt_lo {
+                // The top-corner optimum is within ε of opt_lo here, but it is
+                // still a distinct plan worth remembering for its own cell.
+                discovered |= solution.add(opt_hi, single_cell(&pnt_hi));
+            }
+        } else {
+            // Record what we learned at the corners even when the sub-space
+            // itself is not yet robust.
+            discovered |= solution.add(opt_lo.clone(), single_cell(&pnt_lo));
+            discovered |= solution.add(opt_hi.clone(), single_cell(&pnt_hi));
+
+            if !region.is_single_cell() {
+                partitions += 1;
+                let cost_lo =
+                    |g: &GridPoint| checker.plan_cost_at(&opt_lo, g).unwrap_or(f64::INFINITY);
+                let cost_hi =
+                    |g: &GridPoint| checker.plan_cost_at(&opt_hi, g).unwrap_or(f64::INFINITY);
+                let weights = WeightMap::assign(space, &region, cost_lo, cost_hi, metric);
+                let partition_point = weights
+                    .max_weight_interior_point(&region)
+                    .unwrap_or_else(|| region.centre());
+                let mut parts = region.split_at(&partition_point);
+                if parts.len() == 1 && parts[0] == region {
+                    // Degenerate partition point: fall back to bisection so
+                    // the search always makes progress.
+                    parts = region.bisect();
+                }
+                for part in parts {
+                    if part != region {
+                        queue.push_back(part);
+                    }
+                }
+            }
+        }
+
+        if discovered {
+            aging_counter = 0;
+        } else {
+            aging_counter += 1;
+        }
+    }
+
+    let stats = SearchStats {
+        optimizer_calls: checker.optimizer_calls() - calls_before,
+        distinct_plans: solution.len(),
+        regions_examined: examined,
+        partitions,
+        terminated_early,
+        elapsed_micros: start.elapsed().as_micros() as u64,
+    };
+    Ok(PartitionOutcome { solution, stats })
+}
+
+fn single_cell(p: &GridPoint) -> Region {
+    Region::new(p.indices.clone(), p.indices.clone())
+}
+
+/// Weight-driven Robust Partitioning (Algorithm 2): partition until every
+/// sub-space has a robust plan, with no early termination.
+pub struct WeightedRobustPartitioning<'a, O: Optimizer> {
+    checker: RobustnessChecker<'a, O>,
+    metric: DistanceMetric,
+}
+
+impl<'a, O: Optimizer> WeightedRobustPartitioning<'a, O> {
+    /// Create a WRP generator for the given optimizer, space and ε.
+    pub fn new(optimizer: &'a O, space: &'a ParameterSpace, epsilon: f64) -> Self {
+        Self {
+            checker: RobustnessChecker::new(optimizer, space, epsilon),
+            metric: DistanceMetric::default(),
+        }
+    }
+
+    /// Use a specific distance metric for the weight function.
+    pub fn with_metric(mut self, metric: DistanceMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Access the underlying robustness checker.
+    pub fn checker(&self) -> &RobustnessChecker<'a, O> {
+        &self.checker
+    }
+}
+
+impl<'a, O: Optimizer> LogicalPlanGenerator for WeightedRobustPartitioning<'a, O> {
+    fn name(&self) -> &'static str {
+        "WRP"
+    }
+
+    fn generate(&self) -> Result<(RobustLogicalSolution, SearchStats)> {
+        let out = partition_search(&self.checker, None, None, self.metric)?;
+        Ok((out.solution, out.stats))
+    }
+
+    fn generate_with_budget(
+        &self,
+        max_calls: usize,
+    ) -> Result<(RobustLogicalSolution, SearchStats)> {
+        let out = partition_search(&self.checker, None, Some(max_calls), self.metric)?;
+        Ok((out.solution, out.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::CoverageEvaluator;
+    use crate::exhaustive::ExhaustiveSearch;
+    use rld_common::{Query, UncertaintyLevel};
+    use rld_query::JoinOrderOptimizer;
+
+    fn setup(steps: usize, u: u32) -> (Query, ParameterSpace) {
+        let q = Query::q1_stock_monitoring();
+        let est = q
+            .selectivity_estimates(2, UncertaintyLevel::new(u))
+            .unwrap();
+        let space = ParameterSpace::from_estimates(&est, q.default_stats(), steps).unwrap();
+        (q, space)
+    }
+
+    #[test]
+    fn wrp_terminates_and_covers_most_of_the_space() {
+        let (q, space) = setup(9, 3);
+        let opt = JoinOrderOptimizer::new(q.clone());
+        let wrp = WeightedRobustPartitioning::new(&opt, &space, 0.2);
+        let (solution, stats) = wrp.generate().unwrap();
+        assert!(!solution.is_empty());
+        assert!(stats.optimizer_calls > 0);
+        let ev = CoverageEvaluator::new(q.clone(), space.clone(), 0.2).unwrap();
+        let cov = ev.true_coverage(&solution).unwrap();
+        assert!(cov > 0.8, "true coverage too low: {cov}");
+        assert_eq!(wrp.name(), "WRP");
+    }
+
+    #[test]
+    fn wrp_uses_fewer_calls_than_exhaustive() {
+        let (q, space) = setup(9, 3);
+        let opt_wrp = JoinOrderOptimizer::new(q.clone());
+        let opt_es = JoinOrderOptimizer::new(q);
+        let wrp = WeightedRobustPartitioning::new(&opt_wrp, &space, 0.2);
+        let es = ExhaustiveSearch::new(&opt_es, &space);
+        let (_, wrp_stats) = wrp.generate().unwrap();
+        let (_, es_stats) = es.generate().unwrap();
+        assert!(
+            wrp_stats.optimizer_calls < es_stats.optimizer_calls,
+            "WRP calls {} >= ES calls {}",
+            wrp_stats.optimizer_calls,
+            es_stats.optimizer_calls
+        );
+    }
+
+    #[test]
+    fn looser_epsilon_needs_fewer_calls() {
+        let (q, space) = setup(9, 3);
+        let opt_tight = JoinOrderOptimizer::new(q.clone());
+        let opt_loose = JoinOrderOptimizer::new(q);
+        let tight = WeightedRobustPartitioning::new(&opt_tight, &space, 0.05);
+        let loose = WeightedRobustPartitioning::new(&opt_loose, &space, 0.5);
+        let (_, tight_stats) = tight.generate().unwrap();
+        let (_, loose_stats) = loose.generate().unwrap();
+        assert!(loose_stats.optimizer_calls <= tight_stats.optimizer_calls);
+    }
+
+    #[test]
+    fn budget_caps_calls() {
+        let (q, space) = setup(9, 3);
+        let opt = JoinOrderOptimizer::new(q);
+        let wrp = WeightedRobustPartitioning::new(&opt, &space, 0.05);
+        let (_, stats) = wrp.generate_with_budget(4).unwrap();
+        assert!(stats.optimizer_calls <= 5);
+    }
+}

@@ -1,0 +1,357 @@
+//! Weight assignment for parameter-space points (§4.2 of the paper).
+//!
+//! The partitioning algorithms need to pick "good" partition points — points
+//! where a *new* robust plan is likely to be found. The paper assigns each
+//! point a weight that
+//!
+//! * **increases** with the slope of the known plans' cost functions at that
+//!   point (Principle 2: near the margin of a plan's robust region the cost
+//!   surface is steep), and
+//! * **decreases** with the point's distance from the sub-space's bottom-left
+//!   corner `pntLo` (Principle 1: nearby points likely share a robust plan).
+//!
+//! Formally, per dimension `i`:
+//!
+//! ```text
+//! weight_i(pnt) = min(slope_i(pnt, lp_opt@pntHi), slope_i(pnt, lp_opt@pntLo)) / dist_i(pnt, pntLo)
+//! ```
+//!
+//! and the point's weight is the sum over dimensions. The plan cost functions
+//! are supplied as closures over grid points so that this crate does not
+//! depend on the query/cost-model crate.
+
+use crate::region::Region;
+use crate::space::{GridPoint, ParameterSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Distance metric used in the denominator of the weight function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DistanceMetric {
+    /// Sum of per-dimension index distances (the paper's default choice).
+    #[default]
+    Manhattan,
+    /// Square root of the sum of squared per-dimension index distances.
+    Euclidean,
+}
+
+impl DistanceMetric {
+    /// Distance between two grid points in index units.
+    pub fn grid_distance(&self, a: &GridPoint, b: &GridPoint) -> f64 {
+        match self {
+            DistanceMetric::Manhattan => a
+                .indices
+                .iter()
+                .zip(&b.indices)
+                .map(|(x, y)| x.abs_diff(*y) as f64)
+                .sum(),
+            DistanceMetric::Euclidean => a
+                .indices
+                .iter()
+                .zip(&b.indices)
+                .map(|(x, y)| (x.abs_diff(*y) as f64).powi(2))
+                .sum::<f64>()
+                .sqrt(),
+        }
+    }
+}
+
+/// Weights assigned to the grid points of one region.
+#[derive(Debug, Clone, Default)]
+pub struct WeightMap {
+    weights: HashMap<GridPoint, f64>,
+}
+
+impl WeightMap {
+    /// Maximum number of grid points that are weighted exactly; larger
+    /// regions are sub-sampled on a coarse lattice (every k-th index per
+    /// dimension) so that weight assignment stays far cheaper than the
+    /// optimizer calls it is meant to save — the point of §4.2.
+    pub const MAX_EXACT_CELLS: usize = 4096;
+
+    /// Assign weights to every grid point of `region` in `space`.
+    ///
+    /// `cost_lo_plan` and `cost_hi_plan` evaluate the cost of the optimal
+    /// plans at the region's `pntLo` and `pntHi` corners, respectively, at an
+    /// arbitrary grid point. Slopes are estimated with central finite
+    /// differences on the grid. Regions with more than
+    /// [`WeightMap::MAX_EXACT_CELLS`] cells are weighted on a sub-sampled
+    /// lattice.
+    pub fn assign<FLo, FHi>(
+        space: &ParameterSpace,
+        region: &Region,
+        cost_lo_plan: FLo,
+        cost_hi_plan: FHi,
+        metric: DistanceMetric,
+    ) -> Self
+    where
+        FLo: Fn(&GridPoint) -> f64,
+        FHi: Fn(&GridPoint) -> f64,
+    {
+        // Pick a per-dimension stride so the sampled lattice stays below the cap.
+        let mut stride = 1usize;
+        while region
+            .lo
+            .iter()
+            .zip(&region.hi)
+            .map(|(l, h)| (h - l) / stride + 1)
+            .product::<usize>()
+            > Self::MAX_EXACT_CELLS
+        {
+            stride += 1;
+        }
+        let mut weights = HashMap::with_capacity(region.cell_count().min(Self::MAX_EXACT_CELLS));
+        let pnt_lo = region.pnt_lo();
+        for cell in region.cells() {
+            if stride > 1 {
+                let on_lattice = cell.indices.iter().enumerate().all(|(d, x)| {
+                    (x - region.lo[d]) % stride == 0 || *x == region.hi[d]
+                });
+                if !on_lattice {
+                    continue;
+                }
+            }
+            let mut total = 0.0;
+            for dim in 0..space.num_dims() {
+                let slope_lo = dimension_slope(region, &cell, dim, &cost_lo_plan);
+                let slope_hi = dimension_slope(region, &cell, dim, &cost_hi_plan);
+                let slope = slope_lo.min(slope_hi).abs();
+                let dist = (cell.indices[dim].abs_diff(pnt_lo.indices[dim]) as f64).max(1.0);
+                total += slope / dist;
+            }
+            // Normalize by overall distance so the chosen metric matters for
+            // multi-dimensional spaces; add 1 to avoid division by zero at pntLo.
+            let overall = metric.grid_distance(&cell, &pnt_lo) + 1.0;
+            weights.insert(cell, total / overall);
+        }
+        Self { weights }
+    }
+
+    /// Weight of a grid point (0 if the point was not assigned).
+    pub fn get(&self, p: &GridPoint) -> f64 {
+        self.weights.get(p).copied().unwrap_or(0.0)
+    }
+
+    /// Number of weighted points.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The grid point with the maximum weight, breaking ties deterministically
+    /// by grid coordinates. Returns `None` for an empty map.
+    pub fn max_weight_point(&self) -> Option<GridPoint> {
+        self.weights
+            .iter()
+            .max_by(|(pa, wa), (pb, wb)| {
+                wa.partial_cmp(wb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| pa.indices.cmp(&pb.indices))
+            })
+            .map(|(p, _)| p.clone())
+    }
+
+    /// The interior grid point (strictly between a region's corners along at
+    /// least one dimension where the region is wider than one cell) with the
+    /// maximum weight. Falls back to [`WeightMap::max_weight_point`] when the
+    /// region has no interior. Partitioning at a corner makes no progress,
+    /// so the partitioning algorithms prefer interior maxima.
+    pub fn max_weight_interior_point(&self, region: &Region) -> Option<GridPoint> {
+        let interior: Vec<(&GridPoint, &f64)> = self
+            .weights
+            .iter()
+            .filter(|(p, _)| {
+                p.indices
+                    .iter()
+                    .zip(region.lo.iter().zip(&region.hi))
+                    .any(|(x, (l, h))| h > l && x < h && x >= l)
+                    && p.indices != region.hi
+            })
+            .collect();
+        if interior.is_empty() {
+            return self.max_weight_point();
+        }
+        interior
+            .into_iter()
+            .max_by(|(pa, wa), (pb, wb)| {
+                wa.partial_cmp(wb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| pa.indices.cmp(&pb.indices))
+            })
+            .map(|(p, _)| p.clone())
+    }
+
+    /// Merge another weight map into this one (used when only some sub-spaces
+    /// are re-weighted after a partition — the incremental update of §4.2).
+    pub fn merge(&mut self, other: WeightMap) {
+        self.weights.extend(other.weights);
+    }
+}
+
+/// Central finite-difference slope of `cost` along dimension `dim` at `cell`,
+/// clamped to the region's bounds (one-sided differences at the edges).
+fn dimension_slope<F>(region: &Region, cell: &GridPoint, dim: usize, cost: &F) -> f64
+where
+    F: Fn(&GridPoint) -> f64,
+{
+    let lo_idx = region.lo[dim];
+    let hi_idx = region.hi[dim];
+    if hi_idx == lo_idx {
+        return 0.0;
+    }
+    let below = cell.indices[dim].max(lo_idx + 1) - 1;
+    let above = (cell.indices[dim] + 1).min(hi_idx);
+    if above == below {
+        return 0.0;
+    }
+    let mut p_below = cell.clone();
+    p_below.indices[dim] = below;
+    let mut p_above = cell.clone();
+    p_above.indices[dim] = above;
+    (cost(&p_above) - cost(&p_below)) / (above - below) as f64
+}
+
+/// The incremental weight re-assignment condition of §4.2: after partitioning,
+/// a sub-space's weights only need to be recomputed if the plan *predicted*
+/// for one of its corners differs from the *actual* optimal plan found there.
+///
+/// `predicted_*` / `actual_*` are opaque plan identifiers (e.g. plan
+/// signatures) at the sub-space corners. Returns `true` when weights must be
+/// updated.
+pub fn weights_need_update<T: PartialEq>(
+    predicted_lo: &T,
+    actual_lo: &T,
+    predicted_hi: &T,
+    actual_hi: &T,
+) -> bool {
+    !(predicted_lo == actual_lo && predicted_hi == actual_hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rld_common::{OperatorId, StatKey, StatisticEstimate, StatsSnapshot, UncertaintyLevel};
+
+    fn space_2d(steps: usize) -> ParameterSpace {
+        let estimates = vec![
+            StatisticEstimate::new(
+                StatKey::Selectivity(OperatorId::new(0)),
+                0.5,
+                UncertaintyLevel::new(4),
+            ),
+            StatisticEstimate::new(
+                StatKey::Selectivity(OperatorId::new(1)),
+                0.5,
+                UncertaintyLevel::new(4),
+            ),
+        ];
+        ParameterSpace::from_estimates(&estimates, StatsSnapshot::new(), steps).unwrap()
+    }
+
+    /// A quadratic cost surface whose slope grows along both axes.
+    fn quadratic_cost(p: &GridPoint) -> f64 {
+        let x = p.indices[0] as f64;
+        let y = p.indices[1] as f64;
+        x * x + y * y + x * y
+    }
+
+    #[test]
+    fn distance_metrics() {
+        let a = GridPoint::new(vec![0, 0]);
+        let b = GridPoint::new(vec![3, 4]);
+        assert_eq!(DistanceMetric::Manhattan.grid_distance(&a, &b), 7.0);
+        assert!((DistanceMetric::Euclidean.grid_distance(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_covers_whole_region() {
+        let s = space_2d(9);
+        let r = Region::full(&s);
+        let w = WeightMap::assign(&s, &r, quadratic_cost, quadratic_cost, DistanceMetric::default());
+        assert_eq!(w.len(), r.cell_count());
+        assert!(!w.is_empty());
+        // Every cell got a finite non-negative weight.
+        for c in r.cells() {
+            let v = w.get(&c);
+            assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn max_weight_point_prefers_high_slope_near_lo() {
+        let s = space_2d(9);
+        let r = Region::full(&s);
+        let w = WeightMap::assign(&s, &r, quadratic_cost, quadratic_cost, DistanceMetric::default());
+        let best = w.max_weight_point().unwrap();
+        assert!(r.contains(&best));
+        // The weight at the best point must be at least the weight elsewhere.
+        for c in r.cells() {
+            assert!(w.get(&best) >= w.get(&c));
+        }
+    }
+
+    #[test]
+    fn interior_point_avoids_hi_corner() {
+        let s = space_2d(5);
+        let r = Region::full(&s);
+        let w = WeightMap::assign(&s, &r, quadratic_cost, quadratic_cost, DistanceMetric::default());
+        let p = w.max_weight_interior_point(&r).unwrap();
+        assert_ne!(p.indices, r.hi, "interior selection must not pick pntHi");
+        assert!(r.contains(&p));
+    }
+
+    #[test]
+    fn single_cell_region_falls_back() {
+        let s = space_2d(5);
+        let r = Region::new(vec![2, 2], vec![2, 2]);
+        let w = WeightMap::assign(&s, &r, quadratic_cost, quadratic_cost, DistanceMetric::default());
+        assert_eq!(w.len(), 1);
+        assert_eq!(
+            w.max_weight_interior_point(&r).unwrap(),
+            GridPoint::new(vec![2, 2])
+        );
+    }
+
+    #[test]
+    fn min_of_two_plan_slopes_is_used() {
+        let s = space_2d(5);
+        let r = Region::full(&s);
+        // One plan is completely flat: the min() should zero out all weights.
+        let flat = |_: &GridPoint| 1.0;
+        let w = WeightMap::assign(&s, &r, flat, quadratic_cost, DistanceMetric::default());
+        for c in r.cells() {
+            assert_eq!(w.get(&c), 0.0);
+        }
+    }
+
+    #[test]
+    fn merge_extends_map() {
+        let s = space_2d(5);
+        let left = Region::new(vec![0, 0], vec![4, 1]);
+        let right = Region::new(vec![0, 2], vec![4, 4]);
+        let mut w = WeightMap::assign(&s, &left, quadratic_cost, quadratic_cost, DistanceMetric::default());
+        let w2 = WeightMap::assign(&s, &right, quadratic_cost, quadratic_cost, DistanceMetric::default());
+        let before = w.len();
+        w.merge(w2);
+        assert_eq!(w.len(), before + right.cell_count());
+    }
+
+    #[test]
+    fn update_condition_matches_paper() {
+        // Update only when a corner's predicted plan differs from the actual one.
+        assert!(!weights_need_update(&"lp1", &"lp1", &"lp2", &"lp2"));
+        assert!(weights_need_update(&"lp1", &"lp3", &"lp2", &"lp2"));
+        assert!(weights_need_update(&"lp1", &"lp1", &"lp2", &"lp4"));
+    }
+
+    #[test]
+    fn unknown_point_has_zero_weight() {
+        let w = WeightMap::default();
+        assert_eq!(w.get(&GridPoint::new(vec![0, 0])), 0.0);
+        assert!(w.max_weight_point().is_none());
+    }
+}

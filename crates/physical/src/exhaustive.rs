@@ -1,0 +1,142 @@
+//! Exhaustive physical plan search (the ES baseline of Figures 13–14).
+//!
+//! Enumerates every assignment of the `m` operators to the `n` machines
+//! (`n^m` candidates, before symmetry) and keeps the one with the highest
+//! supported weight. Only viable for small instances; it is the ground truth
+//! that OptPrune must match (Theorem 3) and the cost yard-stick GreedyPhy is
+//! compared against.
+
+use crate::cluster::Cluster;
+use crate::plan::PhysicalPlan;
+use crate::support::{PhysicalSearchStats, SupportModel};
+use crate::PhysicalPlanGenerator;
+use rld_common::{NodeId, Result, RldError};
+use std::time::Instant;
+
+/// Exhaustive enumeration of all operator-to-machine assignments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustivePhysicalSearch {
+    /// Upper bound on the number of assignments that will be enumerated.
+    pub max_assignments: u64,
+}
+
+impl Default for ExhaustivePhysicalSearch {
+    fn default() -> Self {
+        Self {
+            max_assignments: 50_000_000,
+        }
+    }
+}
+
+impl ExhaustivePhysicalSearch {
+    /// Create an exhaustive searcher with the default enumeration cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PhysicalPlanGenerator for ExhaustivePhysicalSearch {
+    fn name(&self) -> &'static str {
+        "ES"
+    }
+
+    fn generate(
+        &self,
+        model: &SupportModel,
+        cluster: &Cluster,
+    ) -> Result<(PhysicalPlan, PhysicalSearchStats)> {
+        let start = Instant::now();
+        let m = model.num_operators();
+        let n = cluster.num_nodes();
+        let total = (n as u64).checked_pow(m as u32).ok_or_else(|| {
+            RldError::InvalidArgument("assignment space overflows u64".into())
+        })?;
+        if total > self.max_assignments {
+            return Err(RldError::InvalidArgument(format!(
+                "exhaustive search over {total} assignments exceeds the cap of {}",
+                self.max_assignments
+            )));
+        }
+
+        let mut best: Option<(f64, PhysicalPlan)> = None;
+        let mut mapping = vec![NodeId::new(0); m];
+        let mut examined = 0usize;
+        loop {
+            examined += 1;
+            let pp = PhysicalPlan::from_mapping(model.query(), &mapping, n)?;
+            let score = model.score(&pp, cluster);
+            let better = match &best {
+                Some((best_score, _)) => score > *best_score + 1e-12,
+                None => true,
+            };
+            if better {
+                best = Some((score, pp));
+            }
+            // Advance the mapping odometer.
+            let mut i = 0;
+            loop {
+                if i == m {
+                    let (_, plan) = best.expect("at least one assignment examined");
+                    let stats = model.stats_for(
+                        &plan,
+                        cluster,
+                        start.elapsed().as_micros() as u64,
+                        examined,
+                    );
+                    return Ok((plan, stats));
+                }
+                if mapping[i].index() + 1 < n {
+                    mapping[i] = NodeId::new(mapping[i].index() + 1);
+                    break;
+                }
+                mapping[i] = NodeId::new(0);
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rld_paramspace::OccurrenceModel;
+
+    fn model(uncertainty: u32, steps: usize) -> (rld_common::Query, SupportModel) {
+        let (q, space, solution) = crate::support::tests::build_fixture(uncertainty, steps);
+        let m = SupportModel::build(&q, &space, &solution, OccurrenceModel::Normal).unwrap();
+        (q, m)
+    }
+
+    #[test]
+    fn exhaustive_enumerates_all_assignments() {
+        let (_q, m) = model(2, 7);
+        let cluster = Cluster::homogeneous(2, 1e9).unwrap();
+        let (pp, stats) = ExhaustivePhysicalSearch::new().generate(&m, &cluster).unwrap();
+        assert_eq!(stats.nodes_expanded, 2usize.pow(5));
+        assert_eq!(pp.num_operators(), 5);
+        assert!((stats.score - m.total_weight()).abs() < 1e-9);
+        assert_eq!(ExhaustivePhysicalSearch::new().name(), "ES");
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let (_q, m) = model(2, 7);
+        let cluster = Cluster::homogeneous(6, 100.0).unwrap();
+        let es = ExhaustivePhysicalSearch {
+            max_assignments: 100,
+        };
+        assert!(es.generate(&m, &cluster).is_err());
+    }
+
+    #[test]
+    fn best_score_is_at_least_any_fixed_assignment() {
+        let (q, m) = model(3, 9);
+        let total: f64 = m.lp_max_loads().iter().sum();
+        let cluster = Cluster::homogeneous(3, total * 0.4).unwrap();
+        let (_, es_stats) = ExhaustivePhysicalSearch::new().generate(&m, &cluster).unwrap();
+        // Compare against an arbitrary round-robin assignment.
+        let mapping: Vec<NodeId> = (0..q.num_operators()).map(|i| NodeId::new(i % 3)).collect();
+        let rr = PhysicalPlan::from_mapping(&q, &mapping, 3).unwrap();
+        assert!(es_stats.score + 1e-9 >= m.score(&rr, &cluster));
+    }
+}

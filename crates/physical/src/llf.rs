@@ -1,0 +1,132 @@
+//! Largest Load First (LLF) list scheduling.
+//!
+//! The packing primitive used by GreedyPhy (the paper calls it LLF / Longest
+//! Processing Time): operators are sorted by decreasing load and assigned one
+//! by one to the node with the most remaining capacity. Returns `None` when
+//! some operator does not fit anywhere — the signal that makes GreedyPhy drop
+//! a logical plan.
+
+use crate::cluster::Cluster;
+use crate::plan::PhysicalPlan;
+use rld_common::{NodeId, OperatorId, Query, Result};
+
+/// Assign operators to nodes by Largest Load First.
+///
+/// `loads[i]` is the load of operator `op_i`. Returns `Ok(None)` when the
+/// loads cannot be packed within the cluster's capacities.
+pub fn llf_assign(query: &Query, loads: &[f64], cluster: &Cluster) -> Result<Option<PhysicalPlan>> {
+    assert_eq!(
+        loads.len(),
+        query.num_operators(),
+        "one load per operator required"
+    );
+    let mut order: Vec<usize> = (0..loads.len()).collect();
+    order.sort_by(|a, b| {
+        loads[*b]
+            .partial_cmp(&loads[*a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(b))
+    });
+
+    let mut remaining: Vec<f64> = cluster.capacities().to_vec();
+    let mut node_of = vec![NodeId::new(0); loads.len()];
+    for op_idx in order {
+        // Pick the node with the most remaining capacity.
+        let (best_node, best_remaining) = remaining
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("cluster has at least one node");
+        if loads[op_idx] > best_remaining + 1e-9 {
+            return Ok(None);
+        }
+        remaining[best_node] -= loads[op_idx];
+        node_of[op_idx] = NodeId::new(best_node);
+    }
+    Ok(Some(PhysicalPlan::from_mapping(
+        query,
+        &node_of,
+        cluster.num_nodes(),
+    )?))
+}
+
+/// Per-node total load of a physical plan under a load vector.
+pub fn node_loads(pp: &PhysicalPlan, loads: &[f64]) -> Vec<f64> {
+    pp.iter()
+        .map(|(_, ops)| ops.iter().map(|op: &OperatorId| loads[op.index()]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q1() -> Query {
+        Query::q1_stock_monitoring()
+    }
+
+    #[test]
+    fn llf_balances_loads() {
+        let q = q1();
+        let loads = vec![50.0, 40.0, 30.0, 20.0, 10.0];
+        let cluster = Cluster::homogeneous(2, 100.0).unwrap();
+        let pp = llf_assign(&q, &loads, &cluster).unwrap().unwrap();
+        let per_node = node_loads(&pp, &loads);
+        let total: f64 = per_node.iter().sum();
+        assert!((total - 150.0).abs() < 1e-9);
+        // LLF on these loads yields 80/70 (or 70/80): well balanced, both under capacity.
+        assert!(per_node.iter().all(|l| *l <= 100.0 + 1e-9));
+        assert!((per_node[0] - per_node[1]).abs() <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn llf_detects_infeasibility() {
+        let q = q1();
+        let loads = vec![80.0, 80.0, 80.0, 10.0, 10.0];
+        let cluster = Cluster::homogeneous(2, 100.0).unwrap();
+        assert!(llf_assign(&q, &loads, &cluster).unwrap().is_none());
+        // A single operator larger than any node.
+        let loads = vec![150.0, 1.0, 1.0, 1.0, 1.0];
+        assert!(llf_assign(&q, &loads, &cluster).unwrap().is_none());
+    }
+
+    #[test]
+    fn llf_handles_zero_loads() {
+        let q = q1();
+        let loads = vec![0.0; 5];
+        let cluster = Cluster::homogeneous(3, 10.0).unwrap();
+        let pp = llf_assign(&q, &loads, &cluster).unwrap().unwrap();
+        assert_eq!(pp.num_operators(), 5);
+    }
+
+    #[test]
+    fn llf_respects_heterogeneous_capacity() {
+        let q = q1();
+        let loads = vec![90.0, 5.0, 5.0, 5.0, 5.0];
+        // Only the big node can take op0.
+        let cluster = Cluster::new(vec![100.0, 20.0]).unwrap();
+        let pp = llf_assign(&q, &loads, &cluster).unwrap().unwrap();
+        assert_eq!(pp.node_of(OperatorId::new(0)), Some(NodeId::new(0)));
+        let per_node = node_loads(&pp, &loads);
+        assert!(per_node[0] <= 100.0 + 1e-9);
+        assert!(per_node[1] <= 20.0 + 1e-9);
+    }
+
+    #[test]
+    fn llf_uses_more_nodes_when_needed() {
+        let q = q1();
+        let loads = vec![60.0, 60.0, 60.0, 60.0, 60.0];
+        let cluster = Cluster::homogeneous(5, 100.0).unwrap();
+        let pp = llf_assign(&q, &loads, &cluster).unwrap().unwrap();
+        assert_eq!(pp.used_nodes(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one load per operator required")]
+    fn llf_panics_on_wrong_load_vector() {
+        let q = q1();
+        let cluster = Cluster::homogeneous(2, 100.0).unwrap();
+        let _ = llf_assign(&q, &[1.0, 2.0], &cluster);
+    }
+}

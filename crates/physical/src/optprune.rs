@@ -1,0 +1,326 @@
+//! OptPrune (Algorithm 5): optimal robust physical plan generation by
+//! branch-and-bound over single-machine configurations.
+//!
+//! OptPrune enumerates the *configurations* (subsets of operators that can
+//! fit on one machine under at least one supported logical plan), then
+//! depth-first searches over partitions of the operator set into at most `N`
+//! configurations. The score of a (partial) physical plan is the total
+//! occurrence weight of the logical plans not yet violated by any placed
+//! configuration; by Lemma 1 adding a configuration can only lower that
+//! score, so any branch whose score falls below the best known complete
+//! solution — initialized with the GreedyPhy result — can be pruned safely
+//! (Theorem 3). The search therefore returns the optimal-score physical plan
+//! while examining only a small fraction of the space in practice.
+
+use crate::cluster::Cluster;
+use crate::greedy::GreedyPhy;
+use crate::plan::PhysicalPlan;
+use crate::support::{PhysicalSearchStats, SupportModel};
+use crate::PhysicalPlanGenerator;
+use rld_common::{OperatorId, Result, RldError};
+use std::time::Instant;
+
+/// The OptPrune physical plan generator.
+#[derive(Debug, Clone, Copy)]
+pub struct OptPrune {
+    /// Hard cap on search-tree expansions (a backstop far above what the
+    /// paper's query sizes ever need; the bound from GreedyPhy keeps the
+    /// practical search tiny).
+    pub max_expansions: usize,
+}
+
+impl Default for OptPrune {
+    fn default() -> Self {
+        Self {
+            max_expansions: 2_000_000,
+        }
+    }
+}
+
+impl OptPrune {
+    /// Maximum number of operators supported (configuration enumeration is
+    /// exponential in the operator count).
+    pub const MAX_OPERATORS: usize = 20;
+
+    /// Create an OptPrune generator with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+struct SearchState<'a> {
+    model: &'a SupportModel,
+    cluster: &'a Cluster,
+    capacity: f64,
+    configs: Vec<Vec<OperatorId>>,
+    /// configs represented as bitmasks for fast disjointness tests.
+    config_masks: Vec<u32>,
+    num_ops: usize,
+    best_plan: Option<Vec<usize>>,
+    best_score: f64,
+    /// Balance (max per-node `lp_max` load) of the best plan found so far;
+    /// used only to break ties between equal-score plans in favour of the
+    /// more balanced placement (better runtime behaviour, same optimality).
+    best_balance: f64,
+    lp_max: Vec<f64>,
+    total_weight: f64,
+    expansions: usize,
+    max_expansions: usize,
+}
+
+impl<'a> SearchState<'a> {
+    /// Score of a partial assignment: total weight of profiles not violated
+    /// by any chosen configuration.
+    fn partial_score(&self, chosen: &[usize]) -> f64 {
+        self.model
+            .profiles()
+            .iter()
+            .enumerate()
+            .filter(|(p_idx, _)| {
+                chosen.iter().all(|c| {
+                    self.model.config_load_under(&self.configs[*c], *p_idx) <= self.capacity + 1e-9
+                })
+            })
+            .map(|(_, p)| p.weight)
+            .sum()
+    }
+
+    fn dfs(&mut self, chosen: &mut Vec<usize>, covered: u32) {
+        if self.expansions >= self.max_expansions {
+            return;
+        }
+        self.expansions += 1;
+
+        let all_covered = covered.count_ones() as usize == self.num_ops;
+        if all_covered {
+            let score = self.partial_score(chosen);
+            let balance = chosen
+                .iter()
+                .map(|c| {
+                    self.configs[*c]
+                        .iter()
+                        .map(|op| self.lp_max[op.index()])
+                        .sum::<f64>()
+                })
+                .fold(0.0f64, f64::max);
+            let better_score = score > self.best_score + 1e-12;
+            let equal_but_more_balanced =
+                (score - self.best_score).abs() <= 1e-12 && balance < self.best_balance - 1e-12;
+            // Only adopt a complete plan when it is at least as good as the
+            // incumbent bound (which starts at the GreedyPhy score); the
+            // GreedyPhy plan itself remains the fallback otherwise.
+            if better_score || equal_but_more_balanced {
+                self.best_score = score.max(self.best_score);
+                self.best_balance = balance;
+                self.best_plan = Some(chosen.clone());
+            }
+            return;
+        }
+        if chosen.len() >= self.cluster.num_nodes() {
+            return; // no machines left
+        }
+        // Prune: even keeping every currently-unviolated plan cannot beat the
+        // bound (the GreedyPhy plan is always available as a fallback, so
+        // pruning below its score is safe from the start — Theorem 3).
+        let upper = self.partial_score(chosen);
+        if upper < self.best_score - 1e-12 {
+            return;
+        }
+        // Branch on configurations containing the lowest-indexed uncovered
+        // operator, so each partition is enumerated exactly once.
+        let first_uncovered = (0..self.num_ops)
+            .find(|i| covered & (1 << i) == 0)
+            .expect("not all covered");
+        for c_idx in 0..self.configs.len() {
+            let mask = self.config_masks[c_idx];
+            if mask & (1 << first_uncovered) == 0 || mask & covered != 0 {
+                continue;
+            }
+            chosen.push(c_idx);
+            self.dfs(chosen, covered | mask);
+            chosen.pop();
+            if self.expansions >= self.max_expansions {
+                return;
+            }
+            // Early exit: a complete plan supporting every logical plan is optimal.
+            if let Some(_) = &self.best_plan {
+                if (self.best_score - self.total_weight).abs() < 1e-12 && self.total_weight > 0.0 {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl PhysicalPlanGenerator for OptPrune {
+    fn name(&self) -> &'static str {
+        "OptPrune"
+    }
+
+    fn generate(
+        &self,
+        model: &SupportModel,
+        cluster: &Cluster,
+    ) -> Result<(PhysicalPlan, PhysicalSearchStats)> {
+        let start = Instant::now();
+        let num_ops = model.num_operators();
+        if num_ops > Self::MAX_OPERATORS {
+            return Err(RldError::InvalidArgument(format!(
+                "OptPrune supports up to {} operators, query has {num_ops}",
+                Self::MAX_OPERATORS
+            )));
+        }
+        if !cluster.is_homogeneous() {
+            return Err(RldError::InvalidArgument(
+                "OptPrune assumes a homogeneous cluster (as in the paper)".into(),
+            ));
+        }
+        let capacity = cluster.capacities()[0];
+
+        // Seed the bound with GreedyPhy (Algorithm 5 lines 2-3).
+        let (greedy_plan, _greedy_stats) = GreedyPhy::new().generate(model, cluster)?;
+        let greedy_score = model.score(&greedy_plan, cluster);
+
+        // Enumerate feasible single-machine configurations (Algorithm 5 line 1):
+        // non-empty operator subsets that fit on one machine under at least one
+        // logical plan — or under no plan at all when the solution is empty /
+        // nothing fits (so a valid partition still exists).
+        let op_ids: Vec<OperatorId> = model.query().operator_ids();
+        let mut configs: Vec<Vec<OperatorId>> = Vec::new();
+        for mask in 1u32..(1u32 << num_ops) {
+            let ops: Vec<OperatorId> = (0..num_ops)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| op_ids[i])
+                .collect();
+            if model.profiles().is_empty()
+                || model.config_feasible(&ops, capacity)
+                || ops.len() == 1
+            {
+                // Singleton configs are always allowed so a complete partition
+                // exists even when nothing fits (score 0, like GreedyPhy).
+                configs.push(ops);
+            }
+        }
+        // Sort by decreasing operator count (Algorithm 5 lines 5-6).
+        configs.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        let config_masks: Vec<u32> = configs
+            .iter()
+            .map(|ops| ops.iter().fold(0u32, |m, op| m | (1 << op.index())))
+            .collect();
+
+        let mut state = SearchState {
+            model,
+            cluster,
+            capacity,
+            configs,
+            config_masks,
+            num_ops,
+            best_plan: None,
+            best_score: greedy_score,
+            best_balance: f64::INFINITY,
+            lp_max: model.lp_max_loads().to_vec(),
+            total_weight: model.total_weight(),
+            expansions: 0,
+            max_expansions: self.max_expansions,
+        };
+        let mut chosen = Vec::new();
+        state.dfs(&mut chosen, 0);
+
+        let plan = match state.best_plan {
+            Some(chosen) => {
+                let mut assignment: Vec<Vec<OperatorId>> =
+                    chosen.iter().map(|c| state.configs[*c].clone()).collect();
+                assignment.resize(cluster.num_nodes(), Vec::new());
+                let candidate = PhysicalPlan::new(model.query(), assignment)?;
+                // Never return anything worse than the GreedyPhy bound.
+                if model.score(&candidate, cluster) + 1e-12 >= greedy_score {
+                    candidate
+                } else {
+                    greedy_plan
+                }
+            }
+            // The DFS found nothing better than (or equal to) GreedyPhy.
+            None => greedy_plan,
+        };
+        let stats = model.stats_for(
+            &plan,
+            cluster,
+            start.elapsed().as_micros() as u64,
+            state.expansions,
+        );
+        Ok((plan, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::ExhaustivePhysicalSearch;
+    use rld_paramspace::OccurrenceModel;
+
+    fn model(uncertainty: u32, steps: usize) -> (rld_common::Query, SupportModel) {
+        let (q, space, solution) = crate::support::tests::build_fixture(uncertainty, steps);
+        let m = SupportModel::build(&q, &space, &solution, OccurrenceModel::Normal).unwrap();
+        (q, m)
+    }
+
+    #[test]
+    fn optprune_matches_exhaustive_score() {
+        let (_q, m) = model(3, 9);
+        let total: f64 = m.lp_max_loads().iter().sum();
+        for fraction in [0.3, 0.5, 0.8] {
+            let cluster = Cluster::homogeneous(3, total * fraction).unwrap();
+            let (_, opt_stats) = OptPrune::new().generate(&m, &cluster).unwrap();
+            let (_, es_stats) = ExhaustivePhysicalSearch::new().generate(&m, &cluster).unwrap();
+            assert!(
+                (opt_stats.score - es_stats.score).abs() < 1e-9,
+                "fraction {fraction}: OptPrune {} != ES {}",
+                opt_stats.score,
+                es_stats.score
+            );
+        }
+    }
+
+    #[test]
+    fn optprune_never_worse_than_greedy() {
+        let (_q, m) = model(3, 9);
+        let total: f64 = m.lp_max_loads().iter().sum();
+        for fraction in [0.2, 0.4, 0.6, 1.0] {
+            let cluster = Cluster::homogeneous(2, total * fraction).unwrap();
+            let (_, g) = GreedyPhy::new().generate(&m, &cluster).unwrap();
+            let (_, o) = OptPrune::new().generate(&m, &cluster).unwrap();
+            assert!(
+                o.score + 1e-9 >= g.score,
+                "fraction {fraction}: OptPrune {} < GreedyPhy {}",
+                o.score,
+                g.score
+            );
+        }
+    }
+
+    #[test]
+    fn ample_resources_support_everything() {
+        let (_q, m) = model(2, 7);
+        let cluster = Cluster::homogeneous(3, 1e9).unwrap();
+        let (pp, stats) = OptPrune::new().generate(&m, &cluster).unwrap();
+        assert_eq!(stats.dropped_plans, 0);
+        assert_eq!(pp.num_operators(), m.num_operators());
+        assert!((stats.score - m.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_cluster_rejected() {
+        let (_q, m) = model(2, 7);
+        let cluster = Cluster::new(vec![10.0, 20.0]).unwrap();
+        assert!(OptPrune::new().generate(&m, &cluster).is_err());
+    }
+
+    #[test]
+    fn tiny_capacity_still_partitions() {
+        let (_q, m) = model(2, 7);
+        let cluster = Cluster::homogeneous(5, 1e-6).unwrap();
+        let (pp, stats) = OptPrune::new().generate(&m, &cluster).unwrap();
+        assert_eq!(pp.num_operators(), m.num_operators());
+        assert_eq!(stats.score, 0.0);
+    }
+}

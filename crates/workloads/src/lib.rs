@@ -1,0 +1,63 @@
+//! # rld-workloads
+//!
+//! Workload generators standing in for the paper's data sources (§6.1):
+//!
+//! * [`stock::StockWorkload`] — the Stocks–News–Blogs–Currency polling
+//!   application: the query is Q1 and the ground-truth selectivities and
+//!   rates switch between *bullish* and *bearish* regimes (Example 1).
+//! * [`sensor::SensorWorkload`] — the Intel Research Berkeley Lab sensor
+//!   deployment: an n-way join whose rates and selectivities follow a
+//!   diurnal (sinusoidal) pattern.
+//! * [`synthetic::SyntheticWorkload`] plus the Uniform / Poisson value
+//!   distributions of Table 2 and the summary-statistics helper that
+//!   reproduces that table.
+//! * [`fluctuation`] — reusable rate/selectivity fluctuation patterns:
+//!   constant scaling (Figure 15a's 50–400% sweeps), periodic high/low
+//!   alternation (Figure 16b), and step schedules (Figure 15b's 50%→100%→200%
+//!   ramp).
+//!
+//! Every workload implements the [`Workload`] trait: given a simulated time
+//! it reports the ground-truth statistics (the values the statistic monitor
+//! would eventually observe), plus it can generate actual tuple batches for
+//! the examples.
+//!
+//! All the paper's live sources (NYSE tickers, Yahoo Finance, RSS feeds, the
+//! Intel lab trace) are replaced by seeded synthetic generators that preserve
+//! the *fluctuation structure* the experiments depend on; see DESIGN.md for
+//! the substitution rationale.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fluctuation;
+pub mod sensor;
+pub mod stock;
+pub mod synthetic;
+
+pub use fluctuation::{RatePattern, SelectivityPattern};
+pub use sensor::SensorWorkload;
+pub use stock::StockWorkload;
+pub use synthetic::{summary_stats, SummaryStats, SyntheticWorkload, ValueDistribution};
+
+use rld_common::{Batch, Query, StatsSnapshot};
+
+/// A stream workload: a query plus the ground truth of how its statistics
+/// evolve over simulated time.
+pub trait Workload {
+    /// A short name used in reports.
+    fn name(&self) -> &str;
+
+    /// The continuous query this workload drives.
+    fn query(&self) -> &Query;
+
+    /// Ground-truth statistics (selectivities and input rates) at simulated
+    /// time `t` seconds.
+    fn stats_at(&self, t_secs: f64) -> StatsSnapshot;
+
+    /// Generate one batch of driving-stream tuples for the interval
+    /// `[t, t + dt)` seconds. The default implementation sizes the batch from
+    /// the driving stream's current rate and fills it with synthetic tuples.
+    fn generate_batch(&self, t_secs: f64, dt_secs: f64, seed: u64) -> Batch {
+        synthetic::default_batch(self.query(), &self.stats_at(t_secs), t_secs, dt_secs, seed)
+    }
+}

@@ -1,0 +1,1 @@
+//! Example helper crate (examples are the [[bin]] targets in Cargo.toml).
