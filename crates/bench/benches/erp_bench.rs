@@ -20,11 +20,8 @@ fn bench_logical_generators(c: &mut Criterion) {
     group.bench_function("erp_q1_u2", |b| {
         b.iter(|| {
             let opt = JoinOrderOptimizer::new(query.clone());
-            let erp = EarlyTerminatedRobustPartitioning::new(
-                &opt,
-                &sp,
-                ErpConfig::with_epsilon(0.2),
-            );
+            let erp =
+                EarlyTerminatedRobustPartitioning::new(&opt, &sp, ErpConfig::with_epsilon(0.2));
             black_box(erp.generate().unwrap())
         })
     });

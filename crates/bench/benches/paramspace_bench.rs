@@ -2,13 +2,15 @@
 //! (§4.2) and occurrence-probability computation (§5.2).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rld_core::prelude::*;
 use rld_core::paramspace::{DistanceMetric, Region as PsRegion, WeightMap};
+use rld_core::prelude::*;
 use std::hint::black_box;
 
 fn space_2d(steps: usize) -> (Query, ParameterSpace) {
     let q = Query::q1_stock_monitoring();
-    let est = q.selectivity_estimates(2, UncertaintyLevel::new(3)).unwrap();
+    let est = q
+        .selectivity_estimates(2, UncertaintyLevel::new(3))
+        .unwrap();
     let space = ParameterSpace::from_estimates(&est, q.default_stats(), steps).unwrap();
     (q, space)
 }

@@ -8,8 +8,8 @@
 //!    limitations).
 
 use rld_bench::{capacity_for, print_table, space_for, EXPERIMENT_SEED};
-use rld_core::prelude::*;
 use rld_core::paramspace::DistanceMetric;
+use rld_core::prelude::*;
 
 fn main() {
     let query = Query::q1_stock_monitoring();
@@ -53,12 +53,9 @@ fn main() {
             ("Euclidean", DistanceMetric::Euclidean),
         ] {
             let opt = JoinOrderOptimizer::new(query.clone());
-            let erp = EarlyTerminatedRobustPartitioning::new(
-                &opt,
-                &space,
-                ErpConfig::with_epsilon(0.2),
-            )
-            .with_metric(metric);
+            let erp =
+                EarlyTerminatedRobustPartitioning::new(&opt, &space, ErpConfig::with_epsilon(0.2))
+                    .with_metric(metric);
             let (solution, stats) = erp.generate().unwrap();
             let ev = CoverageEvaluator::new(query.clone(), space.clone(), 0.2).unwrap();
             rows.push(vec![

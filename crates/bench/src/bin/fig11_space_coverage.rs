@@ -10,8 +10,7 @@ fn main() {
     for epsilon in [0.1, 0.2, 0.3] {
         let mut rows = Vec::new();
         for budget in [10usize, 50, 100, 200, 300] {
-            let results =
-                compare_logical_generators(&query, 2, 2, epsilon, Some(budget), true);
+            let results = compare_logical_generators(&query, 2, 2, epsilon, Some(budget), true);
             let mut row = vec![budget.to_string()];
             for r in &results {
                 row.push(format!("{:.3}", r.coverage));

@@ -2,7 +2,9 @@
 //! input rates are scaled to 50%–400% of the planned rates (30-minute
 //! simulated runs of the 10-way join workload).
 
-use rld_bench::{compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity};
+use rld_bench::{
+    compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity,
+};
 use rld_core::prelude::*;
 use std::collections::BTreeMap;
 
@@ -21,9 +23,18 @@ fn main() {
             .collect();
         rows.push(vec![
             format!("{}%", (ratio * 100.0) as u32),
-            by_name.get("ROD").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
-            by_name.get("DYN").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
-            by_name.get("RLD").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
+            by_name
+                .get("ROD")
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or("n/a".into()),
+            by_name
+                .get("DYN")
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or("n/a".into()),
+            by_name
+                .get("RLD")
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or("n/a".into()),
         ]);
     }
     print_table(

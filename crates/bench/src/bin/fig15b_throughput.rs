@@ -2,7 +2,9 @@
 //! over a 60-minute run in which the input rates step from 50% to 100% at
 //! minute 20 and to 200% at minute 40.
 
-use rld_bench::{compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity};
+use rld_bench::{
+    compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity,
+};
 use rld_core::prelude::*;
 use std::collections::BTreeMap;
 

@@ -2,7 +2,9 @@
 //! number of cluster nodes varies over {5, 10, 15} under a periodically
 //! fluctuating workload.
 
-use rld_bench::{compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity};
+use rld_bench::{
+    compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity,
+};
 use rld_core::prelude::*;
 use std::collections::BTreeMap;
 
@@ -28,9 +30,18 @@ fn main() {
             .collect();
         rows.push(vec![
             nodes.to_string(),
-            by_name.get("ROD").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
-            by_name.get("DYN").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
-            by_name.get("RLD").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
+            by_name
+                .get("ROD")
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or("n/a".into()),
+            by_name
+                .get("DYN")
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or("n/a".into()),
+            by_name
+                .get("RLD")
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or("n/a".into()),
         ]);
     }
     print_table(

@@ -2,7 +2,9 @@
 //! input-rate fluctuation period varies over {5, 10, 20} seconds (rates
 //! alternate between a high and a low phase of equal length).
 
-use rld_bench::{compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity};
+use rld_bench::{
+    compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity,
+};
 use rld_core::prelude::*;
 use std::collections::BTreeMap;
 
@@ -28,9 +30,18 @@ fn main() {
             .collect();
         rows.push(vec![
             format!("{period}s"),
-            by_name.get("ROD").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
-            by_name.get("DYN").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
-            by_name.get("RLD").map(|v| format!("{v:.1}")).unwrap_or("n/a".into()),
+            by_name
+                .get("ROD")
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or("n/a".into()),
+            by_name
+                .get("DYN")
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or("n/a".into()),
+            by_name
+                .get("RLD")
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or("n/a".into()),
         ]);
     }
     print_table(

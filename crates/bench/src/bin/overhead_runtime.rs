@@ -2,7 +2,9 @@
 //! than query processing — per-batch plan classification for RLD, operator
 //! migrations for DYN, and (by construction) zero for ROD.
 
-use rld_bench::{compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity};
+use rld_bench::{
+    compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity,
+};
 use rld_core::prelude::*;
 
 fn main() {
@@ -33,7 +35,13 @@ fn main() {
         .collect();
     print_table(
         "Runtime overhead — share of work beyond query processing",
-        &["system", "overhead", "migrations", "plan switches", "avg ms"],
+        &[
+            "system",
+            "overhead",
+            "migrations",
+            "plan switches",
+            "avg ms",
+        ],
         &rows,
     );
 }

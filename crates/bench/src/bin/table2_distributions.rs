@@ -50,7 +50,11 @@ fn main() {
             "kurt",
         ],
         &[
-            stats_row("Uniform(0,100)", ValueDistribution::table2_uniform(), 100_000),
+            stats_row(
+                "Uniform(0,100)",
+                ValueDistribution::table2_uniform(),
+                100_000,
+            ),
             stats_row("Poisson(1)", ValueDistribution::table2_poisson(), 100_000),
         ],
     );

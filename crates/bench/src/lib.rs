@@ -123,11 +123,8 @@ pub fn compare_logical_generators(
     // ERP
     {
         let opt = JoinOrderOptimizer::new(query.clone());
-        let erp = EarlyTerminatedRobustPartitioning::new(
-            &opt,
-            &space,
-            ErpConfig::with_epsilon(epsilon),
-        );
+        let erp =
+            EarlyTerminatedRobustPartitioning::new(&opt, &space, ErpConfig::with_epsilon(epsilon));
         let (sol, stats) = match budget {
             Some(b) => erp.generate_with_budget(b).expect("ERP"),
             None => erp.generate().expect("ERP"),
@@ -145,8 +142,7 @@ pub fn build_support_model(query: &Query, dims: usize, u: u32, epsilon: f64) -> 
     let erp =
         EarlyTerminatedRobustPartitioning::new(&opt, &space, ErpConfig::with_epsilon(epsilon));
     let (solution, _) = erp.generate().expect("ERP solution");
-    SupportModel::build(query, &space, &solution, OccurrenceModel::Normal)
-        .expect("support model")
+    SupportModel::build(query, &space, &solution, OccurrenceModel::Normal).expect("support model")
 }
 
 /// Per-node capacity such that the whole worst-case load (`lp_max`) amounts to
@@ -154,11 +150,7 @@ pub fn build_support_model(query: &Query, dims: usize, u: u32, epsilon: f64) -> 
 /// `nodes_needed` the physical planner must drop plans, with more it has slack.
 pub fn capacity_for(model: &SupportModel, nodes_needed: f64) -> f64 {
     let total: f64 = model.lp_max_loads().iter().sum();
-    let max_single = model
-        .lp_max_loads()
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let max_single = model.lp_max_loads().iter().cloned().fold(0.0f64, f64::max);
     // A node must at least be able to host the heaviest single operator,
     // otherwise no placement can support anything regardless of node count.
     (total / nodes_needed).max(max_single * 1.2).max(1e-6)

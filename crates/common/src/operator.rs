@@ -60,7 +60,12 @@ pub struct OperatorSpec {
 
 impl OperatorSpec {
     /// Create a filter operator.
-    pub fn filter(id: OperatorId, name: impl Into<String>, base_cost: f64, selectivity: f64) -> Self {
+    pub fn filter(
+        id: OperatorId,
+        name: impl Into<String>,
+        base_cost: f64,
+        selectivity: f64,
+    ) -> Self {
         Self {
             id,
             name: name.into(),
@@ -193,15 +198,8 @@ mod tests {
 
     #[test]
     fn negative_partner_rate_is_clamped() {
-        let op = OperatorSpec::window_join(
-            OperatorId::new(1),
-            "j",
-            StreamId::new(3),
-            1.0,
-            0.01,
-            0.4,
-            0,
-        );
+        let op =
+            OperatorSpec::window_join(OperatorId::new(1), "j", StreamId::new(3), 1.0, 0.01, 0.4, 0);
         assert_eq!(op.per_tuple_cost(-5.0, 60.0), 1.0);
     }
 

@@ -445,7 +445,9 @@ mod tests {
             .unwrap();
         assert_eq!(est.len(), 2);
         assert_eq!(est[0].key, StatKey::Selectivity(OperatorId::new(0)));
-        assert!(q.selectivity_estimates(0, UncertaintyLevel::new(1)).is_err());
+        assert!(q
+            .selectivity_estimates(0, UncertaintyLevel::new(1))
+            .is_err());
         assert!(q
             .selectivity_estimates(99, UncertaintyLevel::new(1))
             .is_err());

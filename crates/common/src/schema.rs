@@ -111,12 +111,10 @@ impl Schema {
         if values.len() != self.fields.len() {
             return false;
         }
-        values.iter().zip(&self.fields).all(|(v, f)| {
-            v.is_null()
-                || v.data_type()
-                    .map(|dt| dt == f.data_type)
-                    .unwrap_or(false)
-        })
+        values
+            .iter()
+            .zip(&self.fields)
+            .all(|(v, f)| v.is_null() || v.data_type().map(|dt| dt == f.data_type).unwrap_or(false))
     }
 
     /// Concatenate two schemas (used when a join produces a combined tuple).
@@ -190,11 +188,7 @@ mod tests {
         ]));
         assert!(s.validate(&[Value::Null, Value::from(101.5), Value::Timestamp(10)]));
         assert!(!s.validate(&[Value::from("AAPL"), Value::from(101.5)]));
-        assert!(!s.validate(&[
-            Value::from(1i64),
-            Value::from(101.5),
-            Value::Timestamp(10)
-        ]));
+        assert!(!s.validate(&[Value::from(1i64), Value::from(101.5), Value::Timestamp(10)]));
     }
 
     #[test]

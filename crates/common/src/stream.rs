@@ -23,12 +23,7 @@ pub struct StreamSpec {
 
 impl StreamSpec {
     /// Create a new stream spec.
-    pub fn new(
-        id: StreamId,
-        name: impl Into<String>,
-        schema: Schema,
-        rate_estimate: f64,
-    ) -> Self {
+    pub fn new(id: StreamId, name: impl Into<String>, schema: Schema, rate_estimate: f64) -> Self {
         Self {
             id,
             name: name.into(),

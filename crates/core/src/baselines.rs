@@ -7,7 +7,11 @@ use rld_physical::{Cluster, DynPlanner, RodPlanner};
 
 /// Build the ROD baseline deployment: one logical plan optimal at the given
 /// statistics, placed statically and never adapted.
-pub fn deploy_rod(query: &Query, stats: &StatsSnapshot, cluster: &Cluster) -> Result<SystemUnderTest> {
+pub fn deploy_rod(
+    query: &Query,
+    stats: &StatsSnapshot,
+    cluster: &Cluster,
+) -> Result<SystemUnderTest> {
     let plan = RodPlanner::new().plan(query, stats, cluster, 1.0)?;
     Ok(SystemUnderTest::rod(plan.logical, plan.physical))
 }

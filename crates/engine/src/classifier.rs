@@ -115,7 +115,9 @@ mod tests {
 
     fn fixture() -> (Query, ParameterSpace, RobustLogicalSolution) {
         let q = Query::q1_stock_monitoring();
-        let est = q.selectivity_estimates(2, UncertaintyLevel::new(3)).unwrap();
+        let est = q
+            .selectivity_estimates(2, UncertaintyLevel::new(3))
+            .unwrap();
         let space = ParameterSpace::from_estimates(&est, q.default_stats(), 9).unwrap();
         let opt = JoinOrderOptimizer::new(q.clone());
         let erp =

@@ -73,10 +73,7 @@ mod tests {
     fn first_observation_is_taken_immediately() {
         let mut m = StatisticsMonitor::new(snap(0.5), 10.0, 1.0);
         assert!(m.observe(0.0, &snap(0.9)));
-        assert_eq!(
-            m.current().selectivity(OperatorId::new(0)),
-            Some(0.9)
-        );
+        assert_eq!(m.current().selectivity(OperatorId::new(0)), Some(0.9));
     }
 
     #[test]

@@ -60,9 +60,7 @@ impl SimConfig {
             ));
         }
         if !(self.monitor_alpha > 0.0 && self.monitor_alpha <= 1.0) {
-            return Err(RldError::Runtime(
-                "monitor_alpha must be in (0, 1]".into(),
-            ));
+            return Err(RldError::Runtime("monitor_alpha must be in (0, 1]".into()));
         }
         if self.migration_cost_per_kb < 0.0 || self.migration_fixed_cost < 0.0 {
             return Err(RldError::Runtime(
@@ -98,11 +96,7 @@ impl Simulator {
     }
 
     /// Run one system under test against a workload and collect metrics.
-    pub fn run(
-        &self,
-        workload: &dyn Workload,
-        system: &mut SystemUnderTest,
-    ) -> Result<RunMetrics> {
+    pub fn run(&self, workload: &dyn Workload, system: &mut SystemUnderTest) -> Result<RunMetrics> {
         let cost_model = CostModel::new(self.query.clone());
         let mut nodes: Vec<SimNode> = self
             .cluster
@@ -156,8 +150,7 @@ impl Simulator {
                 let physical = system.physical().clone();
 
                 // Per-operator work for the whole batch at the true statistics.
-                let work_by_op =
-                    cost_model.per_driving_tuple_work_by_operator(&logical, &truth)?;
+                let work_by_op = cost_model.per_driving_tuple_work_by_operator(&logical, &truth)?;
                 let mut node_work = vec![0.0f64; nodes.len()];
                 for op in logical.ordering() {
                     let node = physical.node_of(*op).unwrap_or(NodeId::new(0));
@@ -189,8 +182,7 @@ impl Simulator {
                     let total_batch_work: f64 = node_work.iter().sum();
                     if let Some(first_op) = logical.ordering().first() {
                         let node = physical.node_of(*first_op).expect("validated above");
-                        nodes[node.index()]
-                            .enqueue_overhead(total_batch_work * overhead_fraction);
+                        nodes[node.index()].enqueue_overhead(total_batch_work * overhead_fraction);
                     }
                 }
 
@@ -263,18 +255,19 @@ mod tests {
         loads.iter().cloned().fold(0.0f64, f64::max) * slack
     }
 
-    fn build_systems(query: &Query, cluster: &Cluster) -> (SystemUnderTest, SystemUnderTest, SystemUnderTest) {
+    fn build_systems(
+        query: &Query,
+        cluster: &Cluster,
+    ) -> (SystemUnderTest, SystemUnderTest, SystemUnderTest) {
         let est = query
             .selectivity_estimates(2, UncertaintyLevel::new(3))
             .unwrap();
-        let space =
-            ParameterSpace::from_estimates(&est, query.default_stats(), 9).unwrap();
+        let space = ParameterSpace::from_estimates(&est, query.default_stats(), 9).unwrap();
         let opt = JoinOrderOptimizer::new(query.clone());
         let erp =
             EarlyTerminatedRobustPartitioning::new(&opt, &space, ErpConfig::with_epsilon(0.2));
         let (solution, _) = erp.generate().unwrap();
-        let model =
-            SupportModel::build(query, &space, &solution, OccurrenceModel::Normal).unwrap();
+        let model = SupportModel::build(query, &space, &solution, OccurrenceModel::Normal).unwrap();
         let (rld_pp, _) = GreedyPhy::new().generate(&model, cluster).unwrap();
         let rld = SystemUnderTest::rld(query, space, solution, rld_pp, 0.02);
 
@@ -304,7 +297,11 @@ mod tests {
         let (mut rld, mut rod, mut dyn_sys) = build_systems(&q, &cluster);
         for sys in [&mut rld, &mut rod, &mut dyn_sys] {
             let metrics = sim.run(&workload, sys).unwrap();
-            assert!(metrics.tuples_arrived > 0, "{}: no arrivals", metrics.system);
+            assert!(
+                metrics.tuples_arrived > 0,
+                "{}: no arrivals",
+                metrics.system
+            );
             assert!(
                 metrics.avg_tuple_processing_ms >= 0.0,
                 "{}: negative latency",
@@ -351,7 +348,11 @@ mod tests {
         let (mut rld, _, _) = build_systems(&q, &cluster);
         let metrics = sim.run(&workload, &mut rld).unwrap();
         // ~2% classification overhead, no migrations.
-        assert!(metrics.overhead_fraction() < 0.05, "{}", metrics.overhead_fraction());
+        assert!(
+            metrics.overhead_fraction() < 0.05,
+            "{}",
+            metrics.overhead_fraction()
+        );
         assert_eq!(metrics.migrations, 0);
     }
 

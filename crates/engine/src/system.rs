@@ -191,7 +191,9 @@ mod tests {
 
     fn build_rld() -> (Query, SystemUnderTest) {
         let q = Query::q1_stock_monitoring();
-        let est = q.selectivity_estimates(2, UncertaintyLevel::new(3)).unwrap();
+        let est = q
+            .selectivity_estimates(2, UncertaintyLevel::new(3))
+            .unwrap();
         let space = ParameterSpace::from_estimates(&est, q.default_stats(), 9).unwrap();
         let opt = JoinOrderOptimizer::new(q.clone());
         let erp =
@@ -246,7 +248,9 @@ mod tests {
         let total: f64 = loads.iter().sum();
         let cluster = Cluster::homogeneous(4, total * 0.7).unwrap();
         let planner = DynPlanner::new();
-        let (logical, physical) = planner.initial_plan(&q, &q.default_stats(), &cluster).unwrap();
+        let (logical, physical) = planner
+            .initial_plan(&q, &q.default_stats(), &cluster)
+            .unwrap();
         let mut sys = SystemUnderTest::dyn_system(logical, physical, planner, 1.0);
         assert_eq!(sys.name(), "DYN");
 

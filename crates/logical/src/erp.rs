@@ -196,11 +196,8 @@ mod tests {
         let (q, space) = setup(9, 3);
         let opt_erp = JoinOrderOptimizer::new(q.clone());
         let opt_es = JoinOrderOptimizer::new(q.clone());
-        let erp = EarlyTerminatedRobustPartitioning::new(
-            &opt_erp,
-            &space,
-            ErpConfig::with_epsilon(0.2),
-        );
+        let erp =
+            EarlyTerminatedRobustPartitioning::new(&opt_erp, &space, ErpConfig::with_epsilon(0.2));
         let es = ExhaustiveSearch::new(&opt_es, &space);
         let (erp_sol, erp_stats) = erp.generate().unwrap();
         let (_, es_stats) = es.generate().unwrap();
@@ -217,11 +214,8 @@ mod tests {
         let budget = 20;
         let opt_erp = JoinOrderOptimizer::new(q.clone());
         let opt_rs = JoinOrderOptimizer::new(q.clone());
-        let erp = EarlyTerminatedRobustPartitioning::new(
-            &opt_erp,
-            &space,
-            ErpConfig::with_epsilon(0.2),
-        );
+        let erp =
+            EarlyTerminatedRobustPartitioning::new(&opt_erp, &space, ErpConfig::with_epsilon(0.2));
         let rs = RandomSearch::new(&opt_rs, &space, 17);
         let (erp_sol, _) = erp.generate_with_budget(budget).unwrap();
         let (rs_sol, _) = rs.generate_with_budget(budget).unwrap();

@@ -129,7 +129,9 @@ mod tests {
 
     fn setup() -> (Query, ParameterSpace) {
         let q = Query::q1_stock_monitoring();
-        let est = q.selectivity_estimates(2, UncertaintyLevel::new(3)).unwrap();
+        let est = q
+            .selectivity_estimates(2, UncertaintyLevel::new(3))
+            .unwrap();
         let space = ParameterSpace::from_estimates(&est, q.default_stats(), 7).unwrap();
         (q, space)
     }
@@ -138,7 +140,10 @@ mod tests {
     fn empty_solution_has_zero_coverage() {
         let (q, space) = setup();
         let ev = CoverageEvaluator::new(q, space, 0.2).unwrap();
-        assert_eq!(ev.true_coverage(&RobustLogicalSolution::new()).unwrap(), 0.0);
+        assert_eq!(
+            ev.true_coverage(&RobustLogicalSolution::new()).unwrap(),
+            0.0
+        );
         assert_eq!(
             ev.routed_coverage(&RobustLogicalSolution::new()).unwrap(),
             0.0
@@ -155,7 +160,10 @@ mod tests {
         for cell in space.iter_grid() {
             let stats = space.snapshot_at(&cell);
             let plan = optimizer.optimize(&stats).unwrap();
-            sol.add(plan, Region::new(cell.indices.clone(), cell.indices.clone()));
+            sol.add(
+                plan,
+                Region::new(cell.indices.clone(), cell.indices.clone()),
+            );
         }
         let cov = ev.true_coverage(&sol).unwrap();
         assert!((cov - 1.0).abs() < 1e-9, "cov={cov}");

@@ -125,7 +125,9 @@ mod tests {
 
     fn setup(steps: usize) -> (Query, ParameterSpace) {
         let q = Query::q1_stock_monitoring();
-        let est = q.selectivity_estimates(2, UncertaintyLevel::new(3)).unwrap();
+        let est = q
+            .selectivity_estimates(2, UncertaintyLevel::new(3))
+            .unwrap();
         let space = ParameterSpace::from_estimates(&est, q.default_stats(), steps).unwrap();
         (q, space)
     }

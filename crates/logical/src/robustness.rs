@@ -148,8 +148,7 @@ mod tests {
         let estimates = q
             .selectivity_estimates(2, UncertaintyLevel::new(3))
             .unwrap();
-        let space =
-            ParameterSpace::from_estimates(&estimates, q.default_stats(), 9).unwrap();
+        let space = ParameterSpace::from_estimates(&estimates, q.default_stats(), 9).unwrap();
         let _ = epsilon;
         (q, space)
     }

@@ -1,6 +1,8 @@
 //! Robust logical solutions: sets of ε-robust plans with their robust regions.
 
-use rld_paramspace::{region::union_cell_count, GridPoint, OccurrenceModel, ParameterSpace, Region};
+use rld_paramspace::{
+    region::union_cell_count, GridPoint, OccurrenceModel, ParameterSpace, Region,
+};
 use rld_query::LogicalPlan;
 use serde::{Deserialize, Serialize};
 use std::fmt;

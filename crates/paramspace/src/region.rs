@@ -288,7 +288,12 @@ mod tests {
         // pairwise disjoint
         for i in 0..parts.len() {
             for j in (i + 1)..parts.len() {
-                assert!(!parts[i].overlaps(&parts[j]), "{} overlaps {}", parts[i], parts[j]);
+                assert!(
+                    !parts[i].overlaps(&parts[j]),
+                    "{} overlaps {}",
+                    parts[i],
+                    parts[j]
+                );
             }
         }
     }

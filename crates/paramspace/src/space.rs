@@ -93,11 +93,7 @@ impl Point {
     /// This is the partial order `pntLo < pntHi` used in Definition 1.
     pub fn dominated_by(&self, other: &Point) -> bool {
         self.coords.len() == other.coords.len()
-            && self
-                .coords
-                .iter()
-                .zip(&other.coords)
-                .all(|(a, b)| a <= b)
+            && self.coords.iter().zip(&other.coords).all(|(a, b)| a <= b)
     }
 
     /// Euclidean distance to another point.
@@ -275,12 +271,7 @@ impl ParameterSpace {
 
     /// The grid point at the centre of the space (closest to the estimates).
     pub fn centre(&self) -> GridPoint {
-        GridPoint::new(
-            self.dims
-                .iter()
-                .map(|d| d.index_of(d.estimate))
-                .collect(),
-        )
+        GridPoint::new(self.dims.iter().map(|d| d.index_of(d.estimate)).collect())
     }
 
     /// Convert a grid point to its real-valued [`Point`].
@@ -373,7 +364,12 @@ impl ParameterSpace {
 
 impl fmt::Display for ParameterSpace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "ParameterSpace ({} dims, {} cells):", self.num_dims(), self.total_cells())?;
+        writeln!(
+            f,
+            "ParameterSpace ({} dims, {} cells):",
+            self.num_dims(),
+            self.total_cells()
+        )?;
         for d in &self.dims {
             writeln!(f, "  {d}")?;
         }
@@ -560,7 +556,10 @@ mod tests {
         let p = Point::new(vec![0.4]);
         assert!(matches!(
             s.grid_of(&p),
-            Err(RldError::DimensionMismatch { expected: 2, actual: 1 })
+            Err(RldError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
         assert!(s.snapshot_at_point(&p).is_err());
     }

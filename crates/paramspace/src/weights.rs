@@ -104,9 +104,11 @@ impl WeightMap {
         let pnt_lo = region.pnt_lo();
         for cell in region.cells() {
             if stride > 1 {
-                let on_lattice = cell.indices.iter().enumerate().all(|(d, x)| {
-                    (x - region.lo[d]) % stride == 0 || *x == region.hi[d]
-                });
+                let on_lattice = cell
+                    .indices
+                    .iter()
+                    .enumerate()
+                    .all(|(d, x)| (x - region.lo[d]) % stride == 0 || *x == region.hi[d]);
                 if !on_lattice {
                     continue;
                 }
@@ -271,7 +273,13 @@ mod tests {
     fn assign_covers_whole_region() {
         let s = space_2d(9);
         let r = Region::full(&s);
-        let w = WeightMap::assign(&s, &r, quadratic_cost, quadratic_cost, DistanceMetric::default());
+        let w = WeightMap::assign(
+            &s,
+            &r,
+            quadratic_cost,
+            quadratic_cost,
+            DistanceMetric::default(),
+        );
         assert_eq!(w.len(), r.cell_count());
         assert!(!w.is_empty());
         // Every cell got a finite non-negative weight.
@@ -285,7 +293,13 @@ mod tests {
     fn max_weight_point_prefers_high_slope_near_lo() {
         let s = space_2d(9);
         let r = Region::full(&s);
-        let w = WeightMap::assign(&s, &r, quadratic_cost, quadratic_cost, DistanceMetric::default());
+        let w = WeightMap::assign(
+            &s,
+            &r,
+            quadratic_cost,
+            quadratic_cost,
+            DistanceMetric::default(),
+        );
         let best = w.max_weight_point().unwrap();
         assert!(r.contains(&best));
         // The weight at the best point must be at least the weight elsewhere.
@@ -298,7 +312,13 @@ mod tests {
     fn interior_point_avoids_hi_corner() {
         let s = space_2d(5);
         let r = Region::full(&s);
-        let w = WeightMap::assign(&s, &r, quadratic_cost, quadratic_cost, DistanceMetric::default());
+        let w = WeightMap::assign(
+            &s,
+            &r,
+            quadratic_cost,
+            quadratic_cost,
+            DistanceMetric::default(),
+        );
         let p = w.max_weight_interior_point(&r).unwrap();
         assert_ne!(p.indices, r.hi, "interior selection must not pick pntHi");
         assert!(r.contains(&p));
@@ -308,7 +328,13 @@ mod tests {
     fn single_cell_region_falls_back() {
         let s = space_2d(5);
         let r = Region::new(vec![2, 2], vec![2, 2]);
-        let w = WeightMap::assign(&s, &r, quadratic_cost, quadratic_cost, DistanceMetric::default());
+        let w = WeightMap::assign(
+            &s,
+            &r,
+            quadratic_cost,
+            quadratic_cost,
+            DistanceMetric::default(),
+        );
         assert_eq!(w.len(), 1);
         assert_eq!(
             w.max_weight_interior_point(&r).unwrap(),
@@ -333,8 +359,20 @@ mod tests {
         let s = space_2d(5);
         let left = Region::new(vec![0, 0], vec![4, 1]);
         let right = Region::new(vec![0, 2], vec![4, 4]);
-        let mut w = WeightMap::assign(&s, &left, quadratic_cost, quadratic_cost, DistanceMetric::default());
-        let w2 = WeightMap::assign(&s, &right, quadratic_cost, quadratic_cost, DistanceMetric::default());
+        let mut w = WeightMap::assign(
+            &s,
+            &left,
+            quadratic_cost,
+            quadratic_cost,
+            DistanceMetric::default(),
+        );
+        let w2 = WeightMap::assign(
+            &s,
+            &right,
+            quadratic_cost,
+            quadratic_cost,
+            DistanceMetric::default(),
+        );
         let before = w.len();
         w.merge(w2);
         assert_eq!(w.len(), before + right.cell_count());

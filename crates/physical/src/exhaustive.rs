@@ -48,9 +48,9 @@ impl PhysicalPlanGenerator for ExhaustivePhysicalSearch {
         let start = Instant::now();
         let m = model.num_operators();
         let n = cluster.num_nodes();
-        let total = (n as u64).checked_pow(m as u32).ok_or_else(|| {
-            RldError::InvalidArgument("assignment space overflows u64".into())
-        })?;
+        let total = (n as u64)
+            .checked_pow(m as u32)
+            .ok_or_else(|| RldError::InvalidArgument("assignment space overflows u64".into()))?;
         if total > self.max_assignments {
             return Err(RldError::InvalidArgument(format!(
                 "exhaustive search over {total} assignments exceeds the cap of {}",
@@ -111,7 +111,9 @@ mod tests {
     fn exhaustive_enumerates_all_assignments() {
         let (_q, m) = model(2, 7);
         let cluster = Cluster::homogeneous(2, 1e9).unwrap();
-        let (pp, stats) = ExhaustivePhysicalSearch::new().generate(&m, &cluster).unwrap();
+        let (pp, stats) = ExhaustivePhysicalSearch::new()
+            .generate(&m, &cluster)
+            .unwrap();
         assert_eq!(stats.nodes_expanded, 2usize.pow(5));
         assert_eq!(pp.num_operators(), 5);
         assert!((stats.score - m.total_weight()).abs() < 1e-9);
@@ -133,7 +135,9 @@ mod tests {
         let (q, m) = model(3, 9);
         let total: f64 = m.lp_max_loads().iter().sum();
         let cluster = Cluster::homogeneous(3, total * 0.4).unwrap();
-        let (_, es_stats) = ExhaustivePhysicalSearch::new().generate(&m, &cluster).unwrap();
+        let (_, es_stats) = ExhaustivePhysicalSearch::new()
+            .generate(&m, &cluster)
+            .unwrap();
         // Compare against an arbitrary round-robin assignment.
         let mapping: Vec<NodeId> = (0..q.num_operators()).map(|i| NodeId::new(i % 3)).collect();
         let rr = PhysicalPlan::from_mapping(&q, &mapping, 3).unwrap();

@@ -39,12 +39,8 @@ impl GreedyPhy {
             attempts += 1;
             let lp_max = model.lp_max_loads_of(&active);
             if let Some(pp) = llf_assign(model.query(), &lp_max, cluster)? {
-                let stats = model.stats_for(
-                    &pp,
-                    cluster,
-                    start.elapsed().as_micros() as u64,
-                    attempts,
-                );
+                let stats =
+                    model.stats_for(&pp, cluster, start.elapsed().as_micros() as u64, attempts);
                 return Ok((pp, stats, active));
             }
             if active.is_empty() {

@@ -271,7 +271,9 @@ mod tests {
         for fraction in [0.3, 0.5, 0.8] {
             let cluster = Cluster::homogeneous(3, total * fraction).unwrap();
             let (_, opt_stats) = OptPrune::new().generate(&m, &cluster).unwrap();
-            let (_, es_stats) = ExhaustivePhysicalSearch::new().generate(&m, &cluster).unwrap();
+            let (_, es_stats) = ExhaustivePhysicalSearch::new()
+                .generate(&m, &cluster)
+                .unwrap();
             assert!(
                 (opt_stats.score - es_stats.score).abs() < 1e-9,
                 "fraction {fraction}: OptPrune {} != ES {}",

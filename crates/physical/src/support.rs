@@ -294,7 +294,10 @@ pub(crate) mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(model.supported_indices(&pp, &cluster).len(), model.profiles().len());
+        assert_eq!(
+            model.supported_indices(&pp, &cluster).len(),
+            model.profiles().len()
+        );
         assert!((model.score(&pp, &cluster) - model.total_weight()).abs() < 1e-9);
         let stats = model.stats_for(&pp, &cluster, 10, 1);
         assert_eq!(stats.dropped_plans, 0);
@@ -342,16 +345,10 @@ pub(crate) mod tests {
         // Pick a capacity where everything-on-one-node fails but spreading works.
         let total: f64 = model.lp_max_loads().iter().sum();
         let cluster = Cluster::homogeneous(5, total * 0.6).unwrap();
-        let all_on_one = PhysicalPlan::new(
-            &q,
-            vec![q.operator_ids(), vec![], vec![], vec![], vec![]],
-        )
-        .unwrap();
-        let spread = PhysicalPlan::new(
-            &q,
-            q.operator_ids().iter().map(|op| vec![*op]).collect(),
-        )
-        .unwrap();
+        let all_on_one =
+            PhysicalPlan::new(&q, vec![q.operator_ids(), vec![], vec![], vec![], vec![]]).unwrap();
+        let spread =
+            PhysicalPlan::new(&q, q.operator_ids().iter().map(|op| vec![*op]).collect()).unwrap();
         assert!(model.score(&spread, &cluster) >= model.score(&all_on_one, &cluster));
     }
 }

@@ -149,11 +149,7 @@ impl CostModel {
     /// Total work (cost units) needed to process a single driving tuple under
     /// the given plan at the given statistics. This is what the runtime
     /// simulator charges per tuple.
-    pub fn per_driving_tuple_work(
-        &self,
-        plan: &LogicalPlan,
-        stats: &StatsSnapshot,
-    ) -> Result<f64> {
+    pub fn per_driving_tuple_work(&self, plan: &LogicalPlan, stats: &StatsSnapshot) -> Result<f64> {
         plan.validate_for(&self.query)?;
         let mut survivors = 1.0;
         let mut total = 0.0;
@@ -277,7 +273,9 @@ mod tests {
         let first_load = cm.operator_load(&p, OperatorId::new(0), &stats).unwrap();
         // In a plan where op0 runs last, its input rate has been filtered down.
         let p_last = plan(&[1, 2, 3, 4, 0]);
-        let last_load = cm.operator_load(&p_last, OperatorId::new(0), &stats).unwrap();
+        let last_load = cm
+            .operator_load(&p_last, OperatorId::new(0), &stats)
+            .unwrap();
         assert!(last_load < first_load);
     }
 
@@ -331,7 +329,9 @@ mod tests {
     fn uncertainty_estimates_integrate_with_space() {
         // Smoke test for the estimate helpers used downstream.
         let q = q1();
-        let est = q.selectivity_estimates(2, UncertaintyLevel::new(2)).unwrap();
+        let est = q
+            .selectivity_estimates(2, UncertaintyLevel::new(2))
+            .unwrap();
         assert_eq!(est.len(), 2);
     }
 

@@ -121,16 +121,16 @@ impl JoinOrderOptimizer {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.1.cmp(&b.1))
         });
-        Ok(LogicalPlan::new(scored.into_iter().map(|(_, op)| op).collect()))
+        Ok(LogicalPlan::new(
+            scored.into_iter().map(|(_, op)| op).collect(),
+        ))
     }
 
     fn optimize_greedy(&self, stats: &StatsSnapshot) -> Result<LogicalPlan> {
         let q = self.cost_model.query();
         let mut remaining: Vec<OperatorId> = q.operator_ids();
         let mut ordering = Vec::with_capacity(remaining.len());
-        let driving_rate = self
-            .cost_model
-            .input_rate(q.driving_stream, stats);
+        let driving_rate = self.cost_model.input_rate(q.driving_stream, stats);
         let mut rate = driving_rate;
         while !remaining.is_empty() {
             let mut best_idx = 0;
@@ -303,7 +303,9 @@ mod tests {
         // Greedy is a heuristic: it should stay within a small constant
         // factor of the rank-optimal plan.
         let rank = JoinOrderOptimizer::new(q.clone());
-        let c_opt = rank.plan_cost(&rank.optimize(&stats).unwrap(), &stats).unwrap();
+        let c_opt = rank
+            .plan_cost(&rank.optimize(&stats).unwrap(), &stats)
+            .unwrap();
         let c_greedy = opt.plan_cost(&p, &stats).unwrap();
         assert!(
             c_greedy <= c_opt * 3.0,

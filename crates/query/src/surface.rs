@@ -232,7 +232,9 @@ mod tests {
         assert!((c[2] - 2.0).abs() < 1e-6);
         assert!((c[3] - 5.0).abs() < 1e-6);
         let p = Point::new(vec![0.3, 0.7]);
-        assert!((fit.predict(&p).unwrap() - (3.0 * 0.3 + 2.0 * 0.7 + 5.0 * 0.21 + 1.0)).abs() < 1e-6);
+        assert!(
+            (fit.predict(&p).unwrap() - (3.0 * 0.3 + 2.0 * 0.7 + 5.0 * 0.21 + 1.0)).abs() < 1e-6
+        );
     }
 
     #[test]

@@ -69,10 +69,7 @@ impl Workload for SensorWorkload {
         let mut stats = self.query.default_stats();
         let scale = self.diurnal_scale(t_secs);
         for stream in &self.query.streams {
-            stats.set(
-                StatKey::InputRate(stream.id),
-                stream.rate_estimate * scale,
-            );
+            stats.set(StatKey::InputRate(stream.id), stream.rate_estimate * scale);
         }
         for (i, op) in self.query.operators.iter().enumerate() {
             let m = self.selectivity.scale_at(t_secs, i);
@@ -101,7 +98,9 @@ mod tests {
         let s_peak = w.stats_at(100.0);
         let s_trough = w.stats_at(300.0);
         for stream in &q.streams {
-            assert!(s_peak.input_rate(stream.id).unwrap() > s_trough.input_rate(stream.id).unwrap());
+            assert!(
+                s_peak.input_rate(stream.id).unwrap() > s_trough.input_rate(stream.id).unwrap()
+            );
         }
     }
 

@@ -140,7 +140,9 @@ pub fn default_batch(
     let mut batch = Batch::new();
     for i in 0..count {
         let ts = ((t_secs + dt_secs * i as f64 / count.max(1) as f64) * 1000.0) as u64;
-        let values = (0..arity).map(|_| Value::Float(dist.sample(&mut rng))).collect();
+        let values = (0..arity)
+            .map(|_| Value::Float(dist.sample(&mut rng)))
+            .collect();
         batch.push(Tuple::new(driving, ts, values));
     }
     batch
@@ -313,7 +315,10 @@ mod tests {
         let batch = w.generate_batch(0.0, 1.0, 7);
         assert!(batch.len() > 50 && batch.len() < 160, "len={}", batch.len());
         // Tuples carry increasing timestamps and the right arity.
-        assert!(batch.tuples.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert!(batch
+            .tuples
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
         assert!(batch
             .tuples
             .iter()

@@ -1,1 +1,18 @@
-//! Example helper crate (examples are the [[bin]] targets in Cargo.toml).
+//! Helper crate for the workspace's runnable examples.
+//!
+//! The example programs sit next to this file and are registered as
+//! `[[example]]` targets in this package's `Cargo.toml`, so each runs with
+//! `cargo run --release --example <name>`:
+//!
+//! * `quickstart` — the whole RLD pipeline (parameter space → robust
+//!   logical solution → robust physical plan → simulated run) in ~50 lines.
+//! * `stock_monitoring` — the paper's running example: Q1 under
+//!   bullish/bearish regime switches (Example 1).
+//! * `sensor_network` — an n-way join over diurnally fluctuating sensor
+//!   streams.
+//! * `baseline_comparison` — RLD vs ROD vs DYN on the same workload, the
+//!   §6.5 comparison in miniature.
+//!
+//! This library target is intentionally empty; it exists so the example
+//! files have a package to hang off and so shared helpers can be added here
+//! later.

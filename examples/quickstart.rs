@@ -26,7 +26,10 @@ fn main() -> Result<()> {
     let optimizer = RldOptimizer::new(query.clone(), config);
     let solution = optimizer.optimize(&cluster)?;
 
-    println!("\nRobust logical solution ({} plans):", solution.logical.len());
+    println!(
+        "\nRobust logical solution ({} plans):",
+        solution.logical.len()
+    );
     for (i, entry) in solution.logical.entries().iter().enumerate() {
         println!(
             "  lp{i}: {}  (robust in {} region(s), {} grid cells)",

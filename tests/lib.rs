@@ -1,1 +1,17 @@
-//! Integration-test helper crate (tests live in ).
+//! Helper crate for the workspace's cross-crate integration tests.
+//!
+//! The tests themselves live in `tests/tests/` (cargo's integration-test
+//! directory for this package) and exercise the public `rld_core` API the
+//! way an application would:
+//!
+//! * `end_to_end.rs` — the full compile-time → runtime pipeline on the
+//!   paper's Q1/Q2 queries.
+//! * `paper_claims.rs` — checks that the reproduction exhibits the paper's
+//!   headline claims (ERP ≤ ES optimizer calls, coverage guarantees,
+//!   OptPrune ≥ GreedyPhy score, RLD latency under fluctuation).
+//! * `logical_physical_properties.rs` — property-based invariants of the
+//!   cost model, logical-solution generators and physical planners under
+//!   randomized queries.
+//!
+//! This library target is intentionally empty; it exists so the test files
+//! have a package to hang off and so shared helpers can be added here later.

@@ -83,10 +83,26 @@ fn rld_beats_rod_under_strong_fluctuation() {
     // rates alternate between 2x and 0.5x every 10 s.
     let n = query.num_operators();
     let regime_a: Vec<f64> = (0..n)
-        .map(|i| if i >= 4 { 1.0 } else if i % 2 == 0 { 0.5 } else { 1.5 })
+        .map(|i| {
+            if i >= 4 {
+                1.0
+            } else if i % 2 == 0 {
+                0.5
+            } else {
+                1.5
+            }
+        })
         .collect();
     let regime_b: Vec<f64> = (0..n)
-        .map(|i| if i >= 4 { 1.0 } else if i % 2 == 0 { 1.5 } else { 0.5 })
+        .map(|i| {
+            if i >= 4 {
+                1.0
+            } else if i % 2 == 0 {
+                1.5
+            } else {
+                0.5
+            }
+        })
         .collect();
     let workload = SyntheticWorkload::new(
         "regimes",

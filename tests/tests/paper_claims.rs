@@ -14,17 +14,13 @@ fn erp_call_savings_grow_with_uncertainty() {
         let est = query
             .selectivity_estimates(2, UncertaintyLevel::new(u))
             .unwrap();
-        let space =
-            ParameterSpace::from_estimates(&est, query.default_stats(), steps).unwrap();
+        let space = ParameterSpace::from_estimates(&est, query.default_stats(), steps).unwrap();
         let opt_es = JoinOrderOptimizer::new(query.clone());
         let es = ExhaustiveSearch::new(&opt_es, &space);
         let (_, es_stats) = es.generate().unwrap();
         let opt_erp = JoinOrderOptimizer::new(query.clone());
-        let erp = EarlyTerminatedRobustPartitioning::new(
-            &opt_erp,
-            &space,
-            ErpConfig::with_epsilon(0.2),
-        );
+        let erp =
+            EarlyTerminatedRobustPartitioning::new(&opt_erp, &space, ErpConfig::with_epsilon(0.2));
         let (_, erp_stats) = erp.generate().unwrap();
         assert!(erp_stats.optimizer_calls <= es_stats.optimizer_calls);
         savings.push(es_stats.optimizer_calls as i64 - erp_stats.optimizer_calls as i64);
@@ -47,11 +43,8 @@ fn erp_coverage_competitive_with_random_sampling() {
     let evaluator = CoverageEvaluator::new(query.clone(), space.clone(), 0.2).unwrap();
     for budget in [10usize, 30] {
         let opt_erp = JoinOrderOptimizer::new(query.clone());
-        let erp = EarlyTerminatedRobustPartitioning::new(
-            &opt_erp,
-            &space,
-            ErpConfig::with_epsilon(0.2),
-        );
+        let erp =
+            EarlyTerminatedRobustPartitioning::new(&opt_erp, &space, ErpConfig::with_epsilon(0.2));
         let (erp_sol, _) = erp.generate_with_budget(budget).unwrap();
         let opt_rs = JoinOrderOptimizer::new(query.clone());
         let rs = RandomSearch::new(&opt_rs, &space, 1234);

@@ -1,0 +1,220 @@
+//! Offline stub of the `proptest` property-testing crate.
+//!
+//! Implements the subset of the proptest API the integration tests use:
+//! the [`Strategy`] trait with `prop_map`, range and tuple strategies, the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]` header),
+//! [`ProptestConfig::with_cases`], and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Semantics versus the real crate: cases are generated from a deterministic
+//! seed derived from the test name (reproducible across runs), and failing
+//! cases are **not shrunk** — the failing input is simply whatever the
+//! assertion message shows. That is enough to exercise cross-crate
+//! invariants offline; swap in crates.io proptest via
+//! `[workspace.dependencies]` for shrinking and persistence.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::Range;
+
+/// The deterministic RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Derive the per-test RNG from the test's name, so every test gets a fixed
+/// but distinct case sequence.
+pub fn rng_for_test(test_name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of the same value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::RngExt as _;
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0.0);
+impl_tuple_strategy!(S0.0, S1.1);
+impl_tuple_strategy!(S0.0, S1.1, S2.2);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+
+/// Assert a boolean condition inside a `proptest!` test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a `proptest!` test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a `proptest!` test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests. Mirrors the real `proptest!` macro: an optional
+/// `#![proptest_config(..)]` header followed by `#[test]` functions whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($items:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($items)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng_for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// The glob-importable API surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_compose(n in 3usize..7, x in (0u64..100).prop_map(|v| v * 2)) {
+            prop_assert!((3..7).contains(&n));
+            prop_assert!(x < 200);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn tuples_generate_componentwise((a, b) in (1u32..5, -2.0f64..2.0)) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn same_test_name_gives_same_sequence() {
+        use crate::Strategy;
+        let strategy = 0u64..1_000_000;
+        let mut a = crate::rng_for_test("t");
+        let mut b = crate::rng_for_test("t");
+        let xs: Vec<u64> = (0..16).map(|_| strategy.generate(&mut a)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| strategy.generate(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stub of `serde`.
+//!
+//! Defines the `Serialize`/`Deserialize` trait names and re-exports the no-op
+//! derive macros from the sibling `serde_derive` stub, so that
+//! `use serde::{Serialize, Deserialize};` plus `#[derive(...)]` compile
+//! without registry access. No actual serialization is provided — the derives
+//! expand to nothing, so the traits below have no implementors yet. See
+//! `vendor/serde_derive` for the swap-in-the-real-crate instructions.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! This workspace builds without registry access, so the real `serde_derive`
+//! (and its `syn`/`quote` dependency tree) is unavailable. The RLD crates only
+//! use `#[derive(Serialize, Deserialize)]` as forward-looking annotations —
+//! nothing in the workspace serializes yet — so these derives expand to
+//! nothing. When real serialization lands, point `[workspace.dependencies]`
+//! at crates.io `serde` instead and delete `vendor/serde*`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
