@@ -1,8 +1,13 @@
 //! Criterion micro-benchmark: the runtime simulator — how fast simulated
 //! minutes execute, for the RLD and ROD deployments.
+//!
+//! The long-duration benchmark exists to guard the plan-router cache: per-plan
+//! operator-load vectors are derived once per (plan, placement, truth) change
+//! instead of every tick, so a 1-hour simulated run does per-tick work
+//! proportional to the node count, not the cost model. The run's own metrics
+//! make the effect visible (`work_vector_recomputes` ≪ `batches`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rld_bench::runtime_capacity;
 use rld_core::prelude::*;
 use std::hint::black_box;
 
@@ -38,5 +43,32 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator);
+fn bench_simulator_long(c: &mut Criterion) {
+    let query = Query::q1_stock_monitoring();
+    let nodes = 4;
+    let capacity = runtime_capacity(&query, nodes, 3.0);
+    let cluster = Cluster::homogeneous(nodes, capacity).unwrap();
+    let config = SimConfig {
+        duration_secs: 3600.0,
+        ..SimConfig::default()
+    };
+    let sim = Simulator::new(query.clone(), cluster.clone(), config).unwrap();
+    // 60 s regimes: the truth is piecewise constant, so the cached work
+    // vectors are rebuilt ~60 times over ~3600 batches.
+    let workload = StockWorkload::new(60.0, RatePattern::Constant(1.0));
+
+    let mut group = c.benchmark_group("simulator_3600s");
+    group.sample_size(10);
+    group.bench_function("rod_q1_4nodes_cached_router", |b| {
+        b.iter(|| {
+            let mut sys = deploy_rod(&query, &query.default_stats(), &cluster).unwrap();
+            let metrics = sim.run(&workload, &mut sys).unwrap();
+            assert!(metrics.work_vector_recomputes * 10 < metrics.batches.max(10));
+            black_box(metrics)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_simulator_long);
 criterion_main!(benches);

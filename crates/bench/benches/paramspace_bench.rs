@@ -40,7 +40,9 @@ fn bench_occurrence_probabilities(c: &mut Criterion) {
     let (_, space) = space_2d(17);
     let region = PsRegion::full(&space);
     c.bench_function("occurrence_normal_17x17", |b| {
-        b.iter(|| black_box(OccurrenceModel::Normal.plan_weight(&space, &[region.clone()])))
+        b.iter(|| {
+            black_box(OccurrenceModel::Normal.plan_weight(&space, std::slice::from_ref(&region)))
+        })
     });
 }
 

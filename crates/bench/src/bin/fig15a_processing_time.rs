@@ -1,45 +1,54 @@
-//! Figure 15a: average tuple processing time (ms) of ROD / DYN / RLD when the
-//! input rates are scaled to 50%–400% of the planned rates (30-minute
-//! simulated runs of the 10-way join workload).
+//! Figure 15a: average tuple processing time (ms) of ROD / DYN / RLD — plus
+//! this reproduction's HYB strategy — when the input rates are scaled to
+//! 50%–400% of the planned rates (30-minute simulated runs of the 10-way
+//! join workload).
+//!
+//! Alongside the text table the binary writes
+//! `BENCH_fig15a_processing_time.json` for cross-PR perf tracking.
 
-use rld_bench::{
-    compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity,
-};
+use rld_bench::json::{report_json, write_bench_json, Json};
+use rld_bench::print_table;
 use rld_core::prelude::*;
-use std::collections::BTreeMap;
 
 fn main() {
-    let query = Query::q2_ten_way_join();
-    let nodes = 10;
-    // Cluster sized so that 100% load fits comfortably but 300–400% does not.
-    let capacity = runtime_capacity(&query, nodes, 3.0);
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for ratio in [0.5, 1.0, 2.0, 3.0, 4.0] {
+        let query = Query::q2_ten_way_join();
         let workload = regime_switching_workload(&query, 60.0, RatePattern::Constant(ratio));
-        let results = compare_runtime_systems(&query, &workload, nodes, capacity, 1800.0);
-        let by_name: BTreeMap<String, f64> = results
-            .iter()
-            .map(|r| (r.system.clone(), r.metrics.avg_tuple_processing_ms))
-            .collect();
-        rows.push(vec![
-            format!("{}%", (ratio * 100.0) as u32),
-            by_name
-                .get("ROD")
-                .map(|v| format!("{v:.1}"))
-                .unwrap_or("n/a".into()),
-            by_name
-                .get("DYN")
-                .map(|v| format!("{v:.1}"))
-                .unwrap_or("n/a".into()),
-            by_name
-                .get("RLD")
-                .map(|v| format!("{v:.1}"))
-                .unwrap_or("n/a".into()),
-        ]);
+        let report = Scenario::builder(format!("fig15a-rate-{ratio}"), query)
+            .describe("Figure 15a sweep point: constant rate ratio over regime switches")
+            .homogeneous_cluster(10, 3.0)
+            .workload(workload)
+            .duration_secs(1800.0)
+            .default_strategies(runtime_rld_config())
+            .build()
+            .expect("scenario")
+            .run()
+            .expect("simulation run");
+
+        let mut row = vec![format!("{}%", (ratio * 100.0) as u32)];
+        for sys in DEFAULT_STRATEGY_NAMES {
+            row.push(
+                report
+                    .metrics_for(sys)
+                    .map(|m| format!("{:.1}", m.avg_tuple_processing_ms))
+                    .unwrap_or_else(|| "n/a".into()),
+            );
+        }
+        rows.push(row);
+        json_rows.push(Json::obj([
+            ("rate_ratio", Json::Num(ratio)),
+            ("report", report_json(&report)),
+        ]));
     }
     print_table(
         "Figure 15a — average tuple processing time (ms) vs input-rate ratio",
-        &["rate", "ROD", "DYN", "RLD"],
+        &["rate", "ROD", "DYN", "RLD", "HYB"],
         &rows,
     );
+    match write_bench_json("fig15a_processing_time", Json::Arr(json_rows)) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(err) => eprintln!("\ncould not write JSON: {err}"),
+    }
 }

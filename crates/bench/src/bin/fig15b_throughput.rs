@@ -1,34 +1,27 @@
-//! Figure 15b: cumulative number of result tuples produced by ROD / DYN / RLD
-//! over a 60-minute run in which the input rates step from 50% to 100% at
-//! minute 20 and to 200% at minute 40.
+//! Figure 15b: cumulative number of result tuples produced by ROD / DYN /
+//! RLD / HYB over a 60-minute run in which the input rates step from 50% to
+//! 100% at minute 20 and to 200% at minute 40.
+//!
+//! The underlying setup is the predefined `q2-rate-steps` scenario; the
+//! binary also writes `BENCH_fig15b_throughput.json`.
 
-use rld_bench::{
-    compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity,
-};
+use rld_bench::json::{report_json, write_bench_json};
+use rld_bench::print_table;
 use rld_core::prelude::*;
-use std::collections::BTreeMap;
 
 fn main() {
-    let query = Query::q2_ten_way_join();
-    let nodes = 10;
-    let capacity = runtime_capacity(&query, nodes, 2.5);
-    let workload = regime_switching_workload(
-        &query,
-        90.0,
-        RatePattern::Steps(vec![(0.0, 0.5), (1200.0, 1.0), (2400.0, 2.0)]),
-    );
-    let results = compare_runtime_systems(&query, &workload, nodes, capacity, 3600.0);
-    let timelines: BTreeMap<String, Vec<(u64, u64)>> = results
-        .iter()
-        .map(|r| (r.system.clone(), r.metrics.produced_timeline.clone()))
-        .collect();
+    let report = scenario::builtin("q2-rate-steps")
+        .expect("predefined scenario")
+        .run()
+        .expect("simulation run");
+
     let mut rows = Vec::new();
     for minute in (10..=60).step_by(10) {
         let mut row = vec![minute.to_string()];
-        for sys in ["ROD", "DYN", "RLD"] {
-            let v = timelines
-                .get(sys)
-                .and_then(|tl| tl.iter().find(|(m, _)| *m == minute))
+        for sys in DEFAULT_STRATEGY_NAMES {
+            let v = report
+                .metrics_for(sys)
+                .and_then(|m| m.produced_timeline.iter().find(|(m, _)| *m == minute))
                 .map(|(_, c)| c.to_string())
                 .unwrap_or_else(|| "n/a".into());
             row.push(v);
@@ -37,7 +30,11 @@ fn main() {
     }
     print_table(
         "Figure 15b — cumulative result tuples produced (rate steps at 20 and 40 min)",
-        &["minute", "ROD", "DYN", "RLD"],
+        &["minute", "ROD", "DYN", "RLD", "HYB"],
         &rows,
     );
+    match write_bench_json("fig15b_throughput", report_json(&report)) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(err) => eprintln!("\ncould not write JSON: {err}"),
+    }
 }

@@ -1,19 +1,14 @@
-//! Figure 16a: average tuple processing time (ms) of ROD / DYN / RLD as the
-//! number of cluster nodes varies over {5, 10, 15} under a periodically
-//! fluctuating workload.
+//! Figure 16a: average tuple processing time (ms) of ROD / DYN / RLD / HYB
+//! as the number of cluster nodes varies over {5, 10, 15} under a
+//! periodically fluctuating workload.
 
-use rld_bench::{
-    compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity,
-};
+use rld_bench::print_table;
 use rld_core::prelude::*;
-use std::collections::BTreeMap;
 
 fn main() {
-    let query = Query::q2_ten_way_join();
     let mut rows = Vec::new();
     for nodes in [5usize, 10, 15] {
-        // Total cluster slack kept constant: fewer nodes means tighter nodes.
-        let capacity = runtime_capacity(&query, nodes, 3.0);
+        let query = Query::q2_ten_way_join();
         let workload = regime_switching_workload(
             &query,
             60.0,
@@ -23,30 +18,31 @@ fn main() {
                 low_scale: 0.5,
             },
         );
-        let results = compare_runtime_systems(&query, &workload, nodes, capacity, 900.0);
-        let by_name: BTreeMap<String, f64> = results
-            .iter()
-            .map(|r| (r.system.clone(), r.metrics.avg_tuple_processing_ms))
-            .collect();
-        rows.push(vec![
-            nodes.to_string(),
-            by_name
-                .get("ROD")
-                .map(|v| format!("{v:.1}"))
-                .unwrap_or("n/a".into()),
-            by_name
-                .get("DYN")
-                .map(|v| format!("{v:.1}"))
-                .unwrap_or("n/a".into()),
-            by_name
-                .get("RLD")
-                .map(|v| format!("{v:.1}"))
-                .unwrap_or("n/a".into()),
-        ]);
+        // Total cluster slack kept constant: fewer nodes means tighter nodes.
+        let report = Scenario::builder(format!("fig16a-nodes-{nodes}"), query)
+            .describe("Figure 16a sweep point: node-count variation at fixed total slack")
+            .homogeneous_cluster(nodes, 3.0)
+            .workload(workload)
+            .duration_secs(900.0)
+            .default_strategies(runtime_rld_config())
+            .build()
+            .expect("scenario")
+            .run()
+            .expect("simulation run");
+        let mut row = vec![nodes.to_string()];
+        for sys in DEFAULT_STRATEGY_NAMES {
+            row.push(
+                report
+                    .metrics_for(sys)
+                    .map(|m| format!("{:.1}", m.avg_tuple_processing_ms))
+                    .unwrap_or_else(|| "n/a".into()),
+            );
+        }
+        rows.push(row);
     }
     print_table(
         "Figure 16a — average tuple processing time (ms) vs number of nodes",
-        &["nodes", "ROD", "DYN", "RLD"],
+        &["nodes", "ROD", "DYN", "RLD", "HYB"],
         &rows,
     );
 }

@@ -1,19 +1,14 @@
-//! Figure 16b: average tuple processing time (ms) of ROD / DYN / RLD as the
-//! input-rate fluctuation period varies over {5, 10, 20} seconds (rates
-//! alternate between a high and a low phase of equal length).
+//! Figure 16b: average tuple processing time (ms) of ROD / DYN / RLD / HYB
+//! as the input-rate fluctuation period varies over {5, 10, 20} seconds
+//! (rates alternate between a high and a low phase of equal length).
 
-use rld_bench::{
-    compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity,
-};
+use rld_bench::print_table;
 use rld_core::prelude::*;
-use std::collections::BTreeMap;
 
 fn main() {
-    let query = Query::q2_ten_way_join();
-    let nodes = 10;
-    let capacity = runtime_capacity(&query, nodes, 3.0);
     let mut rows = Vec::new();
     for period in [5.0f64, 10.0, 20.0] {
+        let query = Query::q2_ten_way_join();
         let workload = regime_switching_workload(
             &query,
             period * 6.0,
@@ -23,30 +18,30 @@ fn main() {
                 low_scale: 0.5,
             },
         );
-        let results = compare_runtime_systems(&query, &workload, nodes, capacity, 900.0);
-        let by_name: BTreeMap<String, f64> = results
-            .iter()
-            .map(|r| (r.system.clone(), r.metrics.avg_tuple_processing_ms))
-            .collect();
-        rows.push(vec![
-            format!("{period}s"),
-            by_name
-                .get("ROD")
-                .map(|v| format!("{v:.1}"))
-                .unwrap_or("n/a".into()),
-            by_name
-                .get("DYN")
-                .map(|v| format!("{v:.1}"))
-                .unwrap_or("n/a".into()),
-            by_name
-                .get("RLD")
-                .map(|v| format!("{v:.1}"))
-                .unwrap_or("n/a".into()),
-        ]);
+        let report = Scenario::builder(format!("fig16b-period-{period}"), query)
+            .describe("Figure 16b sweep point: rate fluctuation period variation")
+            .homogeneous_cluster(10, 3.0)
+            .workload(workload)
+            .duration_secs(900.0)
+            .default_strategies(runtime_rld_config())
+            .build()
+            .expect("scenario")
+            .run()
+            .expect("simulation run");
+        let mut row = vec![format!("{period}s")];
+        for sys in DEFAULT_STRATEGY_NAMES {
+            row.push(
+                report
+                    .metrics_for(sys)
+                    .map(|m| format!("{:.1}", m.avg_tuple_processing_ms))
+                    .unwrap_or_else(|| "n/a".into()),
+            );
+        }
+        rows.push(row);
     }
     print_table(
         "Figure 16b — average tuple processing time (ms) vs fluctuation period",
-        &["period", "ROD", "DYN", "RLD"],
+        &["period", "ROD", "DYN", "RLD", "HYB"],
         &rows,
     );
 }

@@ -1,35 +1,30 @@
 //! §6.5 runtime overhead: the share of cluster work spent on anything other
-//! than query processing — per-batch plan classification for RLD, operator
-//! migrations for DYN, and (by construction) zero for ROD.
+//! than query processing — per-batch plan classification for RLD and HYB,
+//! operator migrations for DYN and (when the statistics escape every robust
+//! region) HYB, and by construction zero for ROD.
+//!
+//! The underlying setup is the predefined `q2-regime-switch` scenario; the
+//! binary also writes `BENCH_overhead_runtime.json`.
 
-use rld_bench::{
-    compare_runtime_systems, print_table, regime_switching_workload, runtime_capacity,
-};
+use rld_bench::json::{report_json, write_bench_json};
+use rld_bench::print_table;
 use rld_core::prelude::*;
 
 fn main() {
-    let query = Query::q2_ten_way_join();
-    let nodes = 10;
-    let capacity = runtime_capacity(&query, nodes, 3.0);
-    let workload = regime_switching_workload(
-        &query,
-        90.0,
-        RatePattern::Periodic {
-            period_secs: 10.0,
-            high_scale: 2.0,
-            low_scale: 0.5,
-        },
-    );
-    let results = compare_runtime_systems(&query, &workload, nodes, capacity, 900.0);
-    let rows: Vec<Vec<String>> = results
-        .iter()
-        .map(|r| {
+    let report = scenario::builtin("q2-regime-switch")
+        .expect("predefined scenario")
+        .run()
+        .expect("simulation run");
+
+    let rows: Vec<Vec<String>> = report
+        .metrics()
+        .map(|m| {
             vec![
-                r.system.clone(),
-                format!("{:.2}%", r.metrics.overhead_fraction() * 100.0),
-                r.metrics.migrations.to_string(),
-                r.metrics.plan_switches.to_string(),
-                format!("{:.1}", r.metrics.avg_tuple_processing_ms),
+                m.system.clone(),
+                format!("{:.2}%", m.overhead_fraction() * 100.0),
+                m.migrations.to_string(),
+                m.plan_switches.to_string(),
+                format!("{:.1}", m.avg_tuple_processing_ms),
             ]
         })
         .collect();
@@ -44,4 +39,8 @@ fn main() {
         ],
         &rows,
     );
+    match write_bench_json("overhead_runtime", report_json(&report)) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(err) => eprintln!("\ncould not write JSON: {err}"),
+    }
 }

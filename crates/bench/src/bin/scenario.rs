@@ -1,0 +1,88 @@
+//! The scenario runner: execute any predefined runtime scenario by name.
+//!
+//! ```text
+//! cargo run -p rld-bench --release --bin scenario -- --list
+//! cargo run -p rld-bench --release --bin scenario -- q2-regime-switch
+//! ```
+//!
+//! Prints the per-strategy comparison table and writes
+//! `BENCH_scenario_<name>.json` with the full metrics of every strategy.
+
+use rld_bench::json::{report_json, write_bench_json};
+use rld_bench::print_table;
+use rld_core::prelude::*;
+
+fn list() {
+    println!("predefined scenarios:");
+    for name in scenario::builtin_names() {
+        let s = scenario::builtin(name).expect("builtin resolves");
+        println!("  {:<18} {}", name, s.description());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = match args.first().map(String::as_str) {
+        None | Some("--list") | Some("-l") => {
+            list();
+            if args.is_empty() {
+                println!("\nusage: scenario <name> | --list");
+            }
+            return;
+        }
+        Some(name) => name.to_string(),
+    };
+
+    let scenario = match scenario::builtin(&name) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "scenario {} — {}\nquery {} on {} nodes, {:.0} s simulated",
+        scenario.name(),
+        scenario.description(),
+        scenario.query().name,
+        scenario.cluster().num_nodes(),
+        scenario.sim_config().duration_secs,
+    );
+    let report = scenario.run().expect("simulation run");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for outcome in &report.outcomes {
+        match (&outcome.metrics, &outcome.skipped) {
+            (Some(m), _) => rows.push(vec![
+                m.system.clone(),
+                format!("{:.1}", m.avg_tuple_processing_ms),
+                format!("{:.1}", m.p95_tuple_processing_ms),
+                m.tuples_produced.to_string(),
+                m.migrations.to_string(),
+                m.plan_switches.to_string(),
+                format!("{:.2}%", m.overhead_fraction() * 100.0),
+            ]),
+            (None, Some(reason)) => rows.push(vec![
+                outcome.strategy.clone(),
+                "skipped".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                reason.clone(),
+            ]),
+            (None, None) => unreachable!("outcome has neither metrics nor skip reason"),
+        }
+    }
+    print_table(
+        &format!("Scenario {} — strategy comparison", report.scenario),
+        &[
+            "system", "avg ms", "p95 ms", "produced", "migr", "switches", "overhead",
+        ],
+        &rows,
+    );
+    match write_bench_json(&format!("scenario_{name}"), report_json(&report)) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(err) => eprintln!("\ncould not write JSON: {err}"),
+    }
+}

@@ -1,0 +1,223 @@
+//! Minimal JSON emission for the experiment binaries.
+//!
+//! The workspace builds fully offline with a no-op `serde` stub, so the
+//! bench harness carries its own tiny JSON value type instead. The runtime
+//! binaries (`fig15a_processing_time`, `fig15b_throughput`,
+//! `overhead_runtime`, `scenario`) write a `BENCH_<name>.json` file next to
+//! their text table so the perf trajectory can be tracked across PRs by
+//! machines, not just eyeballs.
+
+use rld_core::prelude::*;
+use std::fmt;
+use std::path::PathBuf;
+
+/// A JSON value. Construction is by hand; emission is deterministic (object
+/// keys keep insertion order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values emit as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An unsigned integer value (JSON numbers are f64; exact below 2^53).
+    pub fn uint(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(v) if v.is_finite() => write!(f, "{v}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::Str(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                escape_into(&mut buf, s);
+                f.write_str(&buf)
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut key = String::with_capacity(k.len() + 2);
+                    escape_into(&mut key, k);
+                    write!(f, "{key}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// The machine-readable projection of one run's metrics.
+pub fn metrics_json(m: &RunMetrics) -> Json {
+    Json::obj([
+        ("system", Json::str(&m.system)),
+        ("duration_secs", Json::Num(m.duration_secs)),
+        ("tuples_arrived", Json::uint(m.tuples_arrived)),
+        ("tuples_processed", Json::uint(m.tuples_processed)),
+        ("tuples_produced", Json::uint(m.tuples_produced)),
+        (
+            "avg_tuple_processing_ms",
+            Json::Num(m.avg_tuple_processing_ms),
+        ),
+        (
+            "p95_tuple_processing_ms",
+            Json::Num(m.p95_tuple_processing_ms),
+        ),
+        ("migrations", Json::uint(m.migrations)),
+        ("plan_switches", Json::uint(m.plan_switches)),
+        ("overhead_fraction", Json::Num(m.overhead_fraction())),
+        ("throughput_per_sec", Json::Num(m.throughput_per_sec())),
+        ("mean_utilization", Json::Num(m.mean_utilization)),
+        ("max_backlog", Json::Num(m.max_backlog)),
+        ("batches", Json::uint(m.batches)),
+        (
+            "work_vector_recomputes",
+            Json::uint(m.work_vector_recomputes),
+        ),
+        (
+            "produced_timeline",
+            Json::Arr(
+                m.produced_timeline
+                    .iter()
+                    .map(|(minute, count)| Json::Arr(vec![Json::uint(*minute), Json::uint(*count)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The machine-readable projection of a whole scenario report.
+pub fn report_json(report: &ScenarioReport) -> Json {
+    Json::obj([
+        ("scenario", Json::str(&report.scenario)),
+        (
+            "outcomes",
+            Json::Arr(
+                report
+                    .outcomes
+                    .iter()
+                    .map(|o| {
+                        Json::obj([
+                            ("strategy", Json::str(&o.strategy)),
+                            (
+                                "metrics",
+                                o.metrics.as_ref().map(metrics_json).unwrap_or(Json::Null),
+                            ),
+                            (
+                                "skipped",
+                                o.skipped
+                                    .as_ref()
+                                    .map(|s| Json::str(s.as_str()))
+                                    .unwrap_or(Json::Null),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Write `BENCH_<name>.json` in the current directory and return its path.
+/// The emitted object is `{"bench": <name>, "data": <json>}`.
+pub fn write_bench_json(name: &str, data: Json) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    let doc = Json::obj([("bench", Json::str(name)), ("data", data)]);
+    std::fs::write(&path, format!("{doc}\n"))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_render_as_valid_json() {
+        let j = Json::obj([
+            ("a", Json::Num(1.5)),
+            ("b", Json::str("x\"y\n")),
+            ("c", Json::Arr(vec![Json::Null, Json::Bool(true)])),
+            ("nan", Json::Num(f64::NAN)),
+        ]);
+        assert_eq!(
+            j.to_string(),
+            r#"{"a":1.5,"b":"x\"y\n","c":[null,true],"nan":null}"#
+        );
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::uint(42).to_string(), "42");
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+    }
+
+    #[test]
+    fn metrics_round_trip_the_headline_numbers() {
+        let m = RunMetrics {
+            system: "RLD".into(),
+            duration_secs: 60.0,
+            tuples_produced: 123,
+            avg_tuple_processing_ms: 4.5,
+            batches: 10,
+            work_vector_recomputes: 2,
+            ..RunMetrics::default()
+        };
+        let text = metrics_json(&m).to_string();
+        assert!(text.contains(r#""system":"RLD""#));
+        assert!(text.contains(r#""tuples_produced":123"#));
+        assert!(text.contains(r#""work_vector_recomputes":2"#));
+    }
+}

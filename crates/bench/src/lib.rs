@@ -20,14 +20,25 @@
 //! | `fig16b_fluctuation_period` | Figure 16b (avg processing time vs fluctuation period) |
 //! | `overhead_runtime`      | §6.5 runtime-overhead comparison |
 //! | `ablations`             | DESIGN.md ablations (occurrence model, distance metric, ε sweep) |
+//! | `scenario`              | runs any predefined scenario by name (`--list` to enumerate) |
+//!
+//! The runtime binaries are thin wrappers over the scenario layer
+//! (`rld_core::scenario`), and the ones tracked across PRs
+//! (`fig15a_processing_time`, `fig15b_throughput`, `overhead_runtime`,
+//! `scenario`) also emit a machine-readable `BENCH_<name>.json` via
+//! [`json::write_bench_json`].
 //!
 //! This crate also exposes the shared helpers those binaries use, so that
 //! integration tests can validate the harness itself.
 
+pub mod json;
+
 use rld_core::prelude::*;
 
-/// Default experiment seed (all harness randomness derives from it).
-pub const EXPERIMENT_SEED: u64 = 0xF1D0_2013;
+/// Default experiment seed (all harness randomness derives from it) — the
+/// scenario layer's [`rld_core::scenario::SCENARIO_SEED`], re-exported under
+/// the harness's historical name so there is exactly one seed constant.
+pub use rld_core::scenario::SCENARIO_SEED as EXPERIMENT_SEED;
 
 /// Number of grid steps per dimension used for an uncertainty level `U`.
 ///
@@ -156,134 +167,6 @@ pub fn capacity_for(model: &SupportModel, nodes_needed: f64) -> f64 {
     (total / nodes_needed).max(max_single * 1.2).max(1e-6)
 }
 
-/// Cluster capacity used by the runtime experiments: enough to process the
-/// estimate-point load with the given slack factor spread over `nodes` nodes.
-pub fn runtime_capacity(query: &Query, nodes: usize, slack: f64) -> f64 {
-    let cm = CostModel::new(query.clone());
-    let opt = JoinOrderOptimizer::new(query.clone());
-    let plan = opt.optimize(&query.default_stats()).expect("plan");
-    let loads = cm
-        .operator_loads(&plan, &query.default_stats())
-        .expect("loads");
-    let total: f64 = loads.iter().sum();
-    let max_single = loads.iter().cloned().fold(0.0f64, f64::max);
-    ((total * slack) / nodes as f64).max(max_single * 1.05)
-}
-
-/// The fluctuating workload used by the runtime experiments (Figures 15–16):
-/// stream rates follow `rate`, and operator selectivities switch between two
-/// regimes every `period_secs` — in regime A the even-indexed operators are
-/// selective and the odd ones are not, in regime B the roles flip. This is
-/// the Q2-scale analogue of the paper's bullish/bearish Example 1 and is what
-/// makes a fixed plan ordering (ROD / DYN) pay for not adapting.
-pub fn regime_switching_workload(
-    query: &Query,
-    period_secs: f64,
-    rate: RatePattern,
-) -> SyntheticWorkload {
-    // Only the first four operators fluctuate (alternating directions); the
-    // rest stay at their estimates. This matches the uncertainty RLD is told
-    // about in [`runtime_rld_config`] — the paper's guarantee only holds for
-    // fluctuations inside the modelled parameter space.
-    let n = query.num_operators();
-    let fluctuating = n.min(4);
-    let regime_a: Vec<f64> = (0..n)
-        .map(|i| {
-            if i >= fluctuating {
-                1.0
-            } else if i % 2 == 0 {
-                0.5
-            } else {
-                1.5
-            }
-        })
-        .collect();
-    let regime_b: Vec<f64> = (0..n)
-        .map(|i| {
-            if i >= fluctuating {
-                1.0
-            } else if i % 2 == 0 {
-                1.5
-            } else {
-                0.5
-            }
-        })
-        .collect();
-    SyntheticWorkload::new(
-        format!("regime-switch-{period_secs}s"),
-        query.clone(),
-        rate,
-        SelectivityPattern::RegimeSwitch {
-            period_secs,
-            regimes: vec![regime_a, regime_b],
-        },
-    )
-}
-
-/// The RLD configuration used by the runtime experiments: a parameter space
-/// wide enough (U = 5 → ±50%) to cover the regime switches above, and a tight
-/// robustness threshold so the routed plans stay close to optimal.
-pub fn runtime_rld_config() -> RldConfig {
-    let mut config = RldConfig::default()
-        .with_uncertainty(5)
-        .with_epsilon(0.1)
-        .with_dimensions(4);
-    config.grid_steps = 7;
-    config
-}
-
-/// Result of one runtime comparison run (one line of Figures 15–16).
-#[derive(Debug, Clone)]
-pub struct RuntimeRow {
-    /// System name (`RLD`, `ROD`, `DYN`).
-    pub system: String,
-    /// The full metrics of the run.
-    pub metrics: RunMetrics,
-}
-
-/// Run the RLD / ROD / DYN comparison for one workload and cluster setup.
-pub fn compare_runtime_systems(
-    query: &Query,
-    workload: &dyn Workload,
-    nodes: usize,
-    capacity_per_node: f64,
-    duration_secs: f64,
-) -> Vec<RuntimeRow> {
-    let cluster = Cluster::homogeneous(nodes, capacity_per_node).expect("cluster");
-    let config = SimConfig {
-        duration_secs,
-        seed: EXPERIMENT_SEED,
-        ..SimConfig::default()
-    };
-    let sim = Simulator::new(query.clone(), cluster.clone(), config).expect("simulator");
-
-    let mut systems: Vec<SystemUnderTest> = Vec::new();
-    // ROD and DYN need the estimate-point load to fit at all; when it does
-    // not they are skipped (the paper's ROD similarly stops keeping up in
-    // that regime).
-    if let Ok(rod) = deploy_rod(query, &query.default_stats(), &cluster) {
-        systems.push(rod);
-    }
-    if let Ok(dyn_sys) = deploy_dyn(query, &query.default_stats(), &cluster, 5.0) {
-        systems.push(dyn_sys);
-    }
-    let rld_solution = RldOptimizer::new(query.clone(), runtime_rld_config())
-        .optimize(&cluster)
-        .expect("RLD optimization");
-    systems.push(rld_solution.deploy());
-
-    systems
-        .into_iter()
-        .map(|mut sys| {
-            let metrics = sim.run(workload, &mut sys).expect("simulation run");
-            RuntimeRow {
-                system: metrics.system.clone(),
-                metrics,
-            }
-        })
-        .collect()
-}
-
 /// Print a fixed-width table to stdout.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");
@@ -352,12 +235,19 @@ mod tests {
     }
 
     #[test]
-    fn runtime_comparison_includes_rld() {
+    fn runtime_scenarios_include_rld_and_hybrid() {
         let q = Query::q1_stock_monitoring();
-        let workload = StockWorkload::default_config();
-        let cap = runtime_capacity(&q, 4, 3.0);
-        let rows = compare_runtime_systems(&q, &workload, 4, cap, 30.0);
-        assert!(rows.iter().any(|r| r.system == "RLD"));
-        assert!(rows.len() >= 2);
+        let report = Scenario::builder("bench-smoke", q)
+            .homogeneous_cluster(4, 3.0)
+            .workload(StockWorkload::default_config())
+            .duration_secs(30.0)
+            .default_strategies(RldConfig::default().with_uncertainty(3))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.metrics_for("RLD").is_some());
+        assert!(report.metrics_for("HYB").is_some());
+        assert_eq!(report.outcomes.len(), 4);
     }
 }

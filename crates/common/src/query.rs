@@ -163,8 +163,10 @@ impl Query {
                     op.id, op.selectivity_estimate
                 )));
             }
-            if !(op.base_cost.is_finite() && op.base_cost >= 0.0)
-                || !(op.probe_cost.is_finite() && op.probe_cost >= 0.0)
+            if !(op.base_cost.is_finite()
+                && op.base_cost >= 0.0
+                && op.probe_cost.is_finite()
+                && op.probe_cost >= 0.0)
             {
                 return Err(RldError::InvalidQuery(format!(
                     "operator {} has invalid costs",

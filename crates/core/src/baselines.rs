@@ -2,18 +2,14 @@
 //! the runtime comparison (§6.5).
 
 use rld_common::{Query, Result, StatsSnapshot};
-use rld_engine::SystemUnderTest;
+use rld_engine::{DynStrategy, RodStrategy};
 use rld_physical::{Cluster, DynPlanner, RodPlanner};
 
 /// Build the ROD baseline deployment: one logical plan optimal at the given
 /// statistics, placed statically and never adapted.
-pub fn deploy_rod(
-    query: &Query,
-    stats: &StatsSnapshot,
-    cluster: &Cluster,
-) -> Result<SystemUnderTest> {
+pub fn deploy_rod(query: &Query, stats: &StatsSnapshot, cluster: &Cluster) -> Result<RodStrategy> {
     let plan = RodPlanner::new().plan(query, stats, cluster, 1.0)?;
-    Ok(SystemUnderTest::rod(plan.logical, plan.physical))
+    Ok(RodStrategy::new(plan.logical, plan.physical))
 }
 
 /// Build the DYN baseline deployment: one logical plan, placed for the given
@@ -23,10 +19,10 @@ pub fn deploy_dyn(
     stats: &StatsSnapshot,
     cluster: &Cluster,
     rebalance_period_secs: f64,
-) -> Result<SystemUnderTest> {
+) -> Result<DynStrategy> {
     let planner = DynPlanner::new();
     let (logical, physical) = planner.initial_plan(query, stats, cluster)?;
-    Ok(SystemUnderTest::dyn_system(
+    Ok(DynStrategy::new(
         logical,
         physical,
         planner,
@@ -37,6 +33,7 @@ pub fn deploy_dyn(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rld_engine::DistributionStrategy;
 
     #[test]
     fn baselines_deploy_successfully() {

@@ -47,9 +47,11 @@
 pub mod baselines;
 pub mod optimizer;
 pub mod prelude;
+pub mod scenario;
 
 pub use baselines::{deploy_dyn, deploy_rod};
 pub use optimizer::{PhysicalStrategy, RldConfig, RldOptimizer, RldSolution};
+pub use scenario::{Scenario, ScenarioReport, StrategyOutcome, StrategySpec};
 
 // Re-export the constituent crates so downstream users need only one dependency.
 pub use rld_common as common;

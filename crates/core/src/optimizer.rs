@@ -2,12 +2,13 @@
 //! robust physical plan.
 
 use rld_common::{Query, Result, RldError, StatisticEstimate, UncertaintyLevel};
-use rld_engine::SystemUnderTest;
+use rld_engine::{HybridStrategy, RldStrategy};
 use rld_logical::{
     CoverageEvaluator, EarlyTerminatedRobustPartitioning, ErpConfig, LogicalPlanGenerator,
     RobustLogicalSolution, SearchStats,
 };
 use rld_paramspace::{OccurrenceModel, ParameterSpace};
+use rld_physical::DynPlanner;
 use rld_physical::{
     Cluster, GreedyPhy, OptPrune, PhysicalPlan, PhysicalPlanGenerator, PhysicalSearchStats,
     SupportModel,
@@ -114,14 +115,30 @@ impl RldSolution {
         self.support.score(&self.physical, cluster)
     }
 
-    /// Deploy the solution as a runtime system for the simulator.
-    pub fn deploy(&self) -> SystemUnderTest {
-        SystemUnderTest::rld(
+    /// Deploy the solution as the RLD runtime strategy for the simulator.
+    pub fn deploy(&self) -> RldStrategy {
+        RldStrategy::new(
             self.support.query(),
             self.space.clone(),
             self.logical.clone(),
             self.physical.clone(),
             self.classification_overhead,
+        )
+    }
+
+    /// Deploy the solution as the hybrid runtime strategy: RLD classification
+    /// over this physical plan, plus DYN-style migration (at most once per
+    /// `rebalance_period_secs`) whenever the monitored statistics fall
+    /// outside every robust region.
+    pub fn deploy_hybrid(&self, rebalance_period_secs: f64) -> HybridStrategy {
+        HybridStrategy::new(
+            self.support.query(),
+            self.space.clone(),
+            self.logical.clone(),
+            self.physical.clone(),
+            self.classification_overhead,
+            DynPlanner::new(),
+            rebalance_period_secs,
         )
     }
 }
@@ -309,14 +326,18 @@ mod tests {
     }
 
     #[test]
-    fn deploy_produces_an_rld_runtime_system() {
+    fn deploy_produces_rld_and_hybrid_strategies() {
+        use rld_engine::DistributionStrategy;
         let q = Query::q1_stock_monitoring();
         let cluster = cluster_for(&q, 4, 100.0);
         let solution = RldOptimizer::new(q, RldConfig::default())
             .optimize(&cluster)
             .unwrap();
-        let system = solution.deploy();
-        assert_eq!(system.name(), "RLD");
+        let rld = solution.deploy();
+        assert_eq!(rld.name(), "RLD");
+        let hybrid = solution.deploy_hybrid(5.0);
+        assert_eq!(hybrid.name(), "HYB");
+        assert_eq!(hybrid.physical(), rld.physical());
     }
 
     #[test]

@@ -12,13 +12,20 @@
 
 pub use crate::baselines::{deploy_dyn, deploy_rod};
 pub use crate::optimizer::{PhysicalStrategy, RldConfig, RldOptimizer, RldSolution};
+pub use crate::scenario::{
+    self, regime_switching_workload, runtime_capacity, runtime_rld_config, Scenario,
+    ScenarioReport, StrategyOutcome, StrategySpec, DEFAULT_STRATEGY_NAMES,
+};
 
 pub use rld_common::{
     Batch, DataType, NodeId, OperatorId, OperatorKind, OperatorSpec, Query, QueryBuilder, Result,
     RldError, Schema, StatKey, StatisticEstimate, StatsSnapshot, StreamId, StreamSpec, Tuple,
     UncertaintyLevel, Value,
 };
-pub use rld_engine::{RunMetrics, SimConfig, Simulator, SystemUnderTest};
+pub use rld_engine::{
+    DistributionStrategy, DynStrategy, HybridStrategy, RldStrategy, RodStrategy, RunMetrics,
+    RuntimeContext, SimConfig, Simulator,
+};
 pub use rld_logical::{
     CoverageEvaluator, EarlyTerminatedRobustPartitioning, ErpConfig, ExhaustiveSearch,
     LogicalPlanGenerator, RandomSearch, RobustLogicalSolution, SearchStats,

@@ -1,0 +1,616 @@
+//! Scenario layer: named, runnable experiment setups.
+//!
+//! A [`Scenario`] bundles everything one runtime experiment needs — the
+//! query, the cluster, the workload, the simulation parameters, and the set
+//! of [`StrategySpec`]s to compare — so that bench binaries, integration
+//! tests and examples stop hand-assembling deployments. Scenarios come from
+//! two places:
+//!
+//! * [`Scenario::builder`] — compose one programmatically (the fig15/fig16
+//!   binaries do this per sweep point), or
+//! * [`builtin`] — look a predefined scenario up **by name** (the
+//!   `scenario` bench binary and the integration tests do this).
+//!
+//! Running a scenario builds each strategy fresh (so every strategy starts
+//! from the same compile-time inputs), simulates it against the shared
+//! workload, and reports per-strategy metrics. Strategies whose compile-time
+//! deployment is infeasible on the scenario's cluster are reported as
+//! skipped instead of aborting the comparison — the paper's ROD similarly
+//! drops out of regimes it cannot keep up with.
+
+use crate::baselines::{deploy_dyn, deploy_rod};
+use crate::optimizer::{RldConfig, RldOptimizer, RldSolution};
+use rld_common::{Query, Result, RldError};
+use rld_engine::{DistributionStrategy, RunMetrics, SimConfig, Simulator};
+use rld_physical::Cluster;
+use rld_query::{CostModel, JoinOrderOptimizer, Optimizer};
+use rld_workloads::{RatePattern, SelectivityPattern, StockWorkload, SyntheticWorkload, Workload};
+
+/// Seed shared by every predefined scenario and the experiment harness.
+pub const SCENARIO_SEED: u64 = 0xF1D0_2013;
+
+/// Short names of the strategies [`ScenarioBuilder::default_strategies`]
+/// configures, in run order — the column order of the figure tables.
+pub const DEFAULT_STRATEGY_NAMES: [&str; 4] = ["ROD", "DYN", "RLD", "HYB"];
+
+/// Which deployment policy to build for a scenario, and with which
+/// compile-time inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategySpec {
+    /// The paper's contribution: robust logical solution + robust physical
+    /// plan, produced by [`RldOptimizer`] with this configuration.
+    Rld(RldConfig),
+    /// The static baseline: one plan, one placement, no adaptation.
+    Rod,
+    /// The migrating baseline, rebalancing every `rebalance_period_secs`.
+    Dyn {
+        /// How often the controller re-evaluates the placement, in seconds.
+        rebalance_period_secs: f64,
+    },
+    /// RLD classification plus out-of-region migration fallback.
+    Hybrid {
+        /// The RLD compile-time configuration.
+        config: RldConfig,
+        /// How often the fallback controller may migrate, in seconds.
+        rebalance_period_secs: f64,
+    },
+}
+
+impl StrategySpec {
+    /// The strategy's short name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategySpec::Rld(_) => "RLD",
+            StrategySpec::Rod => "ROD",
+            StrategySpec::Dyn { .. } => "DYN",
+            StrategySpec::Hybrid { .. } => "HYB",
+        }
+    }
+
+    /// The RLD compile-time configuration this spec deploys from, if any.
+    fn rld_config(&self) -> Option<&RldConfig> {
+        match self {
+            StrategySpec::Rld(config) | StrategySpec::Hybrid { config, .. } => Some(config),
+            StrategySpec::Rod | StrategySpec::Dyn { .. } => None,
+        }
+    }
+
+    /// Build the runtime strategy for a query on a cluster. RLD and Hybrid
+    /// run the full compile-time optimization; ROD and DYN plan at the
+    /// query's default statistics. ([`Scenario::run`] shares one optimization
+    /// between specs with the same configuration instead of calling this.)
+    pub fn build(&self, query: &Query, cluster: &Cluster) -> Result<Box<dyn DistributionStrategy>> {
+        let solution = match self.rld_config() {
+            Some(config) => Some(RldOptimizer::new(query.clone(), *config).optimize(cluster)?),
+            None => None,
+        };
+        self.build_from(query, cluster, solution.as_ref())
+    }
+
+    /// Build the runtime strategy, deploying RLD/Hybrid from an already
+    /// computed solution. `solution` is required exactly when
+    /// [`Self::rld_config`] is `Some`.
+    fn build_from(
+        &self,
+        query: &Query,
+        cluster: &Cluster,
+        solution: Option<&RldSolution>,
+    ) -> Result<Box<dyn DistributionStrategy>> {
+        let solution_for = |spec: &Self| {
+            solution.ok_or_else(|| {
+                RldError::InvalidArgument(format!(
+                    "{} spec needs a compile-time RLD solution",
+                    spec.name()
+                ))
+            })
+        };
+        match self {
+            StrategySpec::Rld(_) => Ok(Box::new(solution_for(self)?.deploy())),
+            StrategySpec::Rod => {
+                deploy_rod(query, &query.default_stats(), cluster).map(|s| Box::new(s) as _)
+            }
+            StrategySpec::Dyn {
+                rebalance_period_secs,
+            } => deploy_dyn(
+                query,
+                &query.default_stats(),
+                cluster,
+                *rebalance_period_secs,
+            )
+            .map(|s| Box::new(s) as _),
+            StrategySpec::Hybrid {
+                rebalance_period_secs,
+                ..
+            } => Ok(Box::new(
+                solution_for(self)?.deploy_hybrid(*rebalance_period_secs),
+            )),
+        }
+    }
+}
+
+/// The outcome of one strategy within a scenario run.
+#[derive(Debug, Clone)]
+pub struct StrategyOutcome {
+    /// The strategy's short name (`"RLD"`, `"ROD"`, `"DYN"`, `"HYB"`).
+    pub strategy: String,
+    /// The run's metrics, when the strategy could be deployed.
+    pub metrics: Option<RunMetrics>,
+    /// Why the strategy was skipped (compile-time deployment infeasible).
+    pub skipped: Option<String>,
+}
+
+/// The result of running every strategy of a scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The scenario's name.
+    pub scenario: String,
+    /// One outcome per configured strategy, in configuration order.
+    pub outcomes: Vec<StrategyOutcome>,
+}
+
+impl ScenarioReport {
+    /// The metrics of every strategy that actually ran.
+    pub fn metrics(&self) -> impl Iterator<Item = &RunMetrics> {
+        self.outcomes.iter().filter_map(|o| o.metrics.as_ref())
+    }
+
+    /// The metrics of one strategy by short name, if it ran.
+    pub fn metrics_for(&self, name: &str) -> Option<&RunMetrics> {
+        self.metrics().find(|m| m.system == name)
+    }
+}
+
+/// A named, runnable runtime experiment: query + cluster + workload +
+/// simulation parameters + the strategies to compare.
+pub struct Scenario {
+    name: String,
+    description: String,
+    query: Query,
+    cluster: Cluster,
+    workload: Box<dyn Workload>,
+    sim: SimConfig,
+    strategies: Vec<StrategySpec>,
+}
+
+impl Scenario {
+    /// Start building a scenario for a query.
+    pub fn builder(name: impl Into<String>, query: Query) -> ScenarioBuilder {
+        ScenarioBuilder {
+            name: name.into(),
+            description: String::new(),
+            query,
+            cluster: None,
+            workload: None,
+            sim: SimConfig {
+                seed: SCENARIO_SEED,
+                ..SimConfig::default()
+            },
+            strategies: Vec::new(),
+        }
+    }
+
+    /// The scenario's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// One-line description of what the scenario exercises.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The query under test.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The cluster the strategies deploy onto.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The workload driving the run.
+    pub fn workload(&self) -> &dyn Workload {
+        self.workload.as_ref()
+    }
+
+    /// The simulation parameters.
+    pub fn sim_config(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// The strategies this scenario compares, in run order.
+    pub fn strategies(&self) -> &[StrategySpec] {
+        &self.strategies
+    }
+
+    /// Build every strategy, run each against the workload, and collect the
+    /// per-strategy outcomes. Deployment failures become skips; simulation
+    /// failures propagate. The expensive RLD compile-time optimization is
+    /// shared between specs with the same configuration (the default line-up
+    /// deploys RLD and Hybrid from one solution).
+    pub fn run(&self) -> Result<ScenarioReport> {
+        let sim = Simulator::new(self.query.clone(), self.cluster.clone(), self.sim)?;
+        let mut solved: Vec<(RldConfig, std::result::Result<RldSolution, String>)> = Vec::new();
+        let mut solve = |config: &RldConfig| {
+            if let Some((_, cached)) = solved.iter().find(|(c, _)| c == config) {
+                return cached.clone();
+            }
+            let result = RldOptimizer::new(self.query.clone(), *config)
+                .optimize(&self.cluster)
+                .map_err(|e| e.to_string());
+            solved.push((*config, result.clone()));
+            result
+        };
+        let mut outcomes = Vec::with_capacity(self.strategies.len());
+        for spec in &self.strategies {
+            let built: std::result::Result<Box<dyn DistributionStrategy>, String> =
+                match spec.rld_config() {
+                    Some(config) => solve(config).and_then(|solution| {
+                        spec.build_from(&self.query, &self.cluster, Some(&solution))
+                            .map_err(|e| e.to_string())
+                    }),
+                    None => spec
+                        .build_from(&self.query, &self.cluster, None)
+                        .map_err(|e| e.to_string()),
+                };
+            match built {
+                Ok(mut strategy) => {
+                    let metrics = sim.run(self.workload.as_ref(), strategy.as_mut())?;
+                    outcomes.push(StrategyOutcome {
+                        strategy: metrics.system.clone(),
+                        metrics: Some(metrics),
+                        skipped: None,
+                    });
+                }
+                Err(reason) => outcomes.push(StrategyOutcome {
+                    strategy: spec.name().to_string(),
+                    metrics: None,
+                    skipped: Some(reason),
+                }),
+            }
+        }
+        Ok(ScenarioReport {
+            scenario: self.name.clone(),
+            outcomes,
+        })
+    }
+}
+
+/// Builder for [`Scenario`].
+pub struct ScenarioBuilder {
+    name: String,
+    description: String,
+    query: Query,
+    cluster: Option<Cluster>,
+    workload: Option<Box<dyn Workload>>,
+    sim: SimConfig,
+    strategies: Vec<StrategySpec>,
+}
+
+impl ScenarioBuilder {
+    /// Set the one-line description.
+    pub fn describe(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// Use an explicit cluster.
+    pub fn cluster(mut self, cluster: Cluster) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Use a homogeneous cluster sized by [`runtime_capacity`]: `nodes`
+    /// machines sharing `slack`× the query's estimate-point load.
+    pub fn homogeneous_cluster(mut self, nodes: usize, slack: f64) -> Self {
+        let capacity = runtime_capacity(&self.query, nodes, slack);
+        self.cluster = Some(Cluster::homogeneous(nodes, capacity).expect("valid cluster"));
+        self
+    }
+
+    /// Set the workload.
+    pub fn workload(mut self, workload: impl Workload + 'static) -> Self {
+        self.workload = Some(Box::new(workload));
+        self
+    }
+
+    /// Replace the simulation parameters wholesale — including the seed,
+    /// which [`SimConfig::default`] sets differently from [`SCENARIO_SEED`];
+    /// chain [`Self::seed`] afterwards to stay comparable with the builtin
+    /// scenarios.
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Set only the simulated duration.
+    pub fn duration_secs(mut self, duration_secs: f64) -> Self {
+        self.sim.duration_secs = duration_secs;
+        self
+    }
+
+    /// Set only the arrival-process seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Add one strategy to the comparison.
+    pub fn strategy(mut self, spec: StrategySpec) -> Self {
+        self.strategies.push(spec);
+        self
+    }
+
+    /// Add the full §6.5 line-up — ROD, DYN, RLD and the Hybrid — with the
+    /// given RLD configuration and a 5 s rebalance period for the migrating
+    /// strategies.
+    pub fn default_strategies(mut self, rld: RldConfig) -> Self {
+        self.strategies.extend([
+            StrategySpec::Rod,
+            StrategySpec::Dyn {
+                rebalance_period_secs: 5.0,
+            },
+            StrategySpec::Rld(rld),
+            StrategySpec::Hybrid {
+                config: rld,
+                rebalance_period_secs: 5.0,
+            },
+        ]);
+        self
+    }
+
+    /// Finish the scenario. Requires a cluster, a workload, and at least one
+    /// strategy.
+    pub fn build(self) -> Result<Scenario> {
+        let cluster = self
+            .cluster
+            .ok_or_else(|| RldError::InvalidArgument("scenario needs a cluster".into()))?;
+        let workload = self
+            .workload
+            .ok_or_else(|| RldError::InvalidArgument("scenario needs a workload".into()))?;
+        if self.strategies.is_empty() {
+            return Err(RldError::InvalidArgument(
+                "scenario needs at least one strategy".into(),
+            ));
+        }
+        Ok(Scenario {
+            name: self.name,
+            description: self.description,
+            query: self.query,
+            cluster,
+            workload,
+            sim: self.sim,
+            strategies: self.strategies,
+        })
+    }
+}
+
+/// Cluster capacity used by the runtime experiments: enough to process the
+/// estimate-point load with the given slack factor spread over `nodes`
+/// nodes, but never below what the heaviest single operator needs.
+pub fn runtime_capacity(query: &Query, nodes: usize, slack: f64) -> f64 {
+    let cm = CostModel::new(query.clone());
+    let opt = JoinOrderOptimizer::new(query.clone());
+    let plan = opt.optimize(&query.default_stats()).expect("plan");
+    let loads = cm
+        .operator_loads(&plan, &query.default_stats())
+        .expect("loads");
+    let total: f64 = loads.iter().sum();
+    let max_single = loads.iter().cloned().fold(0.0f64, f64::max);
+    ((total * slack) / nodes as f64).max(max_single * 1.05)
+}
+
+/// The fluctuating workload used by the runtime experiments (Figures 15–16):
+/// stream rates follow `rate`, and operator selectivities switch between two
+/// regimes every `period_secs` — in regime A the even-indexed operators are
+/// selective and the odd ones are not, in regime B the roles flip. This is
+/// the Q2-scale analogue of the paper's bullish/bearish Example 1 and is what
+/// makes a fixed plan ordering (ROD / DYN) pay for not adapting.
+pub fn regime_switching_workload(
+    query: &Query,
+    period_secs: f64,
+    rate: RatePattern,
+) -> SyntheticWorkload {
+    // Only the first four operators fluctuate (alternating directions); the
+    // rest stay at their estimates. This matches the uncertainty RLD is told
+    // about in [`runtime_rld_config`] — the paper's guarantee only holds for
+    // fluctuations inside the modelled parameter space.
+    let n = query.num_operators();
+    let fluctuating = n.min(4);
+    let regime_a: Vec<f64> = (0..n)
+        .map(|i| {
+            if i >= fluctuating {
+                1.0
+            } else if i % 2 == 0 {
+                0.5
+            } else {
+                1.5
+            }
+        })
+        .collect();
+    let regime_b: Vec<f64> = (0..n)
+        .map(|i| {
+            if i >= fluctuating {
+                1.0
+            } else if i % 2 == 0 {
+                1.5
+            } else {
+                0.5
+            }
+        })
+        .collect();
+    SyntheticWorkload::new(
+        format!("regime-switch-{period_secs}s"),
+        query.clone(),
+        rate,
+        SelectivityPattern::RegimeSwitch {
+            period_secs,
+            regimes: vec![regime_a, regime_b],
+        },
+    )
+}
+
+/// The RLD configuration used by the runtime experiments: a parameter space
+/// wide enough (U = 5 → ±50%) to cover the regime switches above, and a tight
+/// robustness threshold so the routed plans stay close to optimal.
+pub fn runtime_rld_config() -> RldConfig {
+    let mut config = RldConfig::default()
+        .with_uncertainty(5)
+        .with_epsilon(0.1)
+        .with_dimensions(4);
+    config.grid_steps = 7;
+    config
+}
+
+/// Names of every predefined scenario, in presentation order.
+pub fn builtin_names() -> Vec<&'static str> {
+    vec![
+        "q1-stock",
+        "q1-overload",
+        "q2-regime-switch",
+        "q2-rate-steps",
+    ]
+}
+
+/// Look a predefined scenario up by name. Unknown names list the known ones.
+pub fn builtin(name: &str) -> Result<Scenario> {
+    match name {
+        "q1-stock" => {
+            let query = Query::q1_stock_monitoring();
+            Scenario::builder("q1-stock", query)
+                .describe("Q1 under bullish/bearish regime switches on a comfortable cluster")
+                .homogeneous_cluster(4, 3.0)
+                .workload(StockWorkload::default_config())
+                .duration_secs(300.0)
+                .default_strategies(RldConfig::default().with_uncertainty(3))
+                .build()
+        }
+        "q1-overload" => {
+            let query = Query::q1_stock_monitoring();
+            let workload = StockWorkload::new(
+                20.0,
+                RatePattern::Periodic {
+                    period_secs: 20.0,
+                    high_scale: 2.0,
+                    low_scale: 0.5,
+                },
+            );
+            Scenario::builder("q1-overload", query)
+                .describe("Q1 on a tight cluster with periodic 2x rate surges: DYN must migrate")
+                .homogeneous_cluster(4, 1.6)
+                .workload(workload)
+                .duration_secs(240.0)
+                .default_strategies(RldConfig::default().with_uncertainty(3))
+                .build()
+        }
+        "q2-regime-switch" => {
+            let query = Query::q2_ten_way_join();
+            let workload = regime_switching_workload(
+                &query,
+                90.0,
+                RatePattern::Periodic {
+                    period_secs: 10.0,
+                    high_scale: 2.0,
+                    low_scale: 0.5,
+                },
+            );
+            Scenario::builder("q2-regime-switch", query)
+                .describe("Q2 with selectivity regime switches and 2x/0.5x rate alternation")
+                .homogeneous_cluster(10, 3.0)
+                .workload(workload)
+                .duration_secs(900.0)
+                .default_strategies(runtime_rld_config())
+                .build()
+        }
+        "q2-rate-steps" => {
+            let query = Query::q2_ten_way_join();
+            let workload = regime_switching_workload(
+                &query,
+                90.0,
+                RatePattern::Steps(vec![(0.0, 0.5), (1200.0, 1.0), (2400.0, 2.0)]),
+            );
+            Scenario::builder("q2-rate-steps", query)
+                .describe("Q2 with input rates stepping 50% -> 100% -> 200% (Figure 15b)")
+                .homogeneous_cluster(10, 2.5)
+                .workload(workload)
+                .duration_secs(3600.0)
+                .default_strategies(runtime_rld_config())
+                .build()
+        }
+        other => Err(RldError::NotFound(format!(
+            "scenario '{other}' (known: {})",
+            builtin_names().join(", ")
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_requires_cluster_workload_and_strategies() {
+        let q = Query::q1_stock_monitoring();
+        assert!(Scenario::builder("empty", q.clone()).build().is_err());
+        assert!(Scenario::builder("no-workload", q.clone())
+            .homogeneous_cluster(4, 3.0)
+            .strategy(StrategySpec::Rod)
+            .build()
+            .is_err());
+        assert!(Scenario::builder("no-strategy", q)
+            .homogeneous_cluster(4, 3.0)
+            .workload(StockWorkload::default_config())
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builtin_names_all_resolve() {
+        for name in builtin_names() {
+            let s = builtin(name).unwrap();
+            assert_eq!(s.name(), name);
+            assert!(!s.strategies().is_empty());
+            assert!(!s.description().is_empty());
+        }
+        assert!(builtin("no-such-scenario").is_err());
+    }
+
+    #[test]
+    fn scenario_runs_every_strategy_or_reports_skips() {
+        let q = Query::q1_stock_monitoring();
+        let scenario = Scenario::builder("smoke", q)
+            .homogeneous_cluster(4, 3.0)
+            .workload(StockWorkload::default_config())
+            .duration_secs(30.0)
+            .default_strategies(RldConfig::default().with_uncertainty(3))
+            .build()
+            .unwrap();
+        let report = scenario.run().unwrap();
+        assert_eq!(report.outcomes.len(), 4);
+        // RLD always deploys on this comfortable cluster.
+        let rld = report.metrics_for("RLD").expect("RLD ran");
+        assert!(rld.tuples_arrived > 0);
+        for o in &report.outcomes {
+            assert!(o.metrics.is_some() || o.skipped.is_some());
+        }
+    }
+
+    #[test]
+    fn infeasible_strategies_are_skipped_not_fatal() {
+        let q = Query::q1_stock_monitoring();
+        // A cluster too tiny for any placement to fit the estimate loads.
+        let cluster = Cluster::homogeneous(2, 1e-9).unwrap();
+        let scenario = Scenario::builder("tiny", q)
+            .cluster(cluster)
+            .workload(StockWorkload::default_config())
+            .duration_secs(10.0)
+            .strategy(StrategySpec::Rod)
+            .build()
+            .unwrap();
+        let report = scenario.run().unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(report.outcomes[0].skipped.is_some());
+        assert!(report.metrics_for("ROD").is_none());
+    }
+}

@@ -64,6 +64,20 @@ impl OnlineClassifier {
         self.space.covers_snapshot(stats)
     }
 
+    /// Whether the monitored statistics fall inside some plan's ε-robust
+    /// region: they must lie within the modelled parameter space *and* their
+    /// grid cell must be claimed by at least one plan of the solution. When
+    /// this is false the classifier still routes (cheapest plan overall) but
+    /// the robustness guarantee no longer applies — the signal the hybrid
+    /// strategy uses to fall back to migration.
+    pub fn robustly_covered(&self, stats: &StatsSnapshot) -> bool {
+        if !self.stats_in_space(stats) {
+            return false;
+        }
+        let point = self.space.project_snapshot(stats);
+        self.solution.entries().iter().any(|e| e.covers(&point))
+    }
+
     /// Select the logical plan for a batch given the monitored statistics.
     /// Returns `None` only if the solution is empty.
     pub fn classify(&mut self, stats: &StatsSnapshot) -> Option<LogicalPlan> {

@@ -7,28 +7,32 @@
 //!
 //! 1. asks the workload for the ground-truth statistics (selectivities,
 //!    input rates) at the current simulated time,
-//! 2. generates the driving-stream tuple batch for the tick,
-//! 3. lets the *system under test* pick the logical plan for the batch
-//!    (RLD's online classifier, or the fixed plan of ROD / DYN) and, for DYN,
-//!    decide operator migrations,
-//! 4. charges each cluster node the per-operator work implied by the chosen
-//!    plan at the true statistics, and
+//! 2. lets the *distribution strategy* under test adapt its placement
+//!    (DYN migrates on overload, HYB only outside every robust region,
+//!    RLD/ROD never), charging any migrations as overhead work,
+//! 3. generates the driving-stream tuple batch for the tick,
+//! 4. routes the batch through the strategy's logical plan for the
+//!    monitored statistics and charges each cluster node the per-operator
+//!    work implied by that plan at the true statistics, and
 //! 5. drains each node at its capacity, tracking queueing backlogs.
 //!
 //! Per-tuple processing time is the sum, along the plan's operator pipeline,
 //! of each hosting node's queueing delay plus service time — so an overloaded
 //! node shows up as exactly the latency blow-up the paper reports for ROD and
-//! DYN under high fluctuation ratios (Figures 15–16). Migration (DYN) and
-//! plan-classification (RLD) overheads are charged as extra node work and
+//! DYN under high fluctuation ratios (Figures 15–16). Migration (DYN/HYB) and
+//! plan-classification (RLD/HYB) overheads are charged as extra node work and
 //! reported separately (the §6.5 runtime-overhead comparison).
 //!
 //! Modules:
 //! * [`node::SimNode`] — a machine with capacity, backlog and work counters.
 //! * [`monitor::StatisticsMonitor`] — periodic, smoothed statistics sampling.
 //! * [`classifier::OnlineClassifier`] — the QueryMesh-style per-batch plan
-//!   selector used by RLD.
-//! * [`system::SystemUnderTest`] — RLD / ROD / DYN deployments.
-//! * [`simulator::Simulator`] — the tick loop.
+//!   selector used by RLD and HYB.
+//! * [`strategy::DistributionStrategy`] — the pluggable policy seam.
+//! * [`strategies`] — the RLD / ROD / DYN / HYB implementations.
+//! * [`stages`] — the composable stages of the tick loop (arrivals, cached
+//!   plan routing, work accounting, drain).
+//! * [`simulator::Simulator`] — the tick loop driving a strategy.
 //! * [`metrics::RunMetrics`] — the measurements reported by every run.
 
 #![warn(missing_docs)]
@@ -39,11 +43,15 @@ pub mod metrics;
 pub mod monitor;
 pub mod node;
 pub mod simulator;
-pub mod system;
+pub mod stages;
+pub mod strategies;
+pub mod strategy;
 
 pub use classifier::OnlineClassifier;
 pub use metrics::RunMetrics;
 pub use monitor::StatisticsMonitor;
 pub use node::SimNode;
 pub use simulator::{SimConfig, Simulator};
-pub use system::SystemUnderTest;
+pub use stages::{ArrivalProcess, PlanRouter, RoutedBatch};
+pub use strategies::{DynStrategy, HybridStrategy, RldStrategy, RodStrategy};
+pub use strategy::{DistributionStrategy, RuntimeContext};

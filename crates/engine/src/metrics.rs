@@ -39,6 +39,13 @@ pub struct RunMetrics {
     pub mean_utilization: f64,
     /// Maximum backlog observed on any node (cost units).
     pub max_backlog: f64,
+    /// Number of non-empty tuple batches routed through the strategy.
+    pub batches: u64,
+    /// Number of times the simulator had to rebuild the per-plan operator
+    /// load vectors (see [`crate::stages::PlanRouter`]); at most `batches`,
+    /// and far below it when the routed plan and ground truth are stable
+    /// between regime switches.
+    pub work_vector_recomputes: u64,
 }
 
 impl RunMetrics {

@@ -3,9 +3,11 @@
 use crate::metrics::{MetricsAccumulator, RunMetrics};
 use crate::monitor::StatisticsMonitor;
 use crate::node::SimNode;
-use crate::system::SystemUnderTest;
-use rld_common::rng::{derive_seed, rng_from_seed, sample_poisson};
-use rld_common::{NodeId, Query, Result, RldError};
+use crate::stages::{
+    batch_latency_secs, charge_batch, charge_migrations, drain_nodes, ArrivalProcess, PlanRouter,
+};
+use crate::strategy::{DistributionStrategy, RuntimeContext};
+use rld_common::{Query, Result, RldError};
 use rld_physical::Cluster;
 use rld_query::CostModel;
 use rld_workloads::Workload;
@@ -72,6 +74,12 @@ impl SimConfig {
 }
 
 /// The discrete-time DSPS simulator.
+///
+/// The tick loop is a pipeline of the stages in [`crate::stages`]: adaptation
+/// (the strategy may migrate), arrivals, plan routing (with cached per-plan
+/// load vectors), work accounting, and node drain. The simulator itself knows
+/// nothing about the individual deployment policies — it only drives the
+/// [`DistributionStrategy`] trait.
 pub struct Simulator {
     query: Query,
     cluster: Cluster,
@@ -95,8 +103,12 @@ impl Simulator {
         &self.config
     }
 
-    /// Run one system under test against a workload and collect metrics.
-    pub fn run(&self, workload: &dyn Workload, system: &mut SystemUnderTest) -> Result<RunMetrics> {
+    /// Run one distribution strategy against a workload and collect metrics.
+    pub fn run(
+        &self,
+        workload: &dyn Workload,
+        strategy: &mut dyn DistributionStrategy,
+    ) -> Result<RunMetrics> {
         let cost_model = CostModel::new(self.query.clone());
         let mut nodes: Vec<SimNode> = self
             .cluster
@@ -110,10 +122,12 @@ impl Simulator {
             self.config.monitor_alpha,
         );
         let mut acc = MetricsAccumulator::new();
-        let mut rng = rng_from_seed(derive_seed(self.config.seed, system.name()));
+        let mut arrivals = ArrivalProcess::new(self.config.seed, strategy.name());
+        let mut router = PlanRouter::new();
 
         let mut tuples_arrived: u64 = 0;
         let mut tuples_processed: u64 = 0;
+        let mut batches: u64 = 0;
         // Result tuples are produced at fractional rates (the product of all
         // selectivities can be well below one per driving tuple), so carry the
         // fractional remainder across batches instead of rounding it away.
@@ -129,69 +143,36 @@ impl Simulator {
             monitor.observe(t, &truth);
             let monitored = monitor.current().clone();
 
-            // Give DYN a chance to migrate before the batch is processed.
-            let decisions =
-                system.maybe_migrate(t, &self.query, &cost_model, &monitored, &self.cluster)?;
-            for d in &decisions {
-                let work = self.config.migration_fixed_cost
-                    + self.config.migration_cost_per_kb * (d.state_bytes as f64 / 1024.0);
-                nodes[d.from.index()].enqueue_overhead(work / 2.0);
-                nodes[d.to.index()].enqueue_overhead(work / 2.0);
-            }
+            // Adaptation: give the strategy a chance to migrate before the
+            // batch is processed, and charge what it decided.
+            let ctx = RuntimeContext {
+                t_secs: t,
+                query: &self.query,
+                cost_model: &cost_model,
+                cluster: &self.cluster,
+            };
+            let decisions = strategy.maybe_migrate(&ctx, &monitored)?;
+            charge_migrations(&mut nodes, &decisions, &self.config)?;
 
-            // Arrivals for this tick (Poisson thinning of the true rate).
+            // Arrivals for this tick.
             let rate = cost_model.input_rate(self.query.driving_stream, &truth);
-            let n_tuples = sample_poisson(&mut rng, (rate * dt).max(0.0));
+            let n_tuples = arrivals.sample_batch(rate, dt);
             if n_tuples > 0 {
                 tuples_arrived += n_tuples;
-                let logical = system.plan_for_batch(&monitored).ok_or_else(|| {
-                    RldError::Runtime("system has no logical plan for the batch".into())
-                })?;
-                let physical = system.physical().clone();
+                batches += 1;
 
-                // Per-operator work for the whole batch at the true statistics.
-                let work_by_op = cost_model.per_driving_tuple_work_by_operator(&logical, &truth)?;
-                let mut node_work = vec![0.0f64; nodes.len()];
-                for op in logical.ordering() {
-                    let node = physical.node_of(*op).unwrap_or(NodeId::new(0));
-                    if node.index() >= node_work.len() {
-                        return Err(RldError::Runtime(format!(
-                            "physical plan places {op} on unknown node {node}"
-                        )));
-                    }
-                    node_work[node.index()] += work_by_op[op.index()] * n_tuples as f64;
-                }
+                // Routing: pick the logical plan and get the (cached) derived
+                // per-node work vectors.
+                let routed =
+                    router.route(&mut *strategy, &cost_model, &monitored, &truth, nodes.len())?;
 
-                // Latency: queueing delay plus service time on every node the
-                // batch's pipeline touches, in plan order.
-                let mut latency_secs = 0.0;
-                let mut visited = vec![false; nodes.len()];
-                for op in logical.ordering() {
-                    let node = physical.node_of(*op).expect("validated above");
-                    if !visited[node.index()] {
-                        visited[node.index()] = true;
-                        latency_secs += nodes[node.index()].queueing_delay_secs()
-                            + nodes[node.index()].service_time_secs(node_work[node.index()]);
-                    }
-                }
+                // Work accounting: measure latency against the pre-batch
+                // backlogs, then charge overhead and query work.
+                let latency_secs = batch_latency_secs(&nodes, routed, n_tuples);
+                let overhead_fraction = strategy.classification_overhead();
+                let produced_exact = n_tuples as f64 * routed.output_per_input + produced_carry;
+                charge_batch(&mut nodes, routed, n_tuples, overhead_fraction);
 
-                // Classification overhead (RLD): a fraction of the batch's
-                // work charged to the node hosting the plan's first operator.
-                let overhead_fraction = system.classification_overhead();
-                if overhead_fraction > 0.0 {
-                    let total_batch_work: f64 = node_work.iter().sum();
-                    if let Some(first_op) = logical.ordering().first() {
-                        let node = physical.node_of(*first_op).expect("validated above");
-                        nodes[node.index()].enqueue_overhead(total_batch_work * overhead_fraction);
-                    }
-                }
-
-                for (node, work) in nodes.iter_mut().zip(&node_work) {
-                    node.enqueue_work(*work);
-                }
-
-                let produced_exact =
-                    n_tuples as f64 * cost_model.output_per_input(&truth) + produced_carry;
                 let produced = produced_exact.floor().max(0.0) as u64;
                 produced_carry = produced_exact - produced as f64;
                 let completion = t + latency_secs;
@@ -202,11 +183,9 @@ impl Simulator {
             }
 
             // Drain every node for this tick.
-            for node in &mut nodes {
-                let done = node.tick(dt);
-                total_work_capacity_used += done;
-                max_backlog = max_backlog.max(node.backlog);
-            }
+            let drained = drain_nodes(&mut nodes, dt);
+            total_work_capacity_used += drained.work_done;
+            max_backlog = max_backlog.max(drained.max_backlog);
             ticks += 1;
             t += dt;
         }
@@ -215,7 +194,7 @@ impl Simulator {
         let overhead_work: f64 = nodes.iter().map(|n| n.overhead_done).sum();
         let capacity_total = self.cluster.total_capacity() * dt * ticks as f64;
         Ok(RunMetrics {
-            system: system.name().to_string(),
+            system: strategy.name().to_string(),
             duration_secs: self.config.duration_secs,
             tuples_arrived,
             tuples_processed,
@@ -223,8 +202,8 @@ impl Simulator {
             avg_tuple_processing_ms: acc.mean_latency_ms(),
             p95_tuple_processing_ms: acc.percentile_latency_ms(95.0),
             produced_timeline: acc.timeline(self.config.duration_secs),
-            migrations: system.migrations(),
-            plan_switches: system.plan_switches(),
+            migrations: strategy.migrations(),
+            plan_switches: strategy.plan_switches(),
             query_work,
             overhead_work,
             mean_utilization: if capacity_total > 0.0 {
@@ -233,6 +212,8 @@ impl Simulator {
                 0.0
             },
             max_backlog,
+            batches,
+            work_vector_recomputes: router.recomputes(),
         })
     }
 }
@@ -240,13 +221,14 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rld_common::UncertaintyLevel;
-    use rld_logical::{EarlyTerminatedRobustPartitioning, ErpConfig, LogicalPlanGenerator};
-    use rld_paramspace::{OccurrenceModel, ParameterSpace};
-    use rld_physical::{DynPlanner, GreedyPhy, PhysicalPlanGenerator, RodPlanner, SupportModel};
-    use rld_query::{JoinOrderOptimizer, Optimizer};
+    use crate::strategies::RodStrategy;
+    use rld_common::{NodeId, StatsSnapshot};
+    use rld_physical::{PhysicalPlan, RodPlanner};
+    use rld_query::{JoinOrderOptimizer, LogicalPlan, Optimizer};
     use rld_workloads::{RatePattern, StockWorkload};
 
+    /// Per-node capacity leaving `slack`× headroom over the heaviest single
+    /// operator of the estimate-point plan.
     fn capacity_for(query: &Query, slack: f64) -> f64 {
         let cm = CostModel::new(query.clone());
         let opt = JoinOrderOptimizer::new(query.clone());
@@ -255,37 +237,15 @@ mod tests {
         loads.iter().cloned().fold(0.0f64, f64::max) * slack
     }
 
-    fn build_systems(
-        query: &Query,
-        cluster: &Cluster,
-    ) -> (SystemUnderTest, SystemUnderTest, SystemUnderTest) {
-        let est = query
-            .selectivity_estimates(2, UncertaintyLevel::new(3))
-            .unwrap();
-        let space = ParameterSpace::from_estimates(&est, query.default_stats(), 9).unwrap();
-        let opt = JoinOrderOptimizer::new(query.clone());
-        let erp =
-            EarlyTerminatedRobustPartitioning::new(&opt, &space, ErpConfig::with_epsilon(0.2));
-        let (solution, _) = erp.generate().unwrap();
-        let model = SupportModel::build(query, &space, &solution, OccurrenceModel::Normal).unwrap();
-        let (rld_pp, _) = GreedyPhy::new().generate(&model, cluster).unwrap();
-        let rld = SystemUnderTest::rld(query, space, solution, rld_pp, 0.02);
-
-        let rod_plan = RodPlanner::new()
+    fn rod_strategy(query: &Query, cluster: &Cluster) -> RodStrategy {
+        let plan = RodPlanner::new()
             .plan(query, &query.default_stats(), cluster, 1.0)
             .unwrap();
-        let rod = SystemUnderTest::rod(rod_plan.logical, rod_plan.physical);
-
-        let dyn_planner = DynPlanner::new();
-        let (lp, pp) = dyn_planner
-            .initial_plan(query, &query.default_stats(), cluster)
-            .unwrap();
-        let dyn_sys = SystemUnderTest::dyn_system(lp, pp, dyn_planner, 5.0);
-        (rld, rod, dyn_sys)
+        RodStrategy::new(plan.logical, plan.physical)
     }
 
     #[test]
-    fn simulator_runs_all_three_systems() {
+    fn simulator_drives_a_strategy_end_to_end() {
         let q = Query::q1_stock_monitoring();
         let cluster = Cluster::homogeneous(4, capacity_for(&q, 3.0)).unwrap();
         let config = SimConfig {
@@ -294,22 +254,14 @@ mod tests {
         };
         let sim = Simulator::new(q.clone(), cluster.clone(), config).unwrap();
         let workload = StockWorkload::new(20.0, RatePattern::Constant(1.0));
-        let (mut rld, mut rod, mut dyn_sys) = build_systems(&q, &cluster);
-        for sys in [&mut rld, &mut rod, &mut dyn_sys] {
-            let metrics = sim.run(&workload, sys).unwrap();
-            assert!(
-                metrics.tuples_arrived > 0,
-                "{}: no arrivals",
-                metrics.system
-            );
-            assert!(
-                metrics.avg_tuple_processing_ms >= 0.0,
-                "{}: negative latency",
-                metrics.system
-            );
-            assert!(!metrics.produced_timeline.is_empty());
-            assert!(metrics.mean_utilization >= 0.0 && metrics.mean_utilization <= 1.0);
-        }
+        let mut rod = rod_strategy(&q, &cluster);
+        let metrics = sim.run(&workload, &mut rod).unwrap();
+        assert!(metrics.tuples_arrived > 0);
+        assert!(metrics.avg_tuple_processing_ms >= 0.0);
+        assert!(!metrics.produced_timeline.is_empty());
+        assert!(metrics.mean_utilization >= 0.0 && metrics.mean_utilization <= 1.0);
+        assert!(metrics.batches > 0);
+        assert!(metrics.work_vector_recomputes <= metrics.batches);
     }
 
     #[test]
@@ -323,8 +275,8 @@ mod tests {
         let sim = Simulator::new(q.clone(), cluster.clone(), config).unwrap();
         let calm = StockWorkload::new(30.0, RatePattern::Constant(0.5));
         let storm = StockWorkload::new(30.0, RatePattern::Constant(4.0));
-        let (_, mut rod_a, _) = build_systems(&q, &cluster);
-        let (_, mut rod_b, _) = build_systems(&q, &cluster);
+        let mut rod_a = rod_strategy(&q, &cluster);
+        let mut rod_b = rod_strategy(&q, &cluster);
         let low = sim.run(&calm, &mut rod_a).unwrap();
         let high = sim.run(&storm, &mut rod_b).unwrap();
         assert!(
@@ -333,27 +285,6 @@ mod tests {
             high.avg_tuple_processing_ms,
             low.avg_tuple_processing_ms
         );
-    }
-
-    #[test]
-    fn rld_overhead_stays_small() {
-        let q = Query::q1_stock_monitoring();
-        let cluster = Cluster::homogeneous(4, capacity_for(&q, 3.0)).unwrap();
-        let config = SimConfig {
-            duration_secs: 90.0,
-            ..SimConfig::default()
-        };
-        let sim = Simulator::new(q.clone(), cluster.clone(), config).unwrap();
-        let workload = StockWorkload::new(30.0, RatePattern::Constant(1.0));
-        let (mut rld, _, _) = build_systems(&q, &cluster);
-        let metrics = sim.run(&workload, &mut rld).unwrap();
-        // ~2% classification overhead, no migrations.
-        assert!(
-            metrics.overhead_fraction() < 0.05,
-            "{}",
-            metrics.overhead_fraction()
-        );
-        assert_eq!(metrics.migrations, 0);
     }
 
     #[test]
@@ -366,11 +297,76 @@ mod tests {
         };
         let sim = Simulator::new(q.clone(), cluster.clone(), config).unwrap();
         let workload = StockWorkload::default_config();
-        let (_, mut rod, _) = build_systems(&q, &cluster);
+        let mut rod = rod_strategy(&q, &cluster);
         let metrics = sim.run(&workload, &mut rod).unwrap();
         let counts: Vec<u64> = metrics.produced_timeline.iter().map(|(_, c)| *c).collect();
         assert!(counts.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(*counts.last().unwrap(), metrics.tuples_produced);
+    }
+
+    #[test]
+    fn work_vectors_are_cached_across_ticks() {
+        // The stock workload flips regimes every `period` seconds; between
+        // flips the ground truth is constant, so the router must derive the
+        // work vectors only a handful of times over hundreds of batches.
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(4, capacity_for(&q, 3.0)).unwrap();
+        let config = SimConfig {
+            duration_secs: 600.0,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(q.clone(), cluster.clone(), config).unwrap();
+        let workload = StockWorkload::new(60.0, RatePattern::Constant(1.0));
+        let mut rod = rod_strategy(&q, &cluster);
+        let metrics = sim.run(&workload, &mut rod).unwrap();
+        assert!(
+            metrics.batches > 100,
+            "need a long run: {}",
+            metrics.batches
+        );
+        // 600 s at one regime flip per 60 s: at most one recompute per flip
+        // (plus the first derivation), far below one per batch.
+        assert!(
+            metrics.work_vector_recomputes <= 12,
+            "expected ≤ 12 recomputes for 10 regime stretches, got {} over {} batches",
+            metrics.work_vector_recomputes,
+            metrics.batches
+        );
+    }
+
+    #[test]
+    fn missing_placement_is_a_runtime_error() {
+        // A strategy whose placement covers a different (larger) node count
+        // than the simulated cluster: routing must fail loudly, not silently
+        // charge node 0.
+        struct Misplaced {
+            logical: LogicalPlan,
+            physical: PhysicalPlan,
+        }
+        impl DistributionStrategy for Misplaced {
+            fn name(&self) -> &str {
+                "BAD"
+            }
+            fn physical(&self) -> &PhysicalPlan {
+                &self.physical
+            }
+            fn plan_for_batch(&mut self, _m: &StatsSnapshot) -> Option<LogicalPlan> {
+                Some(self.logical.clone())
+            }
+        }
+        let q = Query::q1_stock_monitoring();
+        // All operators on node 5 of a 6-node plan, but simulate 2 nodes.
+        let mapping: Vec<NodeId> = (0..q.num_operators()).map(|_| NodeId::new(5)).collect();
+        let physical = PhysicalPlan::from_mapping(&q, &mapping, 6).unwrap();
+        let mut bad = Misplaced {
+            logical: LogicalPlan::identity(&q),
+            physical,
+        };
+        let cluster = Cluster::homogeneous(2, 1e9).unwrap();
+        let sim = Simulator::new(q, cluster, SimConfig::default()).unwrap();
+        let workload = StockWorkload::default_config();
+        let err = sim.run(&workload, &mut bad).unwrap_err();
+        assert!(matches!(err, RldError::Runtime(_)), "{err:?}");
     }
 
     #[test]
@@ -406,8 +402,8 @@ mod tests {
         };
         let sim = Simulator::new(q.clone(), cluster.clone(), config).unwrap();
         let workload = StockWorkload::default_config();
-        let (_, mut rod_a, _) = build_systems(&q, &cluster);
-        let (_, mut rod_b, _) = build_systems(&q, &cluster);
+        let mut rod_a = rod_strategy(&q, &cluster);
+        let mut rod_b = rod_strategy(&q, &cluster);
         let a = sim.run(&workload, &mut rod_a).unwrap();
         let b = sim.run(&workload, &mut rod_b).unwrap();
         assert_eq!(a.tuples_arrived, b.tuples_arrived);

@@ -1,0 +1,48 @@
+//! The concrete distribution strategies compared at runtime (§6.5).
+//!
+//! Each strategy implements [`crate::strategy::DistributionStrategy`] and can
+//! therefore be driven by [`crate::simulator::Simulator`] interchangeably:
+//!
+//! * [`RldStrategy`] — the paper's contribution: a fixed robust physical
+//!   plan, per-batch logical-plan classification, no migration ever.
+//! * [`RodStrategy`] — Resilient Operator Distribution: one plan, one static
+//!   placement, no adaptation at all.
+//! * [`DynStrategy`] — Borealis-style dynamic load distribution: one plan,
+//!   periodic operator migration off overloaded nodes.
+//! * [`HybridStrategy`] — RLD's classification plus DYN-style migration, but
+//!   only when the monitored statistics escape every robust region — the
+//!   adaptivity middle ground Strider-style systems argue for.
+
+mod dynamic;
+mod hybrid;
+mod rld;
+mod rod;
+
+pub use dynamic::DynStrategy;
+pub use hybrid::HybridStrategy;
+pub use rld::RldStrategy;
+pub use rod::RodStrategy;
+
+use crate::strategy::RuntimeContext;
+use rld_common::{Result, StatsSnapshot};
+use rld_physical::{DynPlanner, MigrationDecision, PhysicalPlan};
+use rld_query::LogicalPlan;
+
+/// One DYN-style rebalance round, shared by [`DynStrategy`] and
+/// [`HybridStrategy`]'s fallback so the two can never silently diverge:
+/// estimate per-operator loads for `plan` at the monitored statistics, ask
+/// the controller for migrations, and apply them to `physical`.
+pub(crate) fn rebalance_round(
+    planner: &DynPlanner,
+    ctx: &RuntimeContext<'_>,
+    monitored: &StatsSnapshot,
+    plan: &LogicalPlan,
+    physical: &mut PhysicalPlan,
+) -> Result<Vec<MigrationDecision>> {
+    let loads = ctx.cost_model.operator_loads(plan, monitored)?;
+    let decisions = planner.rebalance(ctx.query, physical, &loads, ctx.cluster)?;
+    for d in &decisions {
+        *physical = physical.with_operator_moved(d.operator, d.to)?;
+    }
+    Ok(decisions)
+}

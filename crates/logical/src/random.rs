@@ -139,7 +139,7 @@ mod tests {
         let rs = RandomSearch::new(&opt, &space, 42);
         let (solution, stats) = rs.generate().unwrap();
         assert!(stats.optimizer_calls > 0);
-        assert!(solution.len() >= 1);
+        assert!(!solution.is_empty());
         assert_eq!(stats.distinct_plans, solution.len());
         assert_eq!(rs.name(), "RS");
     }

@@ -143,10 +143,11 @@ impl<'a> SearchState<'a> {
                 return;
             }
             // Early exit: a complete plan supporting every logical plan is optimal.
-            if let Some(_) = &self.best_plan {
-                if (self.best_score - self.total_weight).abs() < 1e-12 && self.total_weight > 0.0 {
-                    return;
-                }
+            if self.best_plan.is_some()
+                && (self.best_score - self.total_weight).abs() < 1e-12
+                && self.total_weight > 0.0
+            {
+                return;
             }
         }
     }

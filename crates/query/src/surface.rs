@@ -181,11 +181,13 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>
         }
         a.swap(col, pivot_row);
         b.swap(col, pivot_row);
-        // Eliminate.
+        // Eliminate. The pivot row is copied out so the updated rows can be
+        // borrowed mutably while reading it.
+        let pivot_vals = a[col].clone();
         for row in (col + 1)..n {
-            let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let factor = a[row][col] / pivot_vals[col];
+            for (entry, pivot_entry) in a[row][col..].iter_mut().zip(&pivot_vals[col..]) {
+                *entry -= factor * pivot_entry;
             }
             b[row] -= factor * b[col];
         }

@@ -70,9 +70,10 @@ impl Default for RatePattern {
 }
 
 /// How operator selectivities drift over time relative to their estimates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub enum SelectivityPattern {
     /// Selectivities stay at their point estimates.
+    #[default]
     Constant,
     /// Alternate between two *regimes*, each a full set of per-operator
     /// scaling factors (e.g. bullish vs bearish in Example 1). Regime 0 is
@@ -125,12 +126,6 @@ impl SelectivityPattern {
                 (1.0 + amplitude * phase.sin()).max(0.0)
             }
         }
-    }
-}
-
-impl Default for SelectivityPattern {
-    fn default() -> Self {
-        SelectivityPattern::Constant
     }
 }
 

@@ -1,34 +1,15 @@
-//! Side-by-side runtime comparison of RLD against the ROD and DYN baselines
-//! under increasing input-rate fluctuation — a small-scale version of the
-//! paper's Figure 15a that finishes in a few seconds.
+//! Side-by-side runtime comparison of RLD (and the hybrid fallback) against
+//! the ROD and DYN baselines under increasing input-rate fluctuation — a
+//! small-scale version of the paper's Figure 15a that finishes in a few
+//! seconds, built entirely on the scenario layer.
 //!
-//! Run with: `cargo run -p rld-examples --bin baseline_comparison`
+//! Run with: `cargo run -p rld-examples --release --example baseline_comparison`
 
 use rld_core::prelude::*;
 use rld_workloads::SyntheticWorkload;
 
 fn main() -> Result<()> {
     let query = Query::q1_stock_monitoring();
-    let nodes = 4;
-
-    // Size the cluster so the planned (100%) load fits with ~2x slack.
-    let cost_model = CostModel::new(query.clone());
-    let opt = JoinOrderOptimizer::new(query.clone());
-    let plan = opt.optimize(&query.default_stats())?;
-    let loads = cost_model.operator_loads(&plan, &query.default_stats())?;
-    let capacity = (loads.iter().sum::<f64>() * 2.0 / nodes as f64)
-        .max(loads.iter().cloned().fold(0.0, f64::max) * 1.1);
-    let cluster = Cluster::homogeneous(nodes, capacity)?;
-
-    let sim = Simulator::new(
-        query.clone(),
-        cluster.clone(),
-        SimConfig {
-            duration_secs: 300.0,
-            ..SimConfig::default()
-        },
-    )?;
-    let rld_solution = RldOptimizer::new(query.clone(), RldConfig::default()).optimize(&cluster)?;
 
     println!(
         "{:<8} {:<6} {:>12} {:>12} {:>12}",
@@ -45,23 +26,34 @@ fn main() -> Result<()> {
                 phase_step: 0.7,
             },
         );
-        let mut systems: Vec<SystemUnderTest> = vec![rld_solution.deploy()];
-        if let Ok(rod) = deploy_rod(&query, &query.default_stats(), &cluster) {
-            systems.push(rod);
-        }
-        if let Ok(dyn_sys) = deploy_dyn(&query, &query.default_stats(), &cluster, 5.0) {
-            systems.push(dyn_sys);
-        }
-        for mut sys in systems {
-            let m = sim.run(&workload, &mut sys)?;
-            println!(
-                "{:<8} {:<6} {:>12.1} {:>12} {:>12.2}",
-                format!("{}%", (ratio * 100.0) as u32),
-                m.system,
-                m.avg_tuple_processing_ms,
-                m.tuples_produced,
-                m.overhead_fraction() * 100.0
-            );
+        let report = Scenario::builder(format!("baseline-comparison-{ratio}"), query.clone())
+            .describe("Q1 with sinusoidal selectivities at a constant rate ratio")
+            .homogeneous_cluster(4, 2.0)
+            .workload(workload)
+            .duration_secs(300.0)
+            .default_strategies(RldConfig::default())
+            .build()?
+            .run()?;
+        for outcome in &report.outcomes {
+            match (&outcome.metrics, &outcome.skipped) {
+                (Some(m), _) => println!(
+                    "{:<8} {:<6} {:>12.1} {:>12} {:>12.2}",
+                    format!("{}%", (ratio * 100.0) as u32),
+                    m.system,
+                    m.avg_tuple_processing_ms,
+                    m.tuples_produced,
+                    m.overhead_fraction() * 100.0
+                ),
+                (None, Some(reason)) => println!(
+                    "{:<8} {:<6} {:>12} {:>12} {:>12}",
+                    format!("{}%", (ratio * 100.0) as u32),
+                    outcome.strategy,
+                    "skipped",
+                    "-",
+                    reason
+                ),
+                (None, None) => {}
+            }
         }
     }
     Ok(())

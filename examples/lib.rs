@@ -10,7 +10,8 @@
 //!   bullish/bearish regime switches (Example 1).
 //! * `sensor_network` — an n-way join over diurnally fluctuating sensor
 //!   streams.
-//! * `baseline_comparison` — RLD vs ROD vs DYN on the same workload, the
+//! * `baseline_comparison` — RLD vs ROD vs DYN vs HYB on the same workload
+//!   via the scenario layer, the
 //!   §6.5 comparison in miniature.
 //!
 //! This library target is intentionally empty; it exists so the example

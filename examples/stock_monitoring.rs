@@ -27,7 +27,7 @@ fn main() -> Result<()> {
         println!("→ the best ordering flips with the regime, exactly Example 1 of the paper\n");
     }
 
-    // RLD compile-time optimization.
+    // RLD compile-time optimization, just to show what it prepares.
     let solution = RldOptimizer::new(query.clone(), RldConfig::default().with_uncertainty(3))
         .optimize(&cluster)?;
     println!(
@@ -36,31 +36,22 @@ fn main() -> Result<()> {
         solution.physical
     );
 
-    // Runtime comparison over 10 simulated minutes.
-    let sim = Simulator::new(
-        query.clone(),
-        cluster.clone(),
-        SimConfig {
-            duration_secs: 600.0,
-            ..SimConfig::default()
-        },
-    )?;
-
-    let mut results = Vec::new();
-    let mut rld = solution.deploy();
-    results.push(sim.run(&workload, &mut rld)?);
-    if let Ok(mut rod) = deploy_rod(&query, &query.default_stats(), &cluster) {
-        results.push(sim.run(&workload, &mut rod)?);
-    }
-    if let Ok(mut dyn_sys) = deploy_dyn(&query, &query.default_stats(), &cluster, 5.0) {
-        results.push(sim.run(&workload, &mut dyn_sys)?);
-    }
+    // Runtime comparison over 10 simulated minutes, via the scenario layer
+    // (every strategy is rebuilt from the same compile-time inputs).
+    let report = Scenario::builder("stock-monitoring", query)
+        .describe("Q1 under 30 s bullish/bearish regime switches")
+        .cluster(cluster)
+        .workload(workload)
+        .duration_secs(600.0)
+        .default_strategies(RldConfig::default().with_uncertainty(3))
+        .build()?
+        .run()?;
 
     println!(
         "\n{:<6} {:>12} {:>12} {:>12} {:>12}",
         "system", "avg ms", "produced", "migrations", "switches"
     );
-    for m in &results {
+    for m in report.metrics() {
         println!(
             "{:<6} {:>12.1} {:>12} {:>12} {:>12}",
             m.system, m.avg_tuple_processing_ms, m.tuples_produced, m.migrations, m.plan_switches

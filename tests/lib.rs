@@ -9,6 +9,10 @@
 //! * `paper_claims.rs` — checks that the reproduction exhibits the paper's
 //!   headline claims (ERP ≤ ES optimizer calls, coverage guarantees,
 //!   OptPrune ≥ GreedyPhy score, RLD latency under fluctuation).
+//! * `runtime_strategies.rs` — invariants of the pluggable distribution
+//!   strategies via the scenario layer: determinism per seed, RLD's
+//!   no-migration guarantee, migration-count bounds for DYN/HYB, and
+//!   monotone produced-tuple timelines for every strategy.
 //! * `logical_physical_properties.rs` — property-based invariants of the
 //!   cost model, logical-solution generators and physical planners under
 //!   randomized queries.

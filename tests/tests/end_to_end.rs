@@ -3,15 +3,10 @@
 
 use rld_core::prelude::*;
 
+/// Shared cluster sizing from the scenario layer: `slack`× the estimate-point
+/// load spread over `nodes` homogeneous machines.
 fn cluster_for(query: &Query, nodes: usize, slack: f64) -> Cluster {
-    let cm = CostModel::new(query.clone());
-    let opt = JoinOrderOptimizer::new(query.clone());
-    let plan = opt.optimize(&query.default_stats()).unwrap();
-    let loads = cm.operator_loads(&plan, &query.default_stats()).unwrap();
-    let total: f64 = loads.iter().sum();
-    let max_single = loads.iter().cloned().fold(0.0f64, f64::max);
-    let capacity = ((total * slack) / nodes as f64).max(max_single * 1.1);
-    Cluster::homogeneous(nodes, capacity).unwrap()
+    Cluster::homogeneous(nodes, runtime_capacity(query, nodes, slack)).unwrap()
 }
 
 #[test]
@@ -81,49 +76,17 @@ fn rld_beats_rod_under_strong_fluctuation() {
     .unwrap();
     // Selectivities of the first four operators switch regimes every 60 s;
     // rates alternate between 2x and 0.5x every 10 s.
-    let n = query.num_operators();
-    let regime_a: Vec<f64> = (0..n)
-        .map(|i| {
-            if i >= 4 {
-                1.0
-            } else if i % 2 == 0 {
-                0.5
-            } else {
-                1.5
-            }
-        })
-        .collect();
-    let regime_b: Vec<f64> = (0..n)
-        .map(|i| {
-            if i >= 4 {
-                1.0
-            } else if i % 2 == 0 {
-                1.5
-            } else {
-                0.5
-            }
-        })
-        .collect();
-    let workload = SyntheticWorkload::new(
-        "regimes",
-        query.clone(),
+    let workload = regime_switching_workload(
+        &query,
+        60.0,
         RatePattern::Periodic {
             period_secs: 10.0,
             high_scale: 2.0,
             low_scale: 0.5,
         },
-        SelectivityPattern::RegimeSwitch {
-            period_secs: 60.0,
-            regimes: vec![regime_a, regime_b],
-        },
     );
 
-    let mut rld_config = RldConfig::default()
-        .with_uncertainty(5)
-        .with_epsilon(0.1)
-        .with_dimensions(4);
-    rld_config.grid_steps = 7;
-    let solution = RldOptimizer::new(query.clone(), rld_config)
+    let solution = RldOptimizer::new(query.clone(), runtime_rld_config())
         .optimize(&cluster)
         .unwrap();
     let mut rld = solution.deploy();

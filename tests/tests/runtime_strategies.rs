@@ -1,0 +1,149 @@
+//! Invariants of the pluggable distribution strategies, exercised through
+//! the scenario layer: determinism per seed, RLD's no-migration guarantee,
+//! migration-count bounds for the adaptive strategies, and monotonicity of
+//! every strategy's produced-tuple timeline.
+
+use proptest::prelude::*;
+use rld_core::prelude::*;
+use rld_core::scenario;
+
+fn quick_q1_scenario(seed: u64, duration_secs: f64) -> Scenario {
+    Scenario::builder("strategy-invariants", Query::q1_stock_monitoring())
+        .homogeneous_cluster(4, 3.0)
+        .workload(StockWorkload::default_config())
+        .duration_secs(duration_secs)
+        .seed(seed)
+        .default_strategies(RldConfig::default().with_uncertainty(3))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn every_strategy_is_deterministic_per_seed() {
+    let a = quick_q1_scenario(7, 60.0).run().unwrap();
+    let b = quick_q1_scenario(7, 60.0).run().unwrap();
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    let ran: Vec<&str> = a.metrics().map(|m| m.system.as_str()).collect();
+    assert!(ran.contains(&"RLD") && ran.contains(&"HYB"));
+    for (ma, mb) in a.metrics().zip(b.metrics()) {
+        assert_eq!(ma.system, mb.system);
+        assert_eq!(ma.tuples_arrived, mb.tuples_arrived, "{}", ma.system);
+        assert_eq!(ma.tuples_produced, mb.tuples_produced, "{}", ma.system);
+        assert_eq!(ma.migrations, mb.migrations, "{}", ma.system);
+        assert_eq!(ma.plan_switches, mb.plan_switches, "{}", ma.system);
+        assert!(
+            (ma.avg_tuple_processing_ms - mb.avg_tuple_processing_ms).abs() < 1e-9,
+            "{}: {} vs {}",
+            ma.system,
+            ma.avg_tuple_processing_ms,
+            mb.avg_tuple_processing_ms
+        );
+    }
+    // Different seeds produce different arrival sequences.
+    let c = quick_q1_scenario(8, 60.0).run().unwrap();
+    let arrivals_a: Vec<u64> = a.metrics().map(|m| m.tuples_arrived).collect();
+    let arrivals_c: Vec<u64> = c.metrics().map(|m| m.tuples_arrived).collect();
+    assert_ne!(arrivals_a, arrivals_c);
+}
+
+#[test]
+fn rld_and_rod_never_migrate_even_under_overload() {
+    let report = scenario::builtin("q1-overload").unwrap().run().unwrap();
+    for name in ["RLD", "ROD"] {
+        if let Some(m) = report.metrics_for(name) {
+            assert_eq!(m.migrations, 0, "{name} must never migrate");
+        }
+    }
+    // RLD's only overhead is classification, and it stays small (§6.5).
+    let rld = report.metrics_for("RLD").expect("RLD ran");
+    assert!(
+        rld.overhead_fraction() < 0.05,
+        "{}",
+        rld.overhead_fraction()
+    );
+}
+
+#[test]
+fn adaptive_strategies_respect_migration_bounds() {
+    let s = scenario::builtin("q1-overload").unwrap();
+    let duration = s.sim_config().duration_secs;
+    let report = s.run().unwrap();
+    // Rebalance rounds happen at most once per period (5 s in the default
+    // line-up). DYN moves at most 3 operators per round; HYB's fallback
+    // shares that controller, and its restoration rounds move at most one
+    // operator per query operator — so per round neither strategy can exceed
+    // max(3, num_operators) migrations.
+    let max_rounds = (duration / 5.0).floor() as u64 + 1;
+    let per_round = 3u64.max(s.query().num_operators() as u64);
+    let bound = max_rounds * per_round;
+    for name in ["DYN", "HYB"] {
+        if let Some(m) = report.metrics_for(name) {
+            assert!(
+                m.migrations <= bound,
+                "{name}: {} migrations exceed the {bound} bound",
+                m.migrations
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_stays_migration_free_inside_the_modelled_space() {
+    // A workload whose fluctuations stay well inside the U=5 (±50%) space
+    // the runtime RLD config models: HYB must behave exactly like RLD and
+    // never fall back to migration.
+    let query = Query::q2_ten_way_join();
+    let workload = regime_switching_workload(&query, 60.0, RatePattern::Constant(1.0));
+    let report = Scenario::builder("hybrid-covered", query)
+        .homogeneous_cluster(10, 3.0)
+        .workload(workload)
+        .duration_secs(300.0)
+        .strategy(StrategySpec::Hybrid {
+            config: runtime_rld_config(),
+            rebalance_period_secs: 5.0,
+        })
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let hyb = report.metrics_for("HYB").expect("HYB ran");
+    assert_eq!(
+        hyb.migrations, 0,
+        "inside every robust region the hybrid must not migrate"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every strategy's produced-tuple timeline is cumulative, hence
+    /// monotone non-decreasing and consistent with the final total —
+    /// regardless of the arrival seed or the rate regime.
+    #[test]
+    fn produced_timelines_are_monotone(seed in 0u64..1000, rate in 0.5f64..3.0) {
+        let query = Query::q1_stock_monitoring();
+        let workload = StockWorkload::new(30.0, RatePattern::Constant(rate));
+        let report = Scenario::builder("monotone-timelines", query)
+            .homogeneous_cluster(4, 3.0)
+            .workload(workload)
+            .duration_secs(120.0)
+            .seed(seed)
+            .default_strategies(RldConfig::default().with_uncertainty(3))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        prop_assert!(report.metrics().count() >= 2);
+        for m in report.metrics() {
+            let counts: Vec<u64> = m.produced_timeline.iter().map(|(_, c)| *c).collect();
+            prop_assert!(!counts.is_empty(), "{}", m.system);
+            prop_assert!(
+                counts.windows(2).all(|w| w[0] <= w[1]),
+                "{}: timeline not monotone: {:?}",
+                m.system,
+                counts
+            );
+            prop_assert_eq!(*counts.last().unwrap(), m.tuples_produced);
+        }
+    }
+}
