@@ -6,30 +6,32 @@
 //! 3. **Robustness threshold ε sweep**: how the number of robust plans and
 //!    optimizer calls shrink as ε grows (the effect discussed under WRP's
 //!    limitations).
+//!
+//! All compile-time sweeps run through the `RobustCompiler` pipeline.
 
-use rld_bench::{capacity_for, print_table, space_for, EXPERIMENT_SEED};
+use rld_bench::{capacity_for, compiler_for, print_table};
 use rld_core::paramspace::DistanceMetric;
 use rld_core::prelude::*;
 
 fn main() {
     let query = Query::q1_stock_monitoring();
-    let _ = EXPERIMENT_SEED;
 
     // 1. Occurrence model ablation.
     {
-        let space = space_for(&query, 2, 3);
-        let opt = JoinOrderOptimizer::new(query.clone());
-        let erp =
-            EarlyTerminatedRobustPartitioning::new(&opt, &space, ErpConfig::with_epsilon(0.2));
-        let (solution, _) = erp.generate().unwrap();
+        let compilation = compiler_for(&query, 2, 3)
+            .with_epsilon(0.2)
+            .compile_logical()
+            .unwrap();
         let mut rows = Vec::new();
         for (name, model) in [
             ("Normal", OccurrenceModel::Normal),
             ("Uniform", OccurrenceModel::Uniform),
         ] {
-            let support = SupportModel::build(&query, &space, &solution, model).unwrap();
+            let support = compilation.support_model(&query, model).unwrap();
             let cluster = Cluster::homogeneous(3, capacity_for(&support, 2.5)).unwrap();
-            let (pp, stats) = GreedyPhy::new().generate(&support, &cluster).unwrap();
+            let (pp, stats) = PhysicalSolverSpec::Greedy
+                .generate(&support, &cluster)
+                .unwrap();
             rows.push(vec![
                 name.to_string(),
                 format!("{:.4}", stats.score),
@@ -46,23 +48,22 @@ fn main() {
 
     // 2. Distance metric ablation in ERP's weight function.
     {
-        let space = space_for(&query, 2, 3);
         let mut rows = Vec::new();
         for (name, metric) in [
             ("Manhattan", DistanceMetric::Manhattan),
             ("Euclidean", DistanceMetric::Euclidean),
         ] {
-            let opt = JoinOrderOptimizer::new(query.clone());
-            let erp =
-                EarlyTerminatedRobustPartitioning::new(&opt, &space, ErpConfig::with_epsilon(0.2))
-                    .with_metric(metric);
-            let (solution, stats) = erp.generate().unwrap();
-            let ev = CoverageEvaluator::new(query.clone(), space.clone(), 0.2).unwrap();
+            let compilation = compiler_for(&query, 2, 3)
+                .with_epsilon(0.2)
+                .with_metric(metric)
+                .compile_logical()
+                .unwrap();
+            let ev = CoverageEvaluator::new(query.clone(), compilation.space.clone(), 0.2).unwrap();
             rows.push(vec![
                 name.to_string(),
-                stats.optimizer_calls.to_string(),
-                solution.len().to_string(),
-                format!("{:.3}", ev.true_coverage(&solution).unwrap()),
+                compilation.stats.optimizer_calls.to_string(),
+                compilation.solution.len().to_string(),
+                format!("{:.3}", ev.true_coverage(&compilation.solution).unwrap()),
             ]);
         }
         print_table(
@@ -76,20 +77,17 @@ fn main() {
     {
         let mut rows = Vec::new();
         for epsilon in [0.05, 0.1, 0.2, 0.3, 0.5] {
-            let space = space_for(&query, 2, 3);
-            let opt = JoinOrderOptimizer::new(query.clone());
-            let erp = EarlyTerminatedRobustPartitioning::new(
-                &opt,
-                &space,
-                ErpConfig::with_epsilon(epsilon),
-            );
-            let (solution, stats) = erp.generate().unwrap();
-            let ev = CoverageEvaluator::new(query.clone(), space.clone(), epsilon).unwrap();
+            let compilation = compiler_for(&query, 2, 3)
+                .with_epsilon(epsilon)
+                .compile_logical()
+                .unwrap();
+            let ev =
+                CoverageEvaluator::new(query.clone(), compilation.space.clone(), epsilon).unwrap();
             rows.push(vec![
                 format!("{epsilon}"),
-                stats.optimizer_calls.to_string(),
-                solution.len().to_string(),
-                format!("{:.3}", ev.true_coverage(&solution).unwrap()),
+                compilation.stats.optimizer_calls.to_string(),
+                compilation.solution.len().to_string(),
+                format!("{:.3}", ev.true_coverage(&compilation.solution).unwrap()),
             ]);
         }
         print_table(

@@ -3,7 +3,10 @@
 //! (2–6 machines) and Q2 (6–10 machines), at ε = 0.2 and U ∈ {1, 2, 3}.
 //!
 //! Coverage is the fraction of the parameter space's cells that belong to the
-//! robust region of some logical plan the physical plan supports.
+//! robust region of some logical plan the physical plan supports, computed
+//! geometrically (no cell enumeration). The logical half comes from the
+//! `RobustCompiler` pipeline; the physical solvers run by name on the shared
+//! support model.
 
 use rld_bench::{build_support_model, capacity_for, print_table};
 use rld_core::prelude::*;
@@ -11,6 +14,11 @@ use rld_core::prelude::*;
 fn main() {
     let q1 = Query::q1_stock_monitoring();
     let q2 = Query::q2_ten_way_join();
+    let solvers = [
+        PhysicalSolverSpec::Greedy,
+        PhysicalSolverSpec::OptPrune,
+        PhysicalSolverSpec::Exhaustive,
+    ];
     for (query, machines) in [(&q1, 2..=6usize), (&q2, 6..=10usize)] {
         for u in [1u32, 2, 3] {
             let model = build_support_model(query, 2, u, 0.2);
@@ -18,18 +26,18 @@ fn main() {
             let mut rows = Vec::new();
             for n in machines.clone() {
                 let cluster = Cluster::homogeneous(n, capacity).unwrap();
-                let (gp, _) = GreedyPhy::new().generate(&model, &cluster).unwrap();
-                let (op, _) = OptPrune::new().generate(&model, &cluster).unwrap();
-                let es_cov = ExhaustivePhysicalSearch::new()
-                    .generate(&model, &cluster)
-                    .map(|(pp, _)| format!("{:.3}", model.coverage(&pp, &cluster)))
-                    .unwrap_or_else(|_| "n/a".to_string());
-                rows.push(vec![
-                    n.to_string(),
-                    format!("{:.3}", model.coverage(&gp, &cluster)),
-                    format!("{:.3}", model.coverage(&op, &cluster)),
-                    es_cov,
-                ]);
+                let mut row = vec![n.to_string()];
+                for solver in solvers {
+                    // "n/a" is reserved for the deliberately-infeasible
+                    // exhaustive search; GreedyPhy/OptPrune must succeed.
+                    let result = solver.generate(&model, &cluster);
+                    row.push(match (solver, result) {
+                        (_, Ok((pp, _))) => format!("{:.3}", model.coverage(&pp, &cluster)),
+                        (PhysicalSolverSpec::Exhaustive, Err(_)) => "n/a".to_string(),
+                        (_, Err(err)) => panic!("{} failed on {n} machines: {err}", solver.name()),
+                    });
+                }
+                rows.push(row);
             }
             print_table(
                 &format!(

@@ -21,12 +21,14 @@
 //! | `overhead_runtime`      | §6.5 runtime-overhead comparison |
 //! | `ablations`             | DESIGN.md ablations (occurrence model, distance metric, ε sweep) |
 //! | `scenario`              | runs any predefined scenario by name (`--list` to enumerate) |
+//! | `compile_scale`         | compile-path scaling: dims × grid sweeps, sequential vs parallel WRP/ERP |
 //!
-//! The runtime binaries are thin wrappers over the scenario layer
-//! (`rld_core::scenario`), and the ones tracked across PRs
+//! The compile-time binaries drive the [`RobustCompiler`] pipeline (solvers
+//! selected by name), the runtime binaries are thin wrappers over the
+//! scenario layer (`rld_core::scenario`), and the ones tracked across PRs
 //! (`fig15a_processing_time`, `fig15b_throughput`, `overhead_runtime`,
-//! `scenario`) also emit a machine-readable `BENCH_<name>.json` via
-//! [`json::write_bench_json`].
+//! `scenario`, `compile_scale`) also emit a machine-readable
+//! `BENCH_<name>.json` via [`json::write_bench_json`].
 //!
 //! This crate also exposes the shared helpers those binaries use, so that
 //! integration tests can validate the harness itself.
@@ -50,13 +52,20 @@ pub fn steps_for_uncertainty(u: u32) -> usize {
     (4 * u as usize + 1).max(3)
 }
 
+/// The compiler invocation shared by the compile-time experiments: `dims`
+/// uncertain selectivity dimensions at uncertainty level `u`, with the
+/// U-proportional grid of [`steps_for_uncertainty`].
+pub fn compiler_for(query: &Query, dims: usize, u: u32) -> RobustCompiler {
+    RobustCompiler::new(query.clone())
+        .with_selectivity_dims(dims, u)
+        .with_grid_steps(steps_for_uncertainty(u))
+}
+
 /// Build the parameter space for a query with `dims` uncertain selectivity
 /// dimensions at uncertainty level `u`.
 pub fn space_for(query: &Query, dims: usize, u: u32) -> ParameterSpace {
-    let estimates = query
-        .selectivity_estimates(dims, UncertaintyLevel::new(u))
-        .expect("query has enough operators");
-    ParameterSpace::from_estimates(&estimates, query.default_stats(), steps_for_uncertainty(u))
+    compiler_for(query, dims, u)
+        .build_space()
         .expect("valid parameter space")
 }
 
@@ -75,8 +84,21 @@ pub struct LogicalRow {
     pub elapsed_ms: f64,
 }
 
-/// Run ES, RS and ERP on one (query, dims, U, ε) configuration, optionally
-/// with a shared optimizer-call budget (Figure 11), and report one row each.
+/// The three solver specs fig10–12 compare, in column order. RS is seeded
+/// with the shared experiment seed.
+fn comparison_solvers() -> [LogicalSolverSpec; 3] {
+    [
+        LogicalSolverSpec::Exhaustive,
+        LogicalSolverSpec::Random {
+            seed: EXPERIMENT_SEED,
+        },
+        LogicalSolverSpec::Erp(ErpConfig::default()),
+    ]
+}
+
+/// Run ES, RS and ERP through the [`RobustCompiler`] on one
+/// (query, dims, U, ε) configuration, optionally with a shared
+/// optimizer-call budget (Figure 11), and report one row each.
 pub fn compare_logical_generators(
     query: &Query,
     dims: usize,
@@ -91,69 +113,44 @@ pub fn compare_logical_generators(
     } else {
         None
     };
-    let mut rows = Vec::new();
-
-    let run = |name: &'static str,
-               solution: RobustLogicalSolution,
-               stats: SearchStats,
-               evaluator: &Option<CoverageEvaluator>|
-     -> LogicalRow {
-        let coverage = evaluator
-            .as_ref()
-            .map(|ev| ev.true_coverage(&solution).unwrap_or(0.0))
-            .unwrap_or(f64::NAN);
-        LogicalRow {
-            algorithm: name,
-            calls: stats.optimizer_calls,
-            plans: stats.distinct_plans,
-            coverage,
-            elapsed_ms: stats.elapsed_ms(),
-        }
-    };
-
-    // ES
-    {
-        let opt = JoinOrderOptimizer::new(query.clone());
-        let es = ExhaustiveSearch::new(&opt, &space);
-        let (sol, stats) = match budget {
-            Some(b) => es.generate_with_budget(b).expect("ES"),
-            None => es.generate().expect("ES"),
-        };
-        rows.push(run("ES", sol, stats, &evaluator));
-    }
-    // RS
-    {
-        let opt = JoinOrderOptimizer::new(query.clone());
-        let rs = RandomSearch::new(&opt, &space, EXPERIMENT_SEED);
-        let (sol, stats) = match budget {
-            Some(b) => rs.generate_with_budget(b).expect("RS"),
-            None => rs.generate().expect("RS"),
-        };
-        rows.push(run("RS", sol, stats, &evaluator));
-    }
-    // ERP
-    {
-        let opt = JoinOrderOptimizer::new(query.clone());
-        let erp =
-            EarlyTerminatedRobustPartitioning::new(&opt, &space, ErpConfig::with_epsilon(epsilon));
-        let (sol, stats) = match budget {
-            Some(b) => erp.generate_with_budget(b).expect("ERP"),
-            None => erp.generate().expect("ERP"),
-        };
-        rows.push(run("ERP", sol, stats, &evaluator));
-    }
-    rows
+    comparison_solvers()
+        .into_iter()
+        .map(|solver| {
+            let mut compiler = compiler_for(query, dims, u)
+                .with_solver(solver)
+                .with_epsilon(epsilon);
+            if let Some(b) = budget {
+                compiler = compiler.with_budget(b);
+            }
+            let compilation = compiler
+                .compile_logical_in(space.clone())
+                .expect("logical compile");
+            let coverage = evaluator
+                .as_ref()
+                .map(|ev| ev.true_coverage(&compilation.solution).unwrap_or(0.0))
+                .unwrap_or(f64::NAN);
+            LogicalRow {
+                algorithm: compilation.solver,
+                calls: compilation.stats.optimizer_calls,
+                plans: compilation.stats.distinct_plans,
+                coverage,
+                elapsed_ms: compilation.stats.elapsed_ms(),
+            }
+        })
+        .collect()
 }
 
 /// Build the support model (robust logical solution + weights) used by the
-/// physical-plan experiments for one (query, dims, U, ε) configuration.
+/// physical-plan experiments for one (query, dims, U, ε) configuration,
+/// through the [`RobustCompiler`] pipeline.
 pub fn build_support_model(query: &Query, dims: usize, u: u32, epsilon: f64) -> SupportModel {
-    let space = space_for(query, dims, u);
-    let opt = JoinOrderOptimizer::new(query.clone());
-    let erp =
-        EarlyTerminatedRobustPartitioning::new(&opt, &space, ErpConfig::with_epsilon(epsilon));
-    let (solution, _) = erp.generate().expect("ERP solution");
-    SupportModel::build(query, &space, &solution, OccurrenceModel::Normal).expect("support model")
+    let compilation = compiler_for(query, dims, u)
+        .with_epsilon(epsilon)
+        .compile_logical()
+        .expect("ERP solution");
+    compilation
+        .support_model(query, OccurrenceModel::Normal)
+        .expect("support model")
 }
 
 /// Per-node capacity such that the whole worst-case load (`lp_max`) amounts to

@@ -1,0 +1,650 @@
+//! The RLD compile-time pipeline as one first-class, reusable component.
+//!
+//! Every consumer of the compile path — the end-to-end optimizer, the
+//! scenario layer, the fig10–14 experiment binaries — used to hand-assemble
+//! the same chain: statistic estimates → [`ParameterSpace`] → a logical
+//! solver (ES / RS / WRP / ERP) → occurrence weights → a physical solver
+//! (GreedyPhy / OptPrune / exhaustive) → a deployment. [`RobustCompiler`]
+//! owns that chain end to end:
+//!
+//! ```text
+//! Query + UncertaintySpec ──► ParameterSpace
+//!          │                        │
+//!          ▼                        ▼
+//! LogicalSolverSpec ───────► RobustLogicalSolution + SearchStats
+//!          │                        │
+//!          ▼                        ▼
+//! OccurrenceModel ─────────► plan weights (geometric, cell-free)
+//!          │                        │
+//!          ▼                        ▼
+//! PhysicalSolverSpec + Cluster ──► Deployment (serializable artifact)
+//! ```
+//!
+//! Solvers are selected **by name** (`"ES"`, `"RS"`, `"WRP"`, `"ERP"`;
+//! `"GreedyPhy"`, `"OptPrune"`) so benches and CLIs can sweep them without
+//! `match`ing on concrete types, and WRP/ERP accept a worker-pool width via
+//! [`RobustCompiler::with_parallelism`] (the produced solution is identical
+//! to the sequential one).
+//!
+//! The [`Deployment`] artifact carries everything the runtime and the
+//! analysis tooling need — plans, robust regions, occurrence weights,
+//! placement, and the search statistics of both phases — and is plain
+//! serializable data, so it can be persisted and re-deployed without
+//! re-running the compiler.
+
+use rld_common::{Query, Result, RldError, StatisticEstimate, UncertaintyLevel};
+use rld_engine::{HybridStrategy, RldStrategy};
+use rld_logical::{
+    EarlyTerminatedRobustPartitioning, ErpConfig, ExhaustiveSearch, LogicalPlanGenerator,
+    RandomSearch, RobustLogicalSolution, SearchStats, WeightedRobustPartitioning,
+};
+use rld_paramspace::{DistanceMetric, OccurrenceModel, ParameterSpace};
+use rld_physical::{
+    Cluster, DynPlanner, ExhaustivePhysicalSearch, GreedyPhy, OptPrune, PhysicalPlan,
+    PhysicalPlanGenerator, PhysicalSearchStats, SupportModel,
+};
+use rld_query::JoinOrderOptimizer;
+use serde::{Deserialize, Serialize};
+
+/// Which §4 algorithm produces the robust logical solution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LogicalSolverSpec {
+    /// Exhaustive search (one optimizer call per grid cell) — the baseline.
+    Exhaustive,
+    /// Random sampling with the given seed.
+    Random {
+        /// Seed of the sampling sequence.
+        seed: u64,
+    },
+    /// Weight-driven Robust Partitioning (Algorithm 2), no early termination.
+    Wrp,
+    /// Early-terminated Robust Partitioning (Algorithm 3) — the paper's choice.
+    Erp(ErpConfig),
+}
+
+impl LogicalSolverSpec {
+    /// The solver's short name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LogicalSolverSpec::Exhaustive => "ES",
+            LogicalSolverSpec::Random { .. } => "RS",
+            LogicalSolverSpec::Wrp => "WRP",
+            LogicalSolverSpec::Erp(_) => "ERP",
+        }
+    }
+
+    /// Resolve a solver by its figure name (`"ES"`, `"RS"`, `"WRP"`,
+    /// `"ERP"`), with default parameters (`seed` 0 for RS, the default
+    /// [`ErpConfig`] for ERP — override the robustness ε via
+    /// [`RobustCompiler::with_epsilon`]).
+    pub fn by_name(name: &str) -> Result<Self> {
+        match name {
+            "ES" | "es" => Ok(LogicalSolverSpec::Exhaustive),
+            "RS" | "rs" => Ok(LogicalSolverSpec::Random { seed: 0 }),
+            "WRP" | "wrp" => Ok(LogicalSolverSpec::Wrp),
+            "ERP" | "erp" => Ok(LogicalSolverSpec::Erp(ErpConfig::default())),
+            other => Err(RldError::NotFound(format!(
+                "logical solver '{other}' (known: ES, RS, WRP, ERP)"
+            ))),
+        }
+    }
+}
+
+/// Which §5 algorithm produces the physical plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PhysicalSolverSpec {
+    /// GreedyPhy (Algorithm 4): linear time, possibly sub-optimal.
+    Greedy,
+    /// OptPrune (Algorithm 5): optimal, branch-and-bound bounded by GreedyPhy.
+    #[default]
+    OptPrune,
+    /// Exhaustive assignment enumeration (tiny clusters only).
+    Exhaustive,
+}
+
+impl PhysicalSolverSpec {
+    /// The solver's short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalSolverSpec::Greedy => "GreedyPhy",
+            PhysicalSolverSpec::OptPrune => "OptPrune",
+            PhysicalSolverSpec::Exhaustive => "ES",
+        }
+    }
+
+    /// Resolve a physical solver by name (`"GreedyPhy"`, `"OptPrune"`,
+    /// `"ES"`).
+    pub fn by_name(name: &str) -> Result<Self> {
+        match name {
+            "GreedyPhy" | "greedy" | "Greedy" => Ok(PhysicalSolverSpec::Greedy),
+            "OptPrune" | "optprune" => Ok(PhysicalSolverSpec::OptPrune),
+            "ES" | "es" => Ok(PhysicalSolverSpec::Exhaustive),
+            other => Err(RldError::NotFound(format!(
+                "physical solver '{other}' (known: GreedyPhy, OptPrune, ES)"
+            ))),
+        }
+    }
+
+    /// Run this solver on a support model and cluster.
+    pub fn generate(
+        &self,
+        model: &SupportModel,
+        cluster: &Cluster,
+    ) -> Result<(PhysicalPlan, PhysicalSearchStats)> {
+        match self {
+            PhysicalSolverSpec::Greedy => GreedyPhy::new().generate(model, cluster),
+            PhysicalSolverSpec::OptPrune => OptPrune::new().generate(model, cluster),
+            PhysicalSolverSpec::Exhaustive => {
+                ExhaustivePhysicalSearch::new().generate(model, cluster)
+            }
+        }
+    }
+}
+
+/// How the compiler derives the uncertain dimensions of the parameter space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UncertaintySpec {
+    /// The first `dims` operator selectivities at a shared uncertainty level
+    /// (the configuration the paper's experiments sweep).
+    Selectivities {
+        /// Number of uncertain selectivity dimensions.
+        dims: usize,
+        /// The uncertainty level `U` of every dimension.
+        uncertainty: UncertaintyLevel,
+    },
+    /// Explicit statistic estimates (mix selectivities and input rates
+    /// freely).
+    Explicit(Vec<StatisticEstimate>),
+}
+
+/// The output of the logical half of the pipeline: everything fig10–12 style
+/// sweeps need, before any cluster is involved.
+#[derive(Debug, Clone)]
+pub struct LogicalCompilation {
+    /// The parameter space searched.
+    pub space: ParameterSpace,
+    /// The robust logical solution (plans + robust regions).
+    pub solution: RobustLogicalSolution,
+    /// Search statistics (optimizer calls etc., Figures 10–12).
+    pub stats: SearchStats,
+    /// The solver that produced it (`"ES"`, `"RS"`, `"WRP"`, `"ERP"`).
+    pub solver: &'static str,
+}
+
+impl LogicalCompilation {
+    /// Build the §5 support model (worst-case loads + occurrence weights)
+    /// over this solution.
+    pub fn support_model(
+        &self,
+        query: &Query,
+        occurrence: OccurrenceModel,
+    ) -> Result<SupportModel> {
+        SupportModel::build(query, &self.space, &self.solution, occurrence)
+    }
+}
+
+/// The serializable artifact of a full compile: plans, robust regions,
+/// occurrence weights, placement and search statistics. Everything the
+/// runtime ([`Deployment::deploy`] / [`Deployment::deploy_hybrid`]) and the
+/// analysis tooling consume; nothing has to be recomputed to use it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Deployment {
+    /// The query the deployment serves.
+    pub query: Query,
+    /// The parameter space the solution was computed over.
+    pub space: ParameterSpace,
+    /// The robust logical solution (plans + robust regions).
+    pub logical: RobustLogicalSolution,
+    /// Statistics of the logical search (optimizer calls etc., Figures 10–12).
+    pub logical_stats: SearchStats,
+    /// Occurrence weight of each logical plan, in solution-entry order (§5.2).
+    pub weights: Vec<f64>,
+    /// The single robust physical plan (the placement).
+    pub physical: PhysicalPlan,
+    /// Statistics of the physical search (compile time etc., Figures 13–14).
+    pub physical_stats: PhysicalSearchStats,
+    /// The logical solver that produced the solution.
+    pub logical_solver: String,
+    /// The physical solver that produced the placement.
+    pub physical_solver: String,
+    /// The occurrence model the weights were computed under.
+    pub occurrence: OccurrenceModel,
+    /// The support model (worst-case loads + weights) built during the
+    /// compile, reused for scoring against clusters.
+    pub support: SupportModel,
+    /// Fraction of the parameter space claimed by the solution's robust
+    /// regions (geometric, computed at compile time).
+    pub claimed_coverage: f64,
+    /// The classification overhead to charge at runtime.
+    pub classification_overhead: f64,
+}
+
+impl Deployment {
+    /// The support model (worst-case loads + weights) built during the
+    /// compile, for scoring this deployment against clusters.
+    pub fn support(&self) -> &SupportModel {
+        &self.support
+    }
+
+    /// Fraction of the parameter space covered by the logical plans the
+    /// physical plan supports on the given cluster (Figure 14's metric).
+    pub fn physical_coverage(&self, cluster: &Cluster) -> f64 {
+        self.support.coverage(&self.physical, cluster)
+    }
+
+    /// The physical plan's score: total occurrence weight of the supported
+    /// logical plans.
+    pub fn physical_score(&self, cluster: &Cluster) -> f64 {
+        self.support.score(&self.physical, cluster)
+    }
+
+    /// Deploy the artifact as the RLD runtime strategy for the simulator.
+    pub fn deploy(&self) -> RldStrategy {
+        RldStrategy::new(
+            &self.query,
+            self.space.clone(),
+            self.logical.clone(),
+            self.physical.clone(),
+            self.classification_overhead,
+        )
+    }
+
+    /// Deploy the artifact as the hybrid runtime strategy: RLD classification
+    /// over this physical plan, plus DYN-style migration (at most once per
+    /// `rebalance_period_secs`) whenever the monitored statistics fall
+    /// outside every robust region.
+    pub fn deploy_hybrid(&self, rebalance_period_secs: f64) -> HybridStrategy {
+        HybridStrategy::new(
+            &self.query,
+            self.space.clone(),
+            self.logical.clone(),
+            self.physical.clone(),
+            self.classification_overhead,
+            DynPlanner::new(),
+            rebalance_period_secs,
+        )
+    }
+}
+
+/// The compile-time pipeline: query + uncertainty + solver specs +
+/// occurrence model → [`Deployment`].
+#[derive(Debug, Clone)]
+pub struct RobustCompiler {
+    query: Query,
+    uncertainty: UncertaintySpec,
+    grid_steps: usize,
+    epsilon: f64,
+    solver: LogicalSolverSpec,
+    physical_solver: PhysicalSolverSpec,
+    occurrence: OccurrenceModel,
+    metric: DistanceMetric,
+    parallelism: usize,
+    budget: Option<usize>,
+    classification_overhead: f64,
+}
+
+impl RobustCompiler {
+    /// Create a compiler for a query with the paper's defaults: 2 uncertain
+    /// selectivities at U = 2, a 9-step grid, ERP at ε = 0.2, the normal
+    /// occurrence model, OptPrune, sequential search.
+    pub fn new(query: Query) -> Self {
+        let erp = ErpConfig::default();
+        Self {
+            query,
+            uncertainty: UncertaintySpec::Selectivities {
+                dims: 2,
+                uncertainty: UncertaintyLevel::new(2),
+            },
+            grid_steps: ParameterSpace::DEFAULT_STEPS,
+            epsilon: erp.robustness_epsilon,
+            solver: LogicalSolverSpec::Erp(erp),
+            physical_solver: PhysicalSolverSpec::default(),
+            occurrence: OccurrenceModel::default(),
+            metric: DistanceMetric::default(),
+            parallelism: 1,
+            budget: None,
+            classification_overhead: 0.02,
+        }
+    }
+
+    /// The query being compiled.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Treat the first `dims` operator selectivities as uncertain at level `u`.
+    pub fn with_selectivity_dims(mut self, dims: usize, u: u32) -> Self {
+        self.uncertainty = UncertaintySpec::Selectivities {
+            dims,
+            uncertainty: UncertaintyLevel::new(u),
+        };
+        self
+    }
+
+    /// Use explicit statistic estimates as the uncertain dimensions.
+    pub fn with_estimates(mut self, estimates: Vec<StatisticEstimate>) -> Self {
+        self.uncertainty = UncertaintySpec::Explicit(estimates);
+        self
+    }
+
+    /// Grid steps per dimension of the discretized space.
+    pub fn with_grid_steps(mut self, steps: usize) -> Self {
+        self.grid_steps = steps;
+        self
+    }
+
+    /// The robustness threshold ε of Definition 1 — the single source of
+    /// truth for every solver (for ERP it overrides whatever
+    /// `ErpConfig::robustness_epsilon` the solver spec carries).
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Select the logical solver. An [`LogicalSolverSpec::Erp`] spec
+    /// contributes only its probabilistic early-termination parameters; the
+    /// robustness ε always comes from [`RobustCompiler::with_epsilon`]
+    /// (builder call order never changes the threshold).
+    pub fn with_solver(mut self, solver: LogicalSolverSpec) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Select the logical solver by its figure name (`"ES"`, `"RS"`,
+    /// `"WRP"`, `"ERP"`).
+    pub fn with_solver_name(self, name: &str) -> Result<Self> {
+        Ok(self.with_solver(LogicalSolverSpec::by_name(name)?))
+    }
+
+    /// Select the physical solver.
+    pub fn with_physical_solver(mut self, solver: PhysicalSolverSpec) -> Self {
+        self.physical_solver = solver;
+        self
+    }
+
+    /// Occurrence model used to weight robust logical plans.
+    pub fn with_occurrence(mut self, occurrence: OccurrenceModel) -> Self {
+        self.occurrence = occurrence;
+        self
+    }
+
+    /// Distance metric of the §4.2 weight function (WRP/ERP only).
+    pub fn with_metric(mut self, metric: DistanceMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Probe WRP/ERP partitioning frontiers on this many worker threads; the
+    /// produced solution is identical to the sequential one. `0`/`1` mean
+    /// sequential; ES and RS ignore this.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Cap the number of optimizer calls the logical solver may make
+    /// (Figure 11's budget sweeps). Forces sequential search.
+    pub fn with_budget(mut self, max_calls: usize) -> Self {
+        self.budget = Some(max_calls);
+        self
+    }
+
+    /// Runtime classification overhead charged per batch.
+    pub fn with_classification_overhead(mut self, overhead: f64) -> Self {
+        self.classification_overhead = overhead.max(0.0);
+        self
+    }
+
+    /// Build the parameter space implied by the uncertainty spec.
+    pub fn build_space(&self) -> Result<ParameterSpace> {
+        let estimates = match &self.uncertainty {
+            UncertaintySpec::Selectivities { dims, uncertainty } => {
+                self.query.selectivity_estimates(*dims, *uncertainty)?
+            }
+            UncertaintySpec::Explicit(estimates) => estimates.clone(),
+        };
+        ParameterSpace::from_estimates(&estimates, self.query.default_stats(), self.grid_steps)
+    }
+
+    /// Run the logical half of the pipeline: space construction + the
+    /// selected solver. No cluster needed.
+    pub fn compile_logical(&self) -> Result<LogicalCompilation> {
+        let space = self.build_space()?;
+        self.compile_logical_in(space)
+    }
+
+    /// Run the logical half on an explicit, pre-built space.
+    pub fn compile_logical_in(&self, space: ParameterSpace) -> Result<LogicalCompilation> {
+        let optimizer = JoinOrderOptimizer::new(self.query.clone());
+        let run = |generator: &dyn LogicalPlanGenerator| match self.budget {
+            Some(b) => generator.generate_with_budget(b),
+            None => generator.generate(),
+        };
+        let (solution, stats) = match &self.solver {
+            LogicalSolverSpec::Exhaustive => run(&ExhaustiveSearch::new(&optimizer, &space))?,
+            LogicalSolverSpec::Random { seed } => {
+                run(&RandomSearch::new(&optimizer, &space, *seed))?
+            }
+            LogicalSolverSpec::Wrp => {
+                run(
+                    &WeightedRobustPartitioning::new(&optimizer, &space, self.epsilon)
+                        .with_metric(self.metric)
+                        .with_parallelism(self.parallelism),
+                )?
+            }
+            LogicalSolverSpec::Erp(cfg) => {
+                let mut cfg = *cfg;
+                cfg.robustness_epsilon = self.epsilon;
+                run(
+                    &EarlyTerminatedRobustPartitioning::new(&optimizer, &space, cfg)
+                        .with_metric(self.metric)
+                        .with_parallelism(self.parallelism),
+                )?
+            }
+        };
+        Ok(LogicalCompilation {
+            space,
+            solution,
+            stats,
+            solver: self.solver.name(),
+        })
+    }
+
+    /// Run the full pipeline against a cluster and produce the deployment
+    /// artifact.
+    pub fn compile(&self, cluster: &Cluster) -> Result<Deployment> {
+        let space = self.build_space()?;
+        self.compile_in(cluster, space)
+    }
+
+    /// Run the full pipeline on an explicit, pre-built space.
+    pub fn compile_in(&self, cluster: &Cluster, space: ParameterSpace) -> Result<Deployment> {
+        let logical = self.compile_logical_in(space)?;
+        if logical.solution.is_empty() {
+            return Err(RldError::PlanGeneration(format!(
+                "{} produced an empty robust logical solution",
+                logical.solver
+            )));
+        }
+        let support = logical.support_model(&self.query, self.occurrence)?;
+        let (physical, physical_stats) = self.physical_solver.generate(&support, cluster)?;
+        // The weights are already in the support model's profiles (solution
+        // order) — no second pass over the regions.
+        let weights = support.profiles().iter().map(|p| p.weight).collect();
+        let claimed_coverage = logical.solution.claimed_coverage(&logical.space);
+        Ok(Deployment {
+            query: self.query.clone(),
+            space: logical.space,
+            logical: logical.solution,
+            logical_stats: logical.stats,
+            weights,
+            physical,
+            physical_stats,
+            logical_solver: logical.solver.to_string(),
+            physical_solver: self.physical_solver.name().to_string(),
+            occurrence: self.occurrence,
+            support,
+            claimed_coverage,
+            classification_overhead: self.classification_overhead,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_for(query: &Query, nodes: usize, slack: f64) -> Cluster {
+        let cm = rld_query::CostModel::new(query.clone());
+        let plan = rld_query::LogicalPlan::identity(query);
+        let loads = cm.operator_loads(&plan, &query.default_stats()).unwrap();
+        let max_load = loads.iter().cloned().fold(0.0f64, f64::max);
+        Cluster::homogeneous(nodes, max_load * slack).unwrap()
+    }
+
+    #[test]
+    fn solver_specs_resolve_by_name() {
+        assert_eq!(LogicalSolverSpec::by_name("ES").unwrap().name(), "ES");
+        assert_eq!(LogicalSolverSpec::by_name("RS").unwrap().name(), "RS");
+        assert_eq!(LogicalSolverSpec::by_name("WRP").unwrap().name(), "WRP");
+        assert_eq!(LogicalSolverSpec::by_name("erp").unwrap().name(), "ERP");
+        assert!(LogicalSolverSpec::by_name("nope").is_err());
+        assert_eq!(
+            PhysicalSolverSpec::by_name("GreedyPhy").unwrap().name(),
+            "GreedyPhy"
+        );
+        assert!(PhysicalSolverSpec::by_name("nope").is_err());
+    }
+
+    #[test]
+    fn compile_produces_a_complete_artifact() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = cluster_for(&q, 4, 100.0);
+        let deployment = RobustCompiler::new(q.clone())
+            .with_selectivity_dims(2, 3)
+            .with_epsilon(0.2)
+            .compile(&cluster)
+            .unwrap();
+        assert_eq!(deployment.logical_solver, "ERP");
+        assert_eq!(deployment.physical_solver, "OptPrune");
+        assert!(!deployment.logical.is_empty());
+        assert_eq!(deployment.weights.len(), deployment.logical.len());
+        assert!(deployment.logical_stats.optimizer_calls > 0);
+        assert!(deployment.claimed_coverage > 0.0 && deployment.claimed_coverage <= 1.0 + 1e-12);
+        assert!(deployment.physical_coverage(&cluster) > 0.5);
+        assert!(deployment.physical_score(&cluster) > 0.0);
+        // The weights recorded in the artifact match a fresh support model.
+        let support = deployment.support();
+        for (w, p) in deployment.weights.iter().zip(support.profiles()) {
+            assert!((w - p.weight).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn every_logical_solver_compiles_q1() {
+        let q = Query::q1_stock_monitoring();
+        for name in ["ES", "RS", "WRP", "ERP"] {
+            let compilation = RobustCompiler::new(q.clone())
+                .with_selectivity_dims(2, 2)
+                .with_epsilon(0.2)
+                .with_solver_name(name)
+                .unwrap()
+                .compile_logical()
+                .unwrap();
+            assert_eq!(compilation.solver, name);
+            assert!(!compilation.solution.is_empty(), "{name} found no plans");
+            assert!(compilation.stats.optimizer_calls > 0);
+        }
+    }
+
+    #[test]
+    fn epsilon_survives_any_builder_order() {
+        // self.epsilon is the single source of truth: selecting a solver
+        // after setting ε must not silently reset it to the spec's default.
+        let q = Query::q1_stock_monitoring();
+        let eps_first = RobustCompiler::new(q.clone())
+            .with_selectivity_dims(2, 3)
+            .with_epsilon(0.35)
+            .with_solver(LogicalSolverSpec::Erp(ErpConfig::default()))
+            .compile_logical()
+            .unwrap();
+        let eps_last = RobustCompiler::new(q)
+            .with_selectivity_dims(2, 3)
+            .with_solver(LogicalSolverSpec::Erp(ErpConfig::default()))
+            .with_epsilon(0.35)
+            .compile_logical()
+            .unwrap();
+        assert_eq!(eps_first.solution, eps_last.solution);
+        assert_eq!(
+            eps_first.stats.optimizer_calls,
+            eps_last.stats.optimizer_calls
+        );
+    }
+
+    #[test]
+    fn deployment_round_trips_into_runtime_strategies() {
+        use rld_engine::DistributionStrategy;
+        let q = Query::q1_stock_monitoring();
+        let cluster = cluster_for(&q, 4, 100.0);
+        let deployment = RobustCompiler::new(q).compile(&cluster).unwrap();
+        let rld = deployment.deploy();
+        assert_eq!(rld.name(), "RLD");
+        let hyb = deployment.deploy_hybrid(5.0);
+        assert_eq!(hyb.name(), "HYB");
+        assert_eq!(hyb.physical(), rld.physical());
+    }
+
+    #[test]
+    fn budget_is_forwarded_to_the_solver() {
+        let q = Query::q1_stock_monitoring();
+        let compilation = RobustCompiler::new(q)
+            .with_selectivity_dims(2, 3)
+            .with_solver(LogicalSolverSpec::Exhaustive)
+            .with_budget(10)
+            .compile_logical()
+            .unwrap();
+        assert_eq!(compilation.stats.optimizer_calls, 10);
+        assert!(compilation.stats.terminated_early);
+    }
+
+    #[test]
+    fn parallel_compile_matches_sequential() {
+        let q = Query::q2_ten_way_join();
+        let seq = RobustCompiler::new(q.clone())
+            .with_selectivity_dims(3, 2)
+            .with_solver(LogicalSolverSpec::Wrp)
+            .with_epsilon(0.25)
+            .compile_logical()
+            .unwrap();
+        let par = RobustCompiler::new(q)
+            .with_selectivity_dims(3, 2)
+            .with_solver(LogicalSolverSpec::Wrp)
+            .with_epsilon(0.25)
+            .with_parallelism(4)
+            .compile_logical()
+            .unwrap();
+        assert_eq!(seq.solution, par.solution);
+    }
+
+    #[test]
+    fn explicit_estimates_build_mixed_spaces() {
+        use rld_common::StatKey;
+        let q = Query::q1_stock_monitoring();
+        let estimates = q
+            .estimates_for(&[
+                (
+                    StatKey::Selectivity(rld_common::OperatorId::new(0)),
+                    UncertaintyLevel::new(2),
+                ),
+                (
+                    StatKey::InputRate(q.driving_stream),
+                    UncertaintyLevel::new(2),
+                ),
+            ])
+            .unwrap();
+        let compiler = RobustCompiler::new(q).with_estimates(estimates);
+        let space = compiler.build_space().unwrap();
+        assert_eq!(space.num_dims(), 2);
+        assert!(!compiler.compile_logical().unwrap().solution.is_empty());
+    }
+}

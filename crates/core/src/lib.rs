@@ -45,11 +45,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baselines;
+pub mod compiler;
 pub mod optimizer;
 pub mod prelude;
 pub mod scenario;
 
 pub use baselines::{deploy_dyn, deploy_rod};
+pub use compiler::{
+    Deployment, LogicalCompilation, LogicalSolverSpec, PhysicalSolverSpec, RobustCompiler,
+    UncertaintySpec,
+};
 pub use optimizer::{PhysicalStrategy, RldConfig, RldOptimizer, RldSolution};
 pub use scenario::{Scenario, ScenarioReport, StrategyOutcome, StrategySpec};
 

@@ -1,19 +1,18 @@
-//! The end-to-end RLD optimizer: parameter space → robust logical solution →
-//! robust physical plan.
+//! The end-to-end RLD optimizer: a configuration-level façade over the
+//! [`crate::compiler::RobustCompiler`] pipeline.
+//!
+//! [`RldOptimizer`] keeps the paper-shaped configuration surface
+//! ([`RldConfig`]: uncertain dimensions, uncertainty level, ε, occurrence
+//! model, physical strategy) and translates it into a compiler invocation;
+//! all the actual pipeline work — space construction, solver dispatch,
+//! weighting, physical planning — lives in the compiler, which benches and
+//! the scenario layer also drive directly.
 
-use rld_common::{Query, Result, RldError, StatisticEstimate, UncertaintyLevel};
-use rld_engine::{HybridStrategy, RldStrategy};
-use rld_logical::{
-    CoverageEvaluator, EarlyTerminatedRobustPartitioning, ErpConfig, LogicalPlanGenerator,
-    RobustLogicalSolution, SearchStats,
-};
+use crate::compiler::{Deployment, LogicalSolverSpec, PhysicalSolverSpec, RobustCompiler};
+use rld_common::{Query, Result, StatisticEstimate, UncertaintyLevel};
+use rld_logical::{CoverageEvaluator, ErpConfig};
 use rld_paramspace::{OccurrenceModel, ParameterSpace};
-use rld_physical::DynPlanner;
-use rld_physical::{
-    Cluster, GreedyPhy, OptPrune, PhysicalPlan, PhysicalPlanGenerator, PhysicalSearchStats,
-    SupportModel,
-};
-use rld_query::JoinOrderOptimizer;
+use rld_physical::Cluster;
 use serde::{Deserialize, Serialize};
 
 /// Which §5 algorithm produces the physical plan.
@@ -24,6 +23,15 @@ pub enum PhysicalStrategy {
     /// OptPrune (Algorithm 5): optimal, branch-and-bound bounded by GreedyPhy.
     #[default]
     OptPrune,
+}
+
+impl From<PhysicalStrategy> for PhysicalSolverSpec {
+    fn from(strategy: PhysicalStrategy) -> Self {
+        match strategy {
+            PhysicalStrategy::Greedy => PhysicalSolverSpec::Greedy,
+            PhysicalStrategy::OptPrune => PhysicalSolverSpec::OptPrune,
+        }
+    }
 }
 
 /// Configuration of the end-to-end RLD optimizer.
@@ -81,67 +89,23 @@ impl RldConfig {
         self.uncertain_selectivities = dims;
         self
     }
-}
 
-/// The complete output of RLD compile-time optimization.
-#[derive(Debug, Clone)]
-pub struct RldSolution {
-    /// The parameter space the solution was computed over.
-    pub space: ParameterSpace,
-    /// The robust logical solution (plans + robust regions).
-    pub logical: RobustLogicalSolution,
-    /// Statistics of the logical search (optimizer calls etc., Figures 10–12).
-    pub logical_stats: SearchStats,
-    /// The single robust physical plan.
-    pub physical: PhysicalPlan,
-    /// Statistics of the physical search (compile time etc., Figures 13–14).
-    pub physical_stats: PhysicalSearchStats,
-    /// The support model used to score physical plans.
-    pub support: SupportModel,
-    /// The classification overhead to charge at runtime.
-    pub classification_overhead: f64,
-}
-
-impl RldSolution {
-    /// Fraction of the parameter space covered by the logical plans the
-    /// physical plan supports on the given cluster (Figure 14's metric).
-    pub fn physical_coverage(&self, cluster: &Cluster) -> f64 {
-        self.support.coverage(&self.physical, cluster)
-    }
-
-    /// The physical plan's score: total occurrence weight of the supported
-    /// logical plans.
-    pub fn physical_score(&self, cluster: &Cluster) -> f64 {
-        self.support.score(&self.physical, cluster)
-    }
-
-    /// Deploy the solution as the RLD runtime strategy for the simulator.
-    pub fn deploy(&self) -> RldStrategy {
-        RldStrategy::new(
-            self.support.query(),
-            self.space.clone(),
-            self.logical.clone(),
-            self.physical.clone(),
-            self.classification_overhead,
-        )
-    }
-
-    /// Deploy the solution as the hybrid runtime strategy: RLD classification
-    /// over this physical plan, plus DYN-style migration (at most once per
-    /// `rebalance_period_secs`) whenever the monitored statistics fall
-    /// outside every robust region.
-    pub fn deploy_hybrid(&self, rebalance_period_secs: f64) -> HybridStrategy {
-        HybridStrategy::new(
-            self.support.query(),
-            self.space.clone(),
-            self.logical.clone(),
-            self.physical.clone(),
-            self.classification_overhead,
-            DynPlanner::new(),
-            rebalance_period_secs,
-        )
+    /// The compiler invocation this configuration describes.
+    pub fn compiler(&self, query: Query) -> RobustCompiler {
+        RobustCompiler::new(query)
+            .with_selectivity_dims(self.uncertain_selectivities, self.uncertainty.0)
+            .with_grid_steps(self.grid_steps)
+            .with_solver(LogicalSolverSpec::Erp(self.erp))
+            .with_epsilon(self.erp.robustness_epsilon)
+            .with_physical_solver(self.physical_strategy.into())
+            .with_occurrence(self.occurrence)
+            .with_classification_overhead(self.classification_overhead)
     }
 }
+
+/// The complete output of RLD compile-time optimization — an alias for the
+/// compiler's serializable [`Deployment`] artifact.
+pub type RldSolution = Deployment;
 
 /// The end-to-end RLD optimizer (the "robust plan optimizer" box of Figure 5).
 #[derive(Debug, Clone)]
@@ -168,10 +132,7 @@ impl RldOptimizer {
 
     /// Build the parameter space implied by the configuration.
     pub fn build_space(&self) -> Result<ParameterSpace> {
-        let estimates = self
-            .query
-            .selectivity_estimates(self.config.uncertain_selectivities, self.config.uncertainty)?;
-        self.build_space_from(&estimates)
+        self.config.compiler(self.query.clone()).build_space()
     }
 
     /// Build a parameter space from explicit statistic estimates (use this to
@@ -186,8 +147,7 @@ impl RldOptimizer {
 
     /// Run the full two-step optimization on the default parameter space.
     pub fn optimize(&self, cluster: &Cluster) -> Result<RldSolution> {
-        let space = self.build_space()?;
-        self.optimize_in_space(cluster, space)
+        self.config.compiler(self.query.clone()).compile(cluster)
     }
 
     /// Run the full two-step optimization on an explicit parameter space.
@@ -196,32 +156,9 @@ impl RldOptimizer {
         cluster: &Cluster,
         space: ParameterSpace,
     ) -> Result<RldSolution> {
-        // Step 1: robust logical solution via ERP.
-        let black_box = JoinOrderOptimizer::new(self.query.clone());
-        let erp = EarlyTerminatedRobustPartitioning::new(&black_box, &space, self.config.erp);
-        let (logical, logical_stats) = erp.generate()?;
-        if logical.is_empty() {
-            return Err(RldError::PlanGeneration(
-                "ERP produced an empty robust logical solution".into(),
-            ));
-        }
-
-        // Step 2: robust physical plan supporting the logical solution.
-        let support = SupportModel::build(&self.query, &space, &logical, self.config.occurrence)?;
-        let (physical, physical_stats) = match self.config.physical_strategy {
-            PhysicalStrategy::Greedy => GreedyPhy::new().generate(&support, cluster)?,
-            PhysicalStrategy::OptPrune => OptPrune::new().generate(&support, cluster)?,
-        };
-
-        Ok(RldSolution {
-            space,
-            logical,
-            logical_stats,
-            physical,
-            physical_stats,
-            support,
-            classification_overhead: self.config.classification_overhead,
-        })
+        self.config
+            .compiler(self.query.clone())
+            .compile_in(cluster, space)
     }
 
     /// Ground-truth coverage evaluation of an already computed solution

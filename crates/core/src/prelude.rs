@@ -11,6 +11,10 @@
 //! ```
 
 pub use crate::baselines::{deploy_dyn, deploy_rod};
+pub use crate::compiler::{
+    Deployment, LogicalCompilation, LogicalSolverSpec, PhysicalSolverSpec, RobustCompiler,
+    UncertaintySpec,
+};
 pub use crate::optimizer::{PhysicalStrategy, RldConfig, RldOptimizer, RldSolution};
 pub use crate::scenario::{
     self, regime_switching_workload, runtime_capacity, runtime_rld_config, Scenario,

@@ -19,7 +19,8 @@
 //! drops out of regimes it cannot keep up with.
 
 use crate::baselines::{deploy_dyn, deploy_rod};
-use crate::optimizer::{RldConfig, RldOptimizer, RldSolution};
+use crate::compiler::Deployment;
+use crate::optimizer::RldConfig;
 use rld_common::{Query, Result, RldError};
 use rld_engine::{DistributionStrategy, RunMetrics, SimConfig, Simulator};
 use rld_physical::Cluster;
@@ -38,7 +39,8 @@ pub const DEFAULT_STRATEGY_NAMES: [&str; 4] = ["ROD", "DYN", "RLD", "HYB"];
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StrategySpec {
     /// The paper's contribution: robust logical solution + robust physical
-    /// plan, produced by [`RldOptimizer`] with this configuration.
+    /// plan, compiled by the [`crate::compiler::RobustCompiler`] with this
+    /// configuration.
     Rld(RldConfig),
     /// The static baseline: one plan, one placement, no adaptation.
     Rod,
@@ -76,25 +78,26 @@ impl StrategySpec {
     }
 
     /// Build the runtime strategy for a query on a cluster. RLD and Hybrid
-    /// run the full compile-time optimization; ROD and DYN plan at the
-    /// query's default statistics. ([`Scenario::run`] shares one optimization
-    /// between specs with the same configuration instead of calling this.)
+    /// compile a full [`Deployment`] through the
+    /// [`crate::compiler::RobustCompiler`]; ROD and DYN plan at the query's
+    /// default statistics. ([`Scenario::run`] shares one compile between
+    /// specs with the same configuration instead of calling this.)
     pub fn build(&self, query: &Query, cluster: &Cluster) -> Result<Box<dyn DistributionStrategy>> {
-        let solution = match self.rld_config() {
-            Some(config) => Some(RldOptimizer::new(query.clone(), *config).optimize(cluster)?),
+        let deployment = match self.rld_config() {
+            Some(config) => Some(config.compiler(query.clone()).compile(cluster)?),
             None => None,
         };
-        self.build_from(query, cluster, solution.as_ref())
+        self.build_from(query, cluster, deployment.as_ref())
     }
 
     /// Build the runtime strategy, deploying RLD/Hybrid from an already
-    /// computed solution. `solution` is required exactly when
+    /// compiled deployment. `solution` is required exactly when
     /// [`Self::rld_config`] is `Some`.
     fn build_from(
         &self,
         query: &Query,
         cluster: &Cluster,
-        solution: Option<&RldSolution>,
+        solution: Option<&Deployment>,
     ) -> Result<Box<dyn DistributionStrategy>> {
         let solution_for = |spec: &Self| {
             solution.ok_or_else(|| {
@@ -231,13 +234,14 @@ impl Scenario {
     /// deploys RLD and Hybrid from one solution).
     pub fn run(&self) -> Result<ScenarioReport> {
         let sim = Simulator::new(self.query.clone(), self.cluster.clone(), self.sim)?;
-        let mut solved: Vec<(RldConfig, std::result::Result<RldSolution, String>)> = Vec::new();
+        let mut solved: Vec<(RldConfig, std::result::Result<Deployment, String>)> = Vec::new();
         let mut solve = |config: &RldConfig| {
             if let Some((_, cached)) = solved.iter().find(|(c, _)| c == config) {
                 return cached.clone();
             }
-            let result = RldOptimizer::new(self.query.clone(), *config)
-                .optimize(&self.cluster)
+            let result = config
+                .compiler(self.query.clone())
+                .compile(&self.cluster)
                 .map_err(|e| e.to_string());
             solved.push((*config, result.clone()));
             result

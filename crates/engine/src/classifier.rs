@@ -6,11 +6,19 @@
 //! closest to) that point of the parameter space. The classification itself
 //! costs a small fraction of the query-processing work (~2% in the paper's
 //! measurements), which the simulator charges as overhead.
+//!
+//! The per-batch hot path is allocation-free: region containment is answered
+//! by the [`ClassifierIndex`] (per-dimension interval-stabbing bitsets,
+//! `O(dims)` words per probe), candidate entries are collected into reused
+//! scratch buffers, and [`OnlineClassifier::classify`] hands back a shared
+//! [`Arc<LogicalPlan>`] instead of deep-cloning the plan for every batch.
 
+use crate::index::ClassifierIndex;
 use rld_common::StatsSnapshot;
 use rld_logical::RobustLogicalSolution;
 use rld_paramspace::ParameterSpace;
 use rld_query::{CostModel, LogicalPlan};
+use std::sync::Arc;
 
 /// Per-batch logical plan selector used by the RLD runtime.
 #[derive(Debug, Clone)]
@@ -18,8 +26,16 @@ pub struct OnlineClassifier {
     space: ParameterSpace,
     solution: RobustLogicalSolution,
     cost_model: Option<CostModel>,
+    index: ClassifierIndex,
     switches: usize,
-    last_plan: Option<LogicalPlan>,
+    last_entry: Option<usize>,
+    // Reused scratch buffers — the reason `classify` never allocates after
+    // the first few batches.
+    scratch_point: Vec<usize>,
+    scratch_regions: Vec<usize>,
+    scratch_entries: Vec<usize>,
+    entry_stamp: Vec<u64>,
+    stamp: u64,
 }
 
 impl OnlineClassifier {
@@ -29,12 +45,20 @@ impl OnlineClassifier {
     /// plan, which is what the QueryMesh executor's classifier effectively
     /// does with its per-statistics plan index.
     pub fn new(space: ParameterSpace, solution: RobustLogicalSolution) -> Self {
+        let index = ClassifierIndex::build(&space, &solution);
+        let entries = index.num_entries();
         Self {
             space,
             solution,
             cost_model: None,
+            index,
             switches: 0,
-            last_plan: None,
+            last_entry: None,
+            scratch_point: Vec::new(),
+            scratch_regions: Vec::new(),
+            scratch_entries: Vec::new(),
+            entry_stamp: vec![0; entries],
+            stamp: 0,
         }
     }
 
@@ -49,6 +73,11 @@ impl OnlineClassifier {
     /// The robust logical solution being routed over.
     pub fn solution(&self) -> &RobustLogicalSolution {
         &self.solution
+    }
+
+    /// The region-containment index backing classification.
+    pub fn index(&self) -> &ClassifierIndex {
+        &self.index
     }
 
     /// Number of times the selected plan changed between consecutive batches.
@@ -70,54 +99,124 @@ impl OnlineClassifier {
     /// this is false the classifier still routes (cheapest plan overall) but
     /// the robustness guarantee no longer applies — the signal the hybrid
     /// strategy uses to fall back to migration.
-    pub fn robustly_covered(&self, stats: &StatsSnapshot) -> bool {
+    pub fn robustly_covered(&mut self, stats: &StatsSnapshot) -> bool {
         if !self.stats_in_space(stats) {
             return false;
         }
-        let point = self.space.project_snapshot(stats);
-        self.solution.entries().iter().any(|e| e.covers(&point))
+        self.space
+            .project_snapshot_into(stats, &mut self.scratch_point);
+        self.index.covers(&self.scratch_point)
     }
 
     /// Select the logical plan for a batch given the monitored statistics.
+    /// Returns a shared handle into the solution — no plan is cloned.
     /// Returns `None` only if the solution is empty.
-    pub fn classify(&mut self, stats: &StatsSnapshot) -> Option<LogicalPlan> {
-        let point = self.space.project_snapshot(stats);
-        let plan = match &self.cost_model {
-            Some(cm) => {
-                // Candidates: plans whose robust region covers the point; if
-                // none does (statistics drifted outside every region), fall
-                // back to every plan in the solution.
-                let covering: Vec<&LogicalPlan> = self
-                    .solution
-                    .entries()
-                    .iter()
-                    .filter(|e| e.covers(&point))
-                    .map(|e| &e.plan)
-                    .collect();
-                let candidates: Vec<&LogicalPlan> = if covering.is_empty() {
-                    self.solution.plans().collect()
-                } else {
-                    covering
-                };
-                candidates
-                    .into_iter()
-                    .min_by(|a, b| {
-                        let ca = cm.plan_cost(a, stats).unwrap_or(f64::INFINITY);
-                        let cb = cm.plan_cost(b, stats).unwrap_or(f64::INFINITY);
-                        ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
-                    })?
-                    .clone()
+    pub fn classify(&mut self, stats: &StatsSnapshot) -> Option<Arc<LogicalPlan>> {
+        if self.index.num_entries() == 0 {
+            return None;
+        }
+        self.space
+            .project_snapshot_into(stats, &mut self.scratch_point);
+        self.index
+            .covering_regions(&self.scratch_point, &mut self.scratch_regions);
+        // Dedupe covering regions into covering entries, preserving
+        // solution-entry order (regions are flattened in entry order).
+        self.stamp += 1;
+        self.scratch_entries.clear();
+        for &r in &self.scratch_regions {
+            let e = self.index.entry_of_region(r);
+            if self.entry_stamp[e] != self.stamp {
+                self.entry_stamp[e] = self.stamp;
+                self.scratch_entries.push(e);
             }
-            None => self.solution.plan_for(&point)?.clone(),
+        }
+
+        let entry = match &self.cost_model {
+            Some(cm) => {
+                // Candidates: covering entries; if none covers (statistics
+                // drifted outside every region), every entry. Ties keep the
+                // earliest candidate, matching `Iterator::min_by`.
+                let mut best: Option<(usize, f64)> = None;
+                let mut consider = |e: usize, cm: &CostModel| {
+                    let cost = cm
+                        .plan_cost(self.index.plan(e).as_ref(), stats)
+                        .unwrap_or(f64::INFINITY);
+                    if best.map(|(_, c)| cost < c).unwrap_or(true) {
+                        best = Some((e, cost));
+                    }
+                };
+                if self.scratch_entries.is_empty() {
+                    for e in 0..self.index.num_entries() {
+                        consider(e, cm);
+                    }
+                } else {
+                    for &e in &self.scratch_entries {
+                        consider(e, cm);
+                    }
+                }
+                best.map(|(e, _)| e)?
+            }
+            None => {
+                if self.scratch_entries.is_empty() {
+                    self.nearest_entry()?
+                } else {
+                    // Largest robust region wins; ties keep the *latest*
+                    // candidate, matching `Iterator::max_by_key`.
+                    let mut best = self.scratch_entries[0];
+                    for &e in &self.scratch_entries[1..] {
+                        if self.index.entry_volume(e) >= self.index.entry_volume(best) {
+                            best = e;
+                        }
+                    }
+                    best
+                }
+            }
         };
-        if self.last_plan.as_ref() != Some(&plan) {
-            if self.last_plan.is_some() {
+
+        if self.last_entry != Some(entry) {
+            if self.last_entry.is_some() {
                 self.switches += 1;
             }
-            self.last_plan = Some(plan.clone());
+            self.last_entry = Some(entry);
         }
-        Some(plan)
+        Some(Arc::clone(self.index.plan(entry)))
     }
+
+    /// Fallback when no robust region covers the point: the entry whose
+    /// robust region is closest (Manhattan clamp distance between region
+    /// bounds and the point); ties keep the earliest entry, matching
+    /// `Iterator::min_by_key` over the solution.
+    fn nearest_entry(&self) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for e in 0..self.index.num_entries() {
+            let (start, end) = self.index.regions_of_entry(e);
+            let dist = self.index.regions()[start..end]
+                .iter()
+                .map(|r| region_distance(r, &self.scratch_point))
+                .min()
+                .unwrap_or(usize::MAX);
+            if best.map(|(_, d)| dist < d).unwrap_or(true) {
+                best = Some((e, dist));
+            }
+        }
+        best.map(|(e, _)| e)
+    }
+}
+
+fn region_distance(region: &rld_paramspace::Region, point: &[usize]) -> usize {
+    point
+        .iter()
+        .zip(region.lo.iter().zip(&region.hi))
+        .map(|(x, (lo, hi))| {
+            if x < lo {
+                lo - x
+            } else if x > hi {
+                x - hi
+            } else {
+                0
+            }
+        })
+        .sum()
 }
 
 #[cfg(test)]
@@ -125,6 +224,7 @@ mod tests {
     use super::*;
     use rld_common::{OperatorId, Query, StatKey, UncertaintyLevel};
     use rld_logical::{EarlyTerminatedRobustPartitioning, ErpConfig, LogicalPlanGenerator};
+    use rld_paramspace::GridPoint;
     use rld_query::JoinOrderOptimizer;
 
     fn fixture() -> (Query, ParameterSpace, RobustLogicalSolution) {
@@ -145,8 +245,26 @@ mod tests {
         let (q, space, solution) = fixture();
         let mut c = OnlineClassifier::new(space, solution.clone());
         let plan = c.classify(&q.default_stats()).unwrap();
-        assert!(solution.plans().any(|p| *p == plan));
+        assert!(solution.plans().any(|p| *p == *plan));
         assert!(c.stats_in_space(&q.default_stats()));
+    }
+
+    #[test]
+    fn classify_matches_the_solution_lookup_everywhere() {
+        // Index-backed routing must agree with the reference implementation
+        // (RobustLogicalSolution::plan_for) at every grid cell.
+        let (q, space, solution) = fixture();
+        let mut c = OnlineClassifier::new(space.clone(), solution.clone());
+        for cell in space.iter_grid() {
+            let stats = space.snapshot_at(&cell);
+            let routed = c.classify(&stats).unwrap();
+            let expected = solution
+                .plan_for(&space.project_snapshot(&stats))
+                .unwrap()
+                .clone();
+            assert_eq!(*routed, expected, "divergence at {cell}");
+        }
+        let _ = q;
     }
 
     #[test]
@@ -182,10 +300,11 @@ mod tests {
     #[test]
     fn out_of_space_stats_detected() {
         let (q, space, solution) = fixture();
-        let c = OnlineClassifier::new(space, solution);
+        let mut c = OnlineClassifier::new(space, solution);
         let mut wild = q.default_stats();
         wild.set(StatKey::Selectivity(OperatorId::new(0)), 5.0);
         assert!(!c.stats_in_space(&wild));
+        assert!(!c.robustly_covered(&wild));
     }
 
     #[test]
@@ -193,5 +312,30 @@ mod tests {
         let (q, space, _) = fixture();
         let mut c = OnlineClassifier::new(space, RobustLogicalSolution::new());
         assert!(c.classify(&q.default_stats()).is_none());
+    }
+
+    #[test]
+    fn classified_plans_are_shared_not_cloned() {
+        let (q, space, solution) = fixture();
+        let mut c = OnlineClassifier::new(space, solution);
+        let a = c.classify(&q.default_stats()).unwrap();
+        let b = c.classify(&q.default_stats()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same route must reuse the same Arc");
+    }
+
+    #[test]
+    fn robustly_covered_matches_entry_scan() {
+        let (q, space, solution) = fixture();
+        let mut c = OnlineClassifier::new(space.clone(), solution.clone());
+        for cell in space.iter_grid() {
+            let stats = space.snapshot_at(&cell);
+            let by_scan = space.covers_snapshot(&stats)
+                && solution
+                    .entries()
+                    .iter()
+                    .any(|e| e.covers(&GridPoint::new(space.project_snapshot(&stats).indices)));
+            assert_eq!(c.robustly_covered(&stats), by_scan);
+        }
+        let _ = q;
     }
 }

@@ -1,0 +1,261 @@
+//! Per-dimension interval-stabbing index over a robust logical solution.
+//!
+//! The online classifier must answer, for every tuple batch, "which robust
+//! regions contain the current statistics point?". The seed implementation
+//! scanned `entries × regions` per batch; this index answers in `O(dims)`
+//! bitset words instead.
+//!
+//! Construction flattens every region of every solution entry into one list
+//! and builds, **per dimension, per grid index**, a bitset of the regions
+//! whose interval along that dimension contains the index (dense interval
+//! stabbing — the grid is discrete and small per axis, so the table is tiny:
+//! `dims × steps × ⌈regions/64⌉` words). A point is covered by exactly the
+//! regions in the AND of its `dims` bitsets; iterating the set bits yields
+//! candidate regions in flattening order, which is solution-entry order — the
+//! order the classifier's tie-breaking semantics are defined over.
+
+use rld_logical::RobustLogicalSolution;
+use rld_paramspace::{ParameterSpace, Region};
+use rld_query::LogicalPlan;
+use std::sync::Arc;
+
+/// Bitset-based region containment index for one (space, solution) pair.
+#[derive(Debug, Clone)]
+pub struct ClassifierIndex {
+    /// Every robust region of the solution, flattened in entry order.
+    regions: Vec<Region>,
+    /// Flattened region index → solution entry index.
+    region_entry: Vec<usize>,
+    /// Per entry: the `[start, end)` span of its regions in `regions`.
+    entry_regions: Vec<(usize, usize)>,
+    /// Per entry: exact union volume of its robust region (for the
+    /// largest-region tie-break without recomputation).
+    entry_volume: Vec<u128>,
+    /// Per entry: the plan, shared so classification never deep-clones.
+    plans: Vec<Arc<LogicalPlan>>,
+    /// `tables[dim][grid_index]` = bitset (blocks of 64) over flattened
+    /// regions whose interval along `dim` contains `grid_index`.
+    tables: Vec<Vec<Vec<u64>>>,
+    /// Number of 64-bit blocks per bitset.
+    blocks: usize,
+}
+
+impl ClassifierIndex {
+    /// Build the index for a solution over a space.
+    pub fn build(space: &ParameterSpace, solution: &RobustLogicalSolution) -> Self {
+        let mut regions = Vec::new();
+        let mut region_entry = Vec::new();
+        let mut entry_regions = Vec::with_capacity(solution.len());
+        let mut entry_volume = Vec::with_capacity(solution.len());
+        let mut plans = Vec::with_capacity(solution.len());
+        for (e, entry) in solution.entries().iter().enumerate() {
+            let start = regions.len();
+            for r in &entry.regions {
+                regions.push(r.clone());
+                region_entry.push(e);
+            }
+            entry_regions.push((start, regions.len()));
+            entry_volume.push(entry.volume());
+            plans.push(Arc::new(entry.plan.clone()));
+        }
+        let blocks = regions.len().div_ceil(64).max(1);
+        let tables = space
+            .dimensions()
+            .iter()
+            .enumerate()
+            .map(|(d, dim)| {
+                let mut per_index = vec![vec![0u64; blocks]; dim.steps];
+                for (r, region) in regions.iter().enumerate() {
+                    let span = region.lo[d]..=region.hi[d].min(dim.steps - 1);
+                    for bits in &mut per_index[span] {
+                        bits[r / 64] |= 1u64 << (r % 64);
+                    }
+                }
+                per_index
+            })
+            .collect();
+        Self {
+            regions,
+            region_entry,
+            entry_regions,
+            entry_volume,
+            plans,
+            tables,
+            blocks,
+        }
+    }
+
+    /// Number of indexed entries (plans).
+    pub fn num_entries(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Number of indexed regions across all entries.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The flattened regions, in entry order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The entry index owning flattened region `r`.
+    pub fn entry_of_region(&self, r: usize) -> usize {
+        self.region_entry[r]
+    }
+
+    /// The `[start, end)` span of entry `e`'s regions in [`Self::regions`].
+    pub fn regions_of_entry(&self, e: usize) -> (usize, usize) {
+        self.entry_regions[e]
+    }
+
+    /// Exact union volume of entry `e`'s robust region.
+    pub fn entry_volume(&self, e: usize) -> u128 {
+        self.entry_volume[e]
+    }
+
+    /// The (shared) plan of entry `e`.
+    pub fn plan(&self, e: usize) -> &Arc<LogicalPlan> {
+        &self.plans[e]
+    }
+
+    /// Whether any indexed region contains the grid point, in `O(dims)` word
+    /// operations and with zero allocation.
+    pub fn covers(&self, indices: &[usize]) -> bool {
+        debug_assert_eq!(indices.len(), self.tables.len());
+        if self.regions.is_empty() {
+            return false;
+        }
+        for b in 0..self.blocks {
+            if self.stab_block(indices, b) != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Append the flattened indices of every region containing the grid
+    /// point to `out` (cleared first), in ascending — i.e. solution-entry —
+    /// order. Allocation-free once `out`'s capacity has warmed up.
+    pub fn covering_regions(&self, indices: &[usize], out: &mut Vec<usize>) {
+        debug_assert_eq!(indices.len(), self.tables.len());
+        out.clear();
+        for b in 0..self.blocks {
+            let mut acc = self.stab_block(indices, b);
+            while acc != 0 {
+                let bit = acc.trailing_zeros() as usize;
+                out.push(b * 64 + bit);
+                acc &= acc - 1;
+            }
+        }
+    }
+
+    /// AND of the per-dimension stab bitsets, one block at a time.
+    fn stab_block(&self, indices: &[usize], block: usize) -> u64 {
+        let mut acc = u64::MAX;
+        for (table, &x) in self.tables.iter().zip(indices) {
+            // A point outside a dimension's grid (projection clamps, so this
+            // cannot normally happen) stabs nothing.
+            let Some(bits) = table.get(x) else { return 0 };
+            acc &= bits[block];
+            if acc == 0 {
+                return 0;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rld_common::{OperatorId, StatKey, StatisticEstimate, StatsSnapshot, UncertaintyLevel};
+    use rld_paramspace::GridPoint;
+
+    fn space_nd(dims: usize, steps: usize) -> ParameterSpace {
+        let estimates: Vec<_> = (0..dims)
+            .map(|i| {
+                StatisticEstimate::new(
+                    StatKey::Selectivity(OperatorId::new(i)),
+                    0.5,
+                    UncertaintyLevel::new(2),
+                )
+            })
+            .collect();
+        ParameterSpace::from_estimates(&estimates, StatsSnapshot::new(), steps).unwrap()
+    }
+
+    fn plan(v: &[usize]) -> LogicalPlan {
+        LogicalPlan::new(v.iter().map(|i| OperatorId::new(*i)).collect())
+    }
+
+    #[test]
+    fn index_agrees_with_linear_scan() {
+        let space = space_nd(3, 7);
+        let mut solution = RobustLogicalSolution::new();
+        solution.add(plan(&[0, 1]), Region::new(vec![0, 0, 0], vec![3, 6, 2]));
+        solution.add(plan(&[1, 0]), Region::new(vec![2, 2, 2], vec![6, 4, 6]));
+        solution.add(plan(&[0, 1]), Region::new(vec![5, 5, 0], vec![6, 6, 1]));
+        let index = ClassifierIndex::build(&space, &solution);
+        assert_eq!(index.num_entries(), 2);
+        assert_eq!(index.num_regions(), 3);
+        let mut out = Vec::new();
+        for p in space.iter_grid() {
+            index.covering_regions(&p.indices, &mut out);
+            let expected: Vec<usize> = index
+                .regions()
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(&p))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(out, expected, "mismatch at {p}");
+            assert_eq!(index.covers(&p.indices), !expected.is_empty());
+        }
+    }
+
+    #[test]
+    fn index_handles_more_than_64_regions() {
+        let space = space_nd(2, 9);
+        let mut solution = RobustLogicalSolution::new();
+        // 81 single-cell regions across 3 plans: spills into a second block.
+        for (i, p) in space.iter_grid().enumerate() {
+            solution.add(
+                plan(&[i % 3, (i % 3 + 1) % 3]),
+                Region::new(p.indices.clone(), p.indices.clone()),
+            );
+        }
+        let index = ClassifierIndex::build(&space, &solution);
+        assert!(index.num_regions() > 64);
+        let mut out = Vec::new();
+        for p in space.iter_grid() {
+            index.covering_regions(&p.indices, &mut out);
+            assert_eq!(out.len(), 1, "every cell is claimed exactly once");
+            assert!(index.regions()[out[0]].contains(&p));
+        }
+    }
+
+    #[test]
+    fn empty_solution_covers_nothing() {
+        let space = space_nd(2, 5);
+        let index = ClassifierIndex::build(&space, &RobustLogicalSolution::new());
+        assert_eq!(index.num_entries(), 0);
+        assert!(!index.covers(&GridPoint::new(vec![2, 2]).indices));
+    }
+
+    #[test]
+    fn entry_metadata_is_consistent() {
+        let space = space_nd(2, 9);
+        let mut solution = RobustLogicalSolution::new();
+        solution.add(plan(&[0, 1]), Region::new(vec![0, 0], vec![4, 8]));
+        solution.add(plan(&[1, 0]), Region::new(vec![5, 0], vec![8, 8]));
+        solution.add(plan(&[0, 1]), Region::new(vec![0, 0], vec![1, 1]));
+        let index = ClassifierIndex::build(&space, &solution);
+        assert_eq!(index.regions_of_entry(0), (0, 2));
+        assert_eq!(index.regions_of_entry(1), (2, 3));
+        assert_eq!(index.entry_of_region(2), 1);
+        assert_eq!(index.entry_volume(0), 45); // 5×9 union with the 2×2 inside
+        assert_eq!(*index.plan(1).as_ref(), plan(&[1, 0]));
+    }
+}

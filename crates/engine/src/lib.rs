@@ -28,6 +28,8 @@
 //! * [`monitor::StatisticsMonitor`] — periodic, smoothed statistics sampling.
 //! * [`classifier::OnlineClassifier`] — the QueryMesh-style per-batch plan
 //!   selector used by RLD and HYB.
+//! * [`index::ClassifierIndex`] — per-dimension interval-stabbing bitsets
+//!   answering region containment in `O(dims)` per batch.
 //! * [`strategy::DistributionStrategy`] — the pluggable policy seam.
 //! * [`strategies`] — the RLD / ROD / DYN / HYB implementations.
 //! * [`stages`] — the composable stages of the tick loop (arrivals, cached
@@ -39,6 +41,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod classifier;
+pub mod index;
 pub mod metrics;
 pub mod monitor;
 pub mod node;
@@ -48,6 +51,7 @@ pub mod strategies;
 pub mod strategy;
 
 pub use classifier::OnlineClassifier;
+pub use index::ClassifierIndex;
 pub use metrics::RunMetrics;
 pub use monitor::StatisticsMonitor;
 pub use node::SimNode;

@@ -350,8 +350,11 @@ mod tests {
             fn physical(&self) -> &PhysicalPlan {
                 &self.physical
             }
-            fn plan_for_batch(&mut self, _m: &StatsSnapshot) -> Option<LogicalPlan> {
-                Some(self.logical.clone())
+            fn plan_for_batch(
+                &mut self,
+                _m: &StatsSnapshot,
+            ) -> Option<std::sync::Arc<LogicalPlan>> {
+                Some(std::sync::Arc::new(self.logical.clone()))
             }
         }
         let q = Query::q1_stock_monitoring();

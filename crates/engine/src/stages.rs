@@ -21,6 +21,7 @@ use rld_common::rng::{derive_seed, rng_from_seed, sample_poisson, SeededRng};
 use rld_common::{NodeId, Result, RldError, StatsSnapshot};
 use rld_physical::{MigrationDecision, PhysicalPlan};
 use rld_query::{CostModel, LogicalPlan};
+use std::sync::Arc;
 
 /// Stage 1: the Poisson arrival process of the driving stream. Seeded per
 /// (simulation seed, strategy name) so every strategy sees its own — but
@@ -74,7 +75,7 @@ impl RoutedBatch {
 /// change. The placement is compared structurally, so correctness does not
 /// depend on strategies signalling their own migrations.
 pub struct PlanRouter {
-    cached_logical: Option<LogicalPlan>,
+    cached_logical: Option<Arc<LogicalPlan>>,
     cached_physical: Option<PhysicalPlan>,
     cached_truth: Option<StatsSnapshot>,
     derived: RoutedBatch,
@@ -119,7 +120,13 @@ impl PlanRouter {
         let logical = strategy.plan_for_batch(monitored).ok_or_else(|| {
             RldError::Runtime("strategy has no logical plan for the batch".into())
         })?;
-        let hit = self.cached_logical.as_ref() == Some(&logical)
+        // Pointer equality settles the common case (the classifier hands out
+        // the same Arc for the same route) without comparing plan contents.
+        let same_logical = match &self.cached_logical {
+            Some(cached) => Arc::ptr_eq(cached, &logical) || **cached == *logical,
+            None => false,
+        };
+        let hit = same_logical
             && self.cached_physical.as_ref() == Some(strategy.physical())
             && self.cached_truth.as_ref() == Some(truth);
         if !hit {

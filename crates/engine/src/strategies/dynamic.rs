@@ -4,11 +4,12 @@ use crate::strategy::{DistributionStrategy, RuntimeContext};
 use rld_common::{Result, StatsSnapshot};
 use rld_physical::{DynPlanner, MigrationDecision, PhysicalPlan};
 use rld_query::LogicalPlan;
+use std::sync::Arc;
 
 /// One logical plan, but the placement is rebalanced at runtime by migrating
 /// operators off overloaded nodes every `rebalance_period_secs`.
 pub struct DynStrategy {
-    logical: LogicalPlan,
+    logical: Arc<LogicalPlan>,
     physical: PhysicalPlan,
     planner: DynPlanner,
     rebalance_period_secs: f64,
@@ -26,7 +27,7 @@ impl DynStrategy {
         rebalance_period_secs: f64,
     ) -> Self {
         Self {
-            logical,
+            logical: Arc::new(logical),
             physical,
             planner,
             rebalance_period_secs: rebalance_period_secs.max(0.1),
@@ -50,8 +51,8 @@ impl DistributionStrategy for DynStrategy {
         &self.physical
     }
 
-    fn plan_for_batch(&mut self, _monitored: &StatsSnapshot) -> Option<LogicalPlan> {
-        Some(self.logical.clone())
+    fn plan_for_batch(&mut self, _monitored: &StatsSnapshot) -> Option<Arc<LogicalPlan>> {
+        Some(Arc::clone(&self.logical))
     }
 
     fn migrations(&self) -> u64 {
@@ -71,7 +72,7 @@ impl DistributionStrategy for DynStrategy {
             &self.planner,
             ctx,
             monitored,
-            &self.logical,
+            self.logical.as_ref(),
             &mut self.physical,
         )?;
         self.migrations += decisions.len() as u64;

@@ -25,6 +25,7 @@ use rld_logical::RobustLogicalSolution;
 use rld_paramspace::ParameterSpace;
 use rld_physical::{DynPlanner, MigrationDecision, PhysicalPlan};
 use rld_query::{CostModel, LogicalPlan};
+use std::sync::Arc;
 
 /// RLD classification plus DYN-style migration restricted to the moments
 /// when the monitored statistics fall outside every robust region.
@@ -40,7 +41,7 @@ pub struct HybridStrategy {
     planner: DynPlanner,
     rebalance_period_secs: f64,
     last_rebalance_at: f64,
-    last_plan: Option<LogicalPlan>,
+    last_plan: Option<Arc<LogicalPlan>>,
     migrations: u64,
 }
 
@@ -85,9 +86,9 @@ impl DistributionStrategy for HybridStrategy {
         &self.physical
     }
 
-    fn plan_for_batch(&mut self, monitored: &StatsSnapshot) -> Option<LogicalPlan> {
+    fn plan_for_batch(&mut self, monitored: &StatsSnapshot) -> Option<Arc<LogicalPlan>> {
         let plan = self.classifier.classify(monitored)?;
-        self.last_plan = Some(plan.clone());
+        self.last_plan = Some(Arc::clone(&plan));
         Some(plan)
     }
 
@@ -151,8 +152,13 @@ impl DistributionStrategy for HybridStrategy {
             return Ok(Vec::new());
         };
         self.last_rebalance_at = ctx.t_secs;
-        let decisions =
-            super::rebalance_round(&self.planner, ctx, monitored, &plan, &mut self.physical)?;
+        let decisions = super::rebalance_round(
+            &self.planner,
+            ctx,
+            monitored,
+            plan.as_ref(),
+            &mut self.physical,
+        )?;
         self.migrations += decisions.len() as u64;
         Ok(decisions)
     }

@@ -7,6 +7,7 @@ use rld_logical::RobustLogicalSolution;
 use rld_paramspace::ParameterSpace;
 use rld_physical::PhysicalPlan;
 use rld_query::{CostModel, LogicalPlan};
+use std::sync::Arc;
 
 /// A fixed physical plan supporting a set of robust logical plans, switched
 /// per batch by the online classifier. The placement never changes at
@@ -51,7 +52,7 @@ impl DistributionStrategy for RldStrategy {
         &self.physical
     }
 
-    fn plan_for_batch(&mut self, monitored: &StatsSnapshot) -> Option<LogicalPlan> {
+    fn plan_for_batch(&mut self, monitored: &StatsSnapshot) -> Option<Arc<LogicalPlan>> {
         self.classifier.classify(monitored)
     }
 

@@ -4,17 +4,21 @@ use crate::strategy::DistributionStrategy;
 use rld_common::StatsSnapshot;
 use rld_physical::PhysicalPlan;
 use rld_query::LogicalPlan;
+use std::sync::Arc;
 
 /// One logical plan, one static placement, no runtime adaptation at all.
 pub struct RodStrategy {
-    logical: LogicalPlan,
+    logical: Arc<LogicalPlan>,
     physical: PhysicalPlan,
 }
 
 impl RodStrategy {
     /// Build the ROD deployment from its fixed logical plan and placement.
     pub fn new(logical: LogicalPlan, physical: PhysicalPlan) -> Self {
-        Self { logical, physical }
+        Self {
+            logical: Arc::new(logical),
+            physical,
+        }
     }
 }
 
@@ -27,8 +31,8 @@ impl DistributionStrategy for RodStrategy {
         &self.physical
     }
 
-    fn plan_for_batch(&mut self, _monitored: &StatsSnapshot) -> Option<LogicalPlan> {
-        Some(self.logical.clone())
+    fn plan_for_batch(&mut self, _monitored: &StatsSnapshot) -> Option<Arc<LogicalPlan>> {
+        Some(Arc::clone(&self.logical))
     }
 }
 

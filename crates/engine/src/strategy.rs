@@ -22,6 +22,7 @@
 use rld_common::{Query, Result, StatsSnapshot};
 use rld_physical::{Cluster, MigrationDecision, PhysicalPlan};
 use rld_query::{CostModel, LogicalPlan};
+use std::sync::Arc;
 
 /// Everything a strategy may consult when deciding whether to adapt its
 /// placement at a point in simulated time. Bundled so that growing the
@@ -55,9 +56,10 @@ pub trait DistributionStrategy {
     fn physical(&self) -> &PhysicalPlan;
 
     /// The logical plan the next batch should be routed through, given the
-    /// monitored statistics. Returns `None` only when the strategy has no
-    /// plan at all (an empty robust solution).
-    fn plan_for_batch(&mut self, monitored: &StatsSnapshot) -> Option<LogicalPlan>;
+    /// monitored statistics. Returned as a shared handle so the per-batch
+    /// hot path never deep-clones a plan. Returns `None` only when the
+    /// strategy has no plan at all (an empty robust solution).
+    fn plan_for_batch(&mut self, monitored: &StatsSnapshot) -> Option<Arc<LogicalPlan>>;
 
     /// Per-batch routing overhead as a fraction of the batch's query work
     /// (the paper measured ≈ 2% for RLD's classifier; zero for static
@@ -98,7 +100,7 @@ mod tests {
 
     /// A minimal strategy exercising every trait default.
     struct Fixed {
-        logical: LogicalPlan,
+        logical: Arc<LogicalPlan>,
         physical: PhysicalPlan,
     }
 
@@ -109,8 +111,8 @@ mod tests {
         fn physical(&self) -> &PhysicalPlan {
             &self.physical
         }
-        fn plan_for_batch(&mut self, _monitored: &StatsSnapshot) -> Option<LogicalPlan> {
-            Some(self.logical.clone())
+        fn plan_for_batch(&mut self, _monitored: &StatsSnapshot) -> Option<Arc<LogicalPlan>> {
+            Some(Arc::clone(&self.logical))
         }
     }
 
@@ -120,7 +122,7 @@ mod tests {
         let mapping: Vec<NodeId> = (0..q.num_operators()).map(|_| NodeId::new(0)).collect();
         let physical = PhysicalPlan::from_mapping(&q, &mapping, 1).unwrap();
         let mut s = Fixed {
-            logical: LogicalPlan::identity(&q),
+            logical: Arc::new(LogicalPlan::identity(&q)),
             physical,
         };
         assert_eq!(s.classification_overhead(), 0.0);

@@ -16,14 +16,31 @@
 //! The checker memoizes optimizer results and plan costs per grid point so
 //! that corners shared between neighbouring sub-spaces are optimized only
 //! once; the number of *distinct* optimizer invocations is what the
-//! partitioning algorithms report (the quantity the paper minimizes).
+//! partitioning algorithms report (the quantity the paper minimizes). The
+//! memo table is sharded behind locks so the partitioning algorithms can
+//! probe regions from a worker pool (`&RobustnessChecker` is `Sync` whenever
+//! the underlying optimizer is).
+//!
+//! Region-level verification no longer loops over cells:
+//! [`RobustnessChecker::is_robust_in_region`] uses the two-corner monotonicity
+//! bound, and the exact [`RobustnessChecker::is_robust_everywhere`] combines
+//! monotone corner bounds with recursive bisection, descending to individual
+//! cells only where the bounds are inconclusive.
 
 use crate::solution::RobustLogicalSolution;
 use rld_common::{Result, StatsSnapshot};
 use rld_paramspace::{GridPoint, ParameterSpace, Region};
 use rld_query::{LogicalPlan, Optimizer};
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Number of lock shards in the optimum memo table. A small power of two is
+/// plenty: contention only occurs when two workers hit the same shard at the
+/// same instant, and the critical sections are a hash-map probe.
+const CACHE_SHARDS: usize = 16;
+
+/// One memo slot: its own lock doubles as the in-flight guard for the point.
+type OptimumSlot = Arc<Mutex<Option<CachedOptimum>>>;
 
 /// Robustness checker bound to an optimizer, a parameter space and a
 /// robustness threshold ε.
@@ -31,7 +48,10 @@ pub struct RobustnessChecker<'a, O: Optimizer> {
     optimizer: &'a O,
     space: &'a ParameterSpace,
     epsilon: f64,
-    cache: RefCell<HashMap<GridPoint, CachedOptimum>>,
+    /// Sharded memo: each point owns a slot whose own lock doubles as an
+    /// in-flight guard, so two workers racing on the same point never both
+    /// call the optimizer (shard locks are only held for the map probe).
+    cache: Vec<Mutex<HashMap<GridPoint, OptimumSlot>>>,
 }
 
 #[derive(Clone)]
@@ -49,7 +69,9 @@ impl<'a, O: Optimizer> RobustnessChecker<'a, O> {
             optimizer,
             space,
             epsilon,
-            cache: RefCell::new(HashMap::new()),
+            cache: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -107,12 +129,42 @@ impl<'a, O: Optimizer> RobustnessChecker<'a, O> {
             && self.is_robust_at(plan, &region.pnt_hi())?)
     }
 
-    /// Exhaustively verify Definition 1 at *every* cell of a region. Only
-    /// used by tests and the evaluation harness — the algorithms themselves
-    /// rely on the corner bound to stay cheap.
+    /// Exactly verify Definition 1 at *every* cell of a region, without
+    /// visiting every cell. Used by tests and the evaluation harness — the
+    /// algorithms themselves rely on the corner bound to stay cheap.
+    ///
+    /// Monotonicity gives two corner-only bounds per sub-region:
+    ///
+    /// * if `cost(lp, pntHi) ≤ (1+ε)·opt(pntLo)` the plan is robust at every
+    ///   interior cell (its cost is at most the hi-corner cost, the optimum is
+    ///   at least the lo-corner optimum), and
+    /// * if the plan fails Definition 1 at either corner, the region as a
+    ///   whole fails.
+    ///
+    /// Where neither bound decides, the region is bisected and both halves
+    /// are checked recursively, bottoming out at single cells (where
+    /// Definition 1 is evaluated directly). The verdict is identical to the
+    /// cell loop it replaces; the optimizer-call count is usually a tiny
+    /// fraction of the region's volume.
     pub fn is_robust_everywhere(&self, plan: &LogicalPlan, region: &Region) -> Result<bool> {
-        for cell in region.cells() {
-            if !self.is_robust_at(plan, &cell)? {
+        // Corner failures settle the whole region negatively.
+        if !self.is_robust_at(plan, &region.pnt_lo())?
+            || !self.is_robust_at(plan, &region.pnt_hi())?
+        {
+            return Ok(false);
+        }
+        if region.is_single_cell() {
+            return Ok(true);
+        }
+        // Strong monotone bound: hi-corner plan cost within (1+ε) of the
+        // lo-corner optimum ⇒ robust at every cell in between.
+        let cost_hi = self.plan_cost_at(plan, &region.pnt_hi())?;
+        let opt_lo = self.optimal_cost_at(&region.pnt_lo())?;
+        if cost_hi <= (1.0 + self.epsilon) * opt_lo + 1e-12 {
+            return Ok(true);
+        }
+        for half in region.bisect() {
+            if !self.is_robust_everywhere(plan, &half)? {
                 return Ok(false);
             }
         }
@@ -124,15 +176,35 @@ impl<'a, O: Optimizer> RobustnessChecker<'a, O> {
         solution.contains_plan(plan)
     }
 
+    fn shard_of(&self, point: &GridPoint) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        point.hash(&mut hasher);
+        (hasher.finish() as usize) % CACHE_SHARDS
+    }
+
     fn cached_optimum(&self, point: &GridPoint) -> Result<CachedOptimum> {
-        if let Some(hit) = self.cache.borrow().get(point) {
+        // Grab (or create) the point's slot under the shard lock — cheap —
+        // then compute under the slot's own lock. Concurrent probes of
+        // *different* points in the same shard are not serialized behind the
+        // optimizer call, while racing probes of the *same* point wait on
+        // the slot instead of duplicating the call, keeping the optimizer
+        // call count deterministic in parallel mode.
+        let slot = {
+            let mut shard = self.cache[self.shard_of(point)]
+                .lock()
+                .expect("cache shard poisoned");
+            Arc::clone(shard.entry(point.clone()).or_default())
+        };
+        let mut guard = slot.lock().expect("cache slot poisoned");
+        if let Some(hit) = guard.as_ref() {
             return Ok(hit.clone());
         }
         let stats = self.space.snapshot_at(point);
         let plan = self.optimizer.optimize(&stats)?;
         let cost = self.optimizer.plan_cost(&plan, &stats)?;
         let entry = CachedOptimum { plan, cost };
-        self.cache.borrow_mut().insert(point.clone(), entry.clone());
+        *guard = Some(entry.clone());
         Ok(entry)
     }
 }
@@ -176,6 +248,29 @@ mod tests {
         assert_eq!(checker.optimizer_calls(), 1);
         checker.optimal_plan_at(&space.pnt_lo()).unwrap();
         assert_eq!(checker.optimizer_calls(), 2);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let (q, space) = setup(0.1);
+        let opt = JoinOrderOptimizer::new(q);
+        let checker = RobustnessChecker::new(&opt, &space, 0.1);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for point in space.iter_grid() {
+                        checker.optimal_cost_at(&point).unwrap();
+                    }
+                });
+            }
+        });
+        // The in-flight slot guard means racing threads never duplicate a
+        // call: exactly one optimizer call per distinct grid point.
+        assert_eq!(checker.optimizer_calls(), space.total_cells());
+        for point in space.iter_grid() {
+            checker.optimal_cost_at(&point).unwrap();
+        }
+        assert_eq!(checker.optimizer_calls(), space.total_cells());
     }
 
     #[test]
@@ -223,6 +318,44 @@ mod tests {
         let plan = checker.optimal_plan_at(&region.pnt_lo()).unwrap();
         if checker.is_robust_everywhere(&plan, &region).unwrap() {
             assert!(checker.is_robust_in_region(&plan, &region).unwrap());
+        }
+    }
+
+    #[test]
+    fn bisection_everywhere_check_matches_cell_loop() {
+        let (q, space) = setup(0.2);
+        let opt = JoinOrderOptimizer::new(q.clone());
+        // Several plans × several epsilons × several regions: the bisection
+        // verdict must equal the literal per-cell Definition 1 loop.
+        for epsilon in [0.0, 0.05, 0.2, 1.0] {
+            let checker = RobustnessChecker::new(&opt, &space, epsilon);
+            let regions = [
+                Region::full(&space),
+                Region::new(vec![0, 0], vec![3, 8]),
+                Region::new(vec![5, 2], vec![8, 6]),
+                Region::new(vec![4, 4], vec![4, 4]),
+            ];
+            let plans = [
+                checker.optimal_plan_at(&space.pnt_lo()).unwrap(),
+                checker.optimal_plan_at(&space.pnt_hi()).unwrap(),
+                checker.optimal_plan_at(&space.centre()).unwrap(),
+            ];
+            for region in &regions {
+                for plan in &plans {
+                    let mut by_cells = true;
+                    for cell in region.cells() {
+                        if !checker.is_robust_at(plan, &cell).unwrap() {
+                            by_cells = false;
+                            break;
+                        }
+                    }
+                    assert_eq!(
+                        checker.is_robust_everywhere(plan, region).unwrap(),
+                        by_cells,
+                        "mismatch for {region} at epsilon {epsilon}"
+                    );
+                }
+            }
         }
     }
 

@@ -1,7 +1,7 @@
 //! Robust logical solutions: sets of ε-robust plans with their robust regions.
 
 use rld_paramspace::{
-    region::union_cell_count, GridPoint, OccurrenceModel, ParameterSpace, Region,
+    region::union_cell_count, GridPoint, OccurrenceModel, ParameterSpace, Region, RegionSet,
 };
 use rld_query::LogicalPlan;
 use serde::{Deserialize, Serialize};
@@ -26,6 +26,12 @@ impl SolutionEntry {
     /// Total number of grid cells covered by this entry (overlaps counted once).
     pub fn cell_count(&self) -> usize {
         union_cell_count(&self.regions)
+    }
+
+    /// Exact covered volume of the entry's robust region in `u128` (overlaps
+    /// counted once, no overflow, no cell enumeration).
+    pub fn volume(&self) -> u128 {
+        RegionSet::from_regions(&self.regions).volume()
     }
 
     /// Whether the entry's robust region contains a grid point.
@@ -108,7 +114,7 @@ impl RobustLogicalSolution {
         self.entries
             .iter()
             .filter(|e| e.covers(point))
-            .max_by_key(|e| e.cell_count())
+            .max_by_key(|e| e.volume())
     }
 
     /// The plan assigned to a grid point: the covering plan if any, otherwise
@@ -135,12 +141,8 @@ impl RobustLogicalSolution {
     /// *claimed* robust region (overlaps counted once). This is the cheap
     /// structural coverage; the evaluator computes true ε-robust coverage.
     pub fn claimed_coverage(&self, space: &ParameterSpace) -> f64 {
-        let all: Vec<Region> = self
-            .entries
-            .iter()
-            .flat_map(|e| e.regions.iter().cloned())
-            .collect();
-        union_cell_count(&all) as f64 / space.total_cells() as f64
+        RegionSet::from_regions(self.entries.iter().flat_map(|e| e.regions.iter()))
+            .coverage_fraction(space)
     }
 
     /// Occurrence-probability weight of every plan (§5.2), in entry order.

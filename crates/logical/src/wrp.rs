@@ -7,6 +7,24 @@
 //! weight interior point (the §4.2 weight function) and recurses. Unlike
 //! ERP it has no early-termination rule, so it keeps refining until every
 //! sub-space is robust — the behaviour whose cost explosion motivates ERP.
+//!
+//! ## Parallel search
+//!
+//! The sub-spaces sitting in the work queue at any moment are independent:
+//! probing one never reads another's result (the solution is only *written*,
+//! and the shared optimum cache is a pure memo of a deterministic function).
+//! The engine therefore processes the queue one **frontier** (BFS level) at a
+//! time: all regions of the frontier are evaluated concurrently on a
+//! [`std::thread::scope`] worker pool, then the results are **merged
+//! sequentially in frontier order** — the exact order the sequential FIFO
+//! queue would have processed them. Discovery bookkeeping (ERP's aging
+//! counter), termination checks and solution insertion all happen at merge
+//! time, so the produced solution is bit-identical to the sequential run of
+//! the same configuration; parallelism only changes wall-clock time (and may
+//! make extra *speculative* optimizer calls for frontier regions that a
+//! mid-frontier termination would have skipped). Explicit optimizer-call
+//! budgets force the sequential path so the call accounting that budget
+//! semantics depend on stays exact.
 
 use crate::robustness::RobustnessChecker;
 use crate::solution::RobustLogicalSolution;
@@ -14,8 +32,9 @@ use crate::stats::SearchStats;
 use crate::LogicalPlanGenerator;
 use rld_common::Result;
 use rld_paramspace::{DistanceMetric, GridPoint, ParameterSpace, Region, WeightMap};
-use rld_query::Optimizer;
-use std::collections::VecDeque;
+use rld_query::{LogicalPlan, Optimizer};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Termination rule for the shared partitioning engine.
@@ -31,90 +50,186 @@ pub(crate) struct PartitionOutcome {
     pub stats: SearchStats,
 }
 
+/// Everything the merge step needs to know about one probed region. Produced
+/// (possibly concurrently) by [`evaluate_region`]; consumed strictly in
+/// frontier order.
+struct RegionEval {
+    robust: bool,
+    opt_lo: LogicalPlan,
+    opt_hi: LogicalPlan,
+    /// Child sub-regions to enqueue (empty when robust or single-cell).
+    children: Vec<Region>,
+    /// Whether a partitioning step was performed.
+    partitioned: bool,
+}
+
+/// Probe one region: corner optima, the corner-bound robustness verdict, and
+/// — when not robust — the weight-driven split. Pure with respect to the
+/// shared solution: all solution updates are deferred to the merge.
+fn evaluate_region<O: Optimizer>(
+    checker: &RobustnessChecker<'_, O>,
+    metric: DistanceMetric,
+    region: &Region,
+) -> Result<RegionEval> {
+    let space = checker.space();
+    let opt_lo = checker.optimal_plan_at(&region.pnt_lo())?;
+    let opt_hi = checker.optimal_plan_at(&region.pnt_hi())?;
+    let robust = checker.is_robust_in_region(&opt_lo, region)?;
+    let mut children = Vec::new();
+    let mut partitioned = false;
+    if !robust && !region.is_single_cell() {
+        partitioned = true;
+        let cost_lo = |g: &GridPoint| checker.plan_cost_at(&opt_lo, g).unwrap_or(f64::INFINITY);
+        let cost_hi = |g: &GridPoint| checker.plan_cost_at(&opt_hi, g).unwrap_or(f64::INFINITY);
+        let weights = WeightMap::assign(space, region, cost_lo, cost_hi, metric);
+        let partition_point = weights
+            .max_weight_interior_point(region)
+            .unwrap_or_else(|| region.centre());
+        let mut parts = region.split_at(&partition_point);
+        if parts.len() == 1 && parts[0] == *region {
+            // Degenerate partition point: fall back to bisection so
+            // the search always makes progress.
+            parts = region.bisect();
+        }
+        children = parts.into_iter().filter(|p| p != region).collect();
+    }
+    Ok(RegionEval {
+        robust,
+        opt_lo,
+        opt_hi,
+        children,
+        partitioned,
+    })
+}
+
+/// Evaluate a whole frontier, fanning the regions out over `parallelism`
+/// scoped worker threads (work-stealing via an atomic index so uneven region
+/// costs balance). Results come back indexed by frontier position, which is
+/// the only order the merge ever reads them in.
+fn evaluate_frontier<O: Optimizer + Sync>(
+    checker: &RobustnessChecker<'_, O>,
+    metric: DistanceMetric,
+    frontier: &[Region],
+    parallelism: usize,
+) -> Vec<Result<RegionEval>> {
+    let workers = parallelism.min(frontier.len());
+    if workers <= 1 {
+        return frontier
+            .iter()
+            .map(|r| evaluate_region(checker, metric, r))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<RegionEval>>>> =
+        frontier.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= frontier.len() {
+                    break;
+                }
+                let eval = evaluate_region(checker, metric, &frontier[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(eval);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every frontier slot evaluated")
+        })
+        .collect()
+}
+
 /// Shared partitioning engine used by both WRP (no aging termination) and
-/// ERP (aging termination per Theorem 1).
-pub(crate) fn partition_search<O: Optimizer>(
+/// ERP (aging termination per Theorem 1). `parallelism` > 1 probes each
+/// frontier on that many worker threads; the merged solution is identical to
+/// the sequential one (see the module docs). A `max_calls` budget forces
+/// sequential evaluation so its call accounting stays exact.
+pub(crate) fn partition_search<O: Optimizer + Sync>(
     checker: &RobustnessChecker<'_, O>,
     termination: Option<AgingTermination>,
     max_calls: Option<usize>,
     metric: DistanceMetric,
+    parallelism: usize,
 ) -> Result<PartitionOutcome> {
     let start = Instant::now();
     let space = checker.space();
     let calls_before = checker.optimizer_calls();
     let mut solution = RobustLogicalSolution::new();
-    let mut queue: VecDeque<Region> = VecDeque::new();
-    queue.push_back(Region::full(space));
+    let mut frontier: Vec<Region> = vec![Region::full(space)];
+    let parallelism = if max_calls.is_some() {
+        1
+    } else {
+        parallelism.max(1)
+    };
 
     let mut aging_counter = 0usize;
     let mut partitions = 0usize;
     let mut examined = 0usize;
     let mut terminated_early = false;
 
-    while let Some(region) = queue.pop_front() {
-        if let Some(budget) = max_calls {
-            if checker.optimizer_calls() - calls_before >= budget {
-                terminated_early = true;
-                break;
-            }
-        }
-        if let Some(term) = termination {
-            if aging_counter > term.threshold {
-                terminated_early = true;
-                break;
-            }
-        }
-        examined += 1;
-
-        let pnt_lo = region.pnt_lo();
-        let pnt_hi = region.pnt_hi();
-        let opt_lo = checker.optimal_plan_at(&pnt_lo)?;
-        let opt_hi = checker.optimal_plan_at(&pnt_hi)?;
-
-        let mut discovered = false;
-        let robust = checker.is_robust_in_region(&opt_lo, &region)?;
-        if robust {
-            discovered |= solution.add(opt_lo.clone(), region.clone());
-            if opt_hi != opt_lo {
-                // The top-corner optimum is within ε of opt_lo here, but it is
-                // still a distinct plan worth remembering for its own cell.
-                discovered |= solution.add(opt_hi, single_cell(&pnt_hi));
-            }
+    'levels: while !frontier.is_empty() {
+        // Parallel mode probes the whole frontier eagerly; sequential mode
+        // stays lazy so the budget/aging checks below gate every single
+        // optimizer call exactly as the original FIFO loop did.
+        let mut evals: Vec<Option<Result<RegionEval>>> = if parallelism > 1 {
+            evaluate_frontier(checker, metric, &frontier, parallelism)
+                .into_iter()
+                .map(Some)
+                .collect()
         } else {
-            // Record what we learned at the corners even when the sub-space
-            // itself is not yet robust.
-            discovered |= solution.add(opt_lo.clone(), single_cell(&pnt_lo));
-            discovered |= solution.add(opt_hi.clone(), single_cell(&pnt_hi));
-
-            if !region.is_single_cell() {
-                partitions += 1;
-                let cost_lo =
-                    |g: &GridPoint| checker.plan_cost_at(&opt_lo, g).unwrap_or(f64::INFINITY);
-                let cost_hi =
-                    |g: &GridPoint| checker.plan_cost_at(&opt_hi, g).unwrap_or(f64::INFINITY);
-                let weights = WeightMap::assign(space, &region, cost_lo, cost_hi, metric);
-                let partition_point = weights
-                    .max_weight_interior_point(&region)
-                    .unwrap_or_else(|| region.centre());
-                let mut parts = region.split_at(&partition_point);
-                if parts.len() == 1 && parts[0] == region {
-                    // Degenerate partition point: fall back to bisection so
-                    // the search always makes progress.
-                    parts = region.bisect();
-                }
-                for part in parts {
-                    if part != region {
-                        queue.push_back(part);
-                    }
+            frontier.iter().map(|_| None).collect()
+        };
+        let mut next_frontier = Vec::new();
+        for (region, slot) in frontier.iter().zip(evals.iter_mut()) {
+            if let Some(budget) = max_calls {
+                if checker.optimizer_calls() - calls_before >= budget {
+                    terminated_early = true;
+                    break 'levels;
                 }
             }
-        }
+            if let Some(term) = termination {
+                if aging_counter > term.threshold {
+                    terminated_early = true;
+                    break 'levels;
+                }
+            }
+            examined += 1;
+            let eval = match slot.take() {
+                Some(eval) => eval?,
+                None => evaluate_region(checker, metric, region)?,
+            };
 
-        if discovered {
-            aging_counter = 0;
-        } else {
-            aging_counter += 1;
+            let mut discovered = false;
+            if eval.robust {
+                discovered |= solution.add(eval.opt_lo.clone(), region.clone());
+                if eval.opt_hi != eval.opt_lo {
+                    // The top-corner optimum is within ε of opt_lo here, but it is
+                    // still a distinct plan worth remembering for its own cell.
+                    discovered |= solution.add(eval.opt_hi, single_cell(&region.pnt_hi()));
+                }
+            } else {
+                // Record what we learned at the corners even when the sub-space
+                // itself is not yet robust.
+                discovered |= solution.add(eval.opt_lo, single_cell(&region.pnt_lo()));
+                discovered |= solution.add(eval.opt_hi, single_cell(&region.pnt_hi()));
+                if eval.partitioned {
+                    partitions += 1;
+                }
+                next_frontier.extend(eval.children);
+            }
+
+            if discovered {
+                aging_counter = 0;
+            } else {
+                aging_counter += 1;
+            }
         }
+        frontier = next_frontier;
     }
 
     let stats = SearchStats {
@@ -137,6 +252,7 @@ fn single_cell(p: &GridPoint) -> Region {
 pub struct WeightedRobustPartitioning<'a, O: Optimizer> {
     checker: RobustnessChecker<'a, O>,
     metric: DistanceMetric,
+    parallelism: usize,
 }
 
 impl<'a, O: Optimizer> WeightedRobustPartitioning<'a, O> {
@@ -145,6 +261,7 @@ impl<'a, O: Optimizer> WeightedRobustPartitioning<'a, O> {
         Self {
             checker: RobustnessChecker::new(optimizer, space, epsilon),
             metric: DistanceMetric::default(),
+            parallelism: 1,
         }
     }
 
@@ -154,19 +271,27 @@ impl<'a, O: Optimizer> WeightedRobustPartitioning<'a, O> {
         self
     }
 
+    /// Probe each partitioning frontier on `parallelism` worker threads.
+    /// The produced solution is identical to the sequential one; wall-clock
+    /// time drops on multi-dimensional spaces. `0` and `1` mean sequential.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
     /// Access the underlying robustness checker.
     pub fn checker(&self) -> &RobustnessChecker<'a, O> {
         &self.checker
     }
 }
 
-impl<'a, O: Optimizer> LogicalPlanGenerator for WeightedRobustPartitioning<'a, O> {
+impl<'a, O: Optimizer + Sync> LogicalPlanGenerator for WeightedRobustPartitioning<'a, O> {
     fn name(&self) -> &'static str {
         "WRP"
     }
 
     fn generate(&self) -> Result<(RobustLogicalSolution, SearchStats)> {
-        let out = partition_search(&self.checker, None, None, self.metric)?;
+        let out = partition_search(&self.checker, None, None, self.metric, self.parallelism)?;
         Ok((out.solution, out.stats))
     }
 
@@ -174,7 +299,13 @@ impl<'a, O: Optimizer> LogicalPlanGenerator for WeightedRobustPartitioning<'a, O
         &self,
         max_calls: usize,
     ) -> Result<(RobustLogicalSolution, SearchStats)> {
-        let out = partition_search(&self.checker, None, Some(max_calls), self.metric)?;
+        let out = partition_search(
+            &self.checker,
+            None,
+            Some(max_calls),
+            self.metric,
+            self.parallelism,
+        )?;
         Ok((out.solution, out.stats))
     }
 }
@@ -245,6 +376,36 @@ mod tests {
         let opt = JoinOrderOptimizer::new(q);
         let wrp = WeightedRobustPartitioning::new(&opt, &space, 0.05);
         let (_, stats) = wrp.generate_with_budget(4).unwrap();
+        assert!(stats.optimizer_calls <= 5);
+    }
+
+    #[test]
+    fn parallel_solution_is_identical_to_sequential() {
+        for (steps, u, epsilon) in [(9, 3, 0.2), (9, 3, 0.05), (7, 2, 0.1)] {
+            let (q, space) = setup(steps, u);
+            let opt_seq = JoinOrderOptimizer::new(q.clone());
+            let opt_par = JoinOrderOptimizer::new(q.clone());
+            let seq = WeightedRobustPartitioning::new(&opt_seq, &space, epsilon);
+            let par =
+                WeightedRobustPartitioning::new(&opt_par, &space, epsilon).with_parallelism(4);
+            let (sol_seq, stats_seq) = seq.generate().unwrap();
+            let (sol_par, stats_par) = par.generate().unwrap();
+            assert_eq!(
+                sol_seq, sol_par,
+                "parallel WRP diverged at steps={steps} u={u} eps={epsilon}"
+            );
+            assert_eq!(stats_seq.regions_examined, stats_par.regions_examined);
+            assert_eq!(stats_seq.partitions, stats_par.partitions);
+        }
+    }
+
+    #[test]
+    fn budgeted_generation_is_sequential_even_with_parallelism() {
+        let (q, space) = setup(9, 3);
+        let opt = JoinOrderOptimizer::new(q);
+        let wrp = WeightedRobustPartitioning::new(&opt, &space, 0.05).with_parallelism(8);
+        let (_, stats) = wrp.generate_with_budget(4).unwrap();
+        // Exact budget semantics are preserved: no speculative overshoot.
         assert!(stats.optimizer_calls <= 5);
     }
 }

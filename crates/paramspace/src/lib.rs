@@ -15,6 +15,10 @@
 //! * [`weights::WeightMap`] — the slope/distance weight-assignment function of
 //!   §4.2 used to pick good partition points, generic over the plan cost
 //!   function so this crate stays independent of the query model.
+//! * [`regionset::RegionSet`] — the geometric (cell-free) region algebra:
+//!   disjoint box decompositions with exact union volume, intersection,
+//!   subtraction and occurrence probability computed from corner coordinates
+//!   alone, independent of grid resolution.
 //! * [`occurrence::OccurrenceModel`] — the probability-of-occurrence model of
 //!   §5.2 (independent per-dimension normal distributions centred at the
 //!   estimates) used to weight robust logical plans for physical planning.
@@ -24,10 +28,12 @@
 
 pub mod occurrence;
 pub mod region;
+pub mod regionset;
 pub mod space;
 pub mod weights;
 
 pub use occurrence::OccurrenceModel;
 pub use region::Region;
+pub use regionset::RegionSet;
 pub use space::{Dimension, GridPoint, ParameterSpace, Point};
 pub use weights::{DistanceMetric, WeightMap};

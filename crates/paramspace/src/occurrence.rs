@@ -27,7 +27,7 @@ impl OccurrenceModel {
     /// Probability that the runtime statistics fall inside the given cell.
     pub fn cell_probability(&self, space: &ParameterSpace, cell: &GridPoint) -> f64 {
         match self {
-            OccurrenceModel::Uniform => 1.0 / space.total_cells() as f64,
+            OccurrenceModel::Uniform => 1.0 / space.total_cells_f64(),
             OccurrenceModel::Normal => {
                 let mut p = 1.0;
                 for (dim_idx, dim) in space.dimensions().iter().enumerate() {
@@ -43,7 +43,7 @@ impl OccurrenceModel {
     /// (product over dimensions of the per-axis interval probabilities).
     pub fn region_probability(&self, space: &ParameterSpace, region: &Region) -> f64 {
         match self {
-            OccurrenceModel::Uniform => region.cell_count() as f64 / space.total_cells() as f64,
+            OccurrenceModel::Uniform => region.volume_f64() / space.total_cells_f64(),
             OccurrenceModel::Normal => {
                 let mut p = 1.0;
                 for (dim_idx, dim) in space.dimensions().iter().enumerate() {
@@ -60,14 +60,13 @@ impl OccurrenceModel {
     /// overlapping cells once. This is the *weight* assigned to a robust
     /// logical plan whose robust region is the union of `regions` (§5.2's
     /// `weight(lp_i) = Σ_{pnt_j ∈ area(lp_i)} Pr(pnt_j)`).
+    ///
+    /// Computed geometrically: the union is decomposed into disjoint boxes
+    /// ([`crate::RegionSet`]) and each box contributes its separable
+    /// per-dimension probability product, which equals the sum of its cells'
+    /// probabilities without enumerating them.
     pub fn plan_weight(&self, space: &ParameterSpace, regions: &[Region]) -> f64 {
-        let mut cells = std::collections::HashSet::new();
-        for r in regions {
-            for c in r.cells() {
-                cells.insert(c);
-            }
-        }
-        cells.iter().map(|c| self.cell_probability(space, c)).sum()
+        crate::RegionSet::from_regions(regions).probability(space, *self)
     }
 }
 

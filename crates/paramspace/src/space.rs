@@ -254,9 +254,17 @@ impl ParameterSpace {
         self.dims.iter().map(|d| d.steps).collect()
     }
 
-    /// Total number of grid cells `O(n^d)`.
+    /// Total number of grid cells `O(n^d)`, saturated at `usize::MAX` for
+    /// spaces too large to count in a `usize` (use
+    /// [`ParameterSpace::total_cells_f64`] for fractions over such spaces).
     pub fn total_cells(&self) -> usize {
-        self.dims.iter().map(|d| d.steps).product()
+        let total: u128 = self.dims.iter().map(|d| d.steps as u128).product();
+        usize::try_from(total).unwrap_or(usize::MAX)
+    }
+
+    /// Total number of grid cells as an `f64` (never overflows).
+    pub fn total_cells_f64(&self) -> f64 {
+        self.dims.iter().map(|d| d.steps as f64).product()
     }
 
     /// The bottom-left corner `pntLo` of the whole space.
@@ -334,12 +342,21 @@ impl ParameterSpace {
     /// each dimension's statistic (falling back to the estimate if missing)
     /// and clamp it into the modelled interval. Used by the online classifier.
     pub fn project_snapshot(&self, snapshot: &StatsSnapshot) -> GridPoint {
-        GridPoint::new(
+        let mut indices = Vec::with_capacity(self.num_dims());
+        self.project_snapshot_into(snapshot, &mut indices);
+        GridPoint::new(indices)
+    }
+
+    /// Allocation-free variant of [`ParameterSpace::project_snapshot`]: write
+    /// the grid indices into a caller-owned scratch buffer (cleared first).
+    /// This is the per-batch hot path of the online classifier.
+    pub fn project_snapshot_into(&self, snapshot: &StatsSnapshot, indices: &mut Vec<usize>) {
+        indices.clear();
+        indices.extend(
             self.dims
                 .iter()
-                .map(|d| d.index_of(snapshot.get(d.key).unwrap_or(d.estimate)))
-                .collect(),
-        )
+                .map(|d| d.index_of(snapshot.get(d.key).unwrap_or(d.estimate))),
+        );
     }
 
     /// Whether a runtime snapshot lies inside the modelled parameter space

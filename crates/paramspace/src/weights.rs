@@ -88,31 +88,47 @@ impl WeightMap {
         FLo: Fn(&GridPoint) -> f64,
         FHi: Fn(&GridPoint) -> f64,
     {
-        // Pick a per-dimension stride so the sampled lattice stays below the cap.
+        // Pick a per-dimension stride so the sampled lattice stays below the
+        // cap. Volumes are compared in u128 so high-dimensional regions do
+        // not overflow the product.
         let mut stride = 1usize;
         while region
             .lo
             .iter()
             .zip(&region.hi)
-            .map(|(l, h)| (h - l) / stride + 1)
-            .product::<usize>()
-            > Self::MAX_EXACT_CELLS
+            .map(|(l, h)| ((h - l) / stride + 1) as u128)
+            .product::<u128>()
+            > Self::MAX_EXACT_CELLS as u128
         {
             stride += 1;
         }
-        let mut weights = HashMap::with_capacity(region.cell_count().min(Self::MAX_EXACT_CELLS));
-        let pnt_lo = region.pnt_lo();
-        for cell in region.cells() {
-            if stride > 1 {
-                let on_lattice = cell
-                    .indices
-                    .iter()
-                    .enumerate()
-                    .all(|(d, x)| (x - region.lo[d]) % stride == 0 || *x == region.hi[d]);
-                if !on_lattice {
-                    continue;
+        // Enumerate the lattice directly (per-dimension strided index lists,
+        // always including the hi edge) instead of iterating every cell of
+        // the region and filtering — the latter is O(cells) and collapses on
+        // high-dimensional spaces even when only 4096 points are weighted.
+        let lattice: Vec<Vec<usize>> = region
+            .lo
+            .iter()
+            .zip(&region.hi)
+            .map(|(l, h)| {
+                let mut axis: Vec<usize> = (*l..=*h).step_by(stride).collect();
+                if *axis.last().expect("non-empty axis") != *h {
+                    axis.push(*h);
                 }
-            }
+                axis
+            })
+            .collect();
+        let mut weights = HashMap::with_capacity(lattice.iter().map(Vec::len).product());
+        let pnt_lo = region.pnt_lo();
+        let mut odometer = vec![0usize; lattice.len()];
+        loop {
+            let cell = GridPoint::new(
+                odometer
+                    .iter()
+                    .zip(&lattice)
+                    .map(|(i, axis)| axis[*i])
+                    .collect(),
+            );
             let mut total = 0.0;
             for dim in 0..space.num_dims() {
                 let slope_lo = dimension_slope(region, &cell, dim, &cost_lo_plan);
@@ -125,6 +141,19 @@ impl WeightMap {
             // multi-dimensional spaces; add 1 to avoid division by zero at pntLo.
             let overall = metric.grid_distance(&cell, &pnt_lo) + 1.0;
             weights.insert(cell, total / overall);
+            // Advance the lattice odometer (last dimension fastest).
+            let mut advanced = false;
+            for d in (0..odometer.len()).rev() {
+                odometer[d] += 1;
+                if odometer[d] < lattice[d].len() {
+                    advanced = true;
+                    break;
+                }
+                odometer[d] = 0;
+            }
+            if !advanced {
+                break;
+            }
         }
         Self { weights }
     }

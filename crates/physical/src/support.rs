@@ -20,12 +20,12 @@ use crate::cluster::Cluster;
 use crate::plan::PhysicalPlan;
 use rld_common::{OperatorId, Query, Result};
 use rld_logical::RobustLogicalSolution;
-use rld_paramspace::{region::union_cell_count, OccurrenceModel, ParameterSpace, Region};
+use rld_paramspace::{OccurrenceModel, ParameterSpace, Region, RegionSet};
 use rld_query::{CostModel, LogicalPlan};
 use serde::{Deserialize, Serialize};
 
 /// Worst-case load profile and weight of one robust logical plan.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlanLoadProfile {
     /// The logical plan.
     pub plan: LogicalPlan,
@@ -69,12 +69,12 @@ impl PhysicalSearchStats {
 
 /// Precomputed support/scoring model binding a query, a parameter space and a
 /// robust logical solution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SupportModel {
     query: Query,
     profiles: Vec<PlanLoadProfile>,
     lp_max: Vec<f64>,
-    total_cells: usize,
+    total_cells: f64,
 }
 
 impl SupportModel {
@@ -113,7 +113,7 @@ impl SupportModel {
             query: query.clone(),
             profiles,
             lp_max,
-            total_cells: space.total_cells(),
+            total_cells: space.total_cells_f64(),
         })
     }
 
@@ -181,14 +181,15 @@ impl SupportModel {
 
     /// Fraction of the parameter space's cells covered by the robust regions
     /// of the logical plans a physical plan supports — the "parameter space
-    /// coverage" of Figure 14.
+    /// coverage" of Figure 14. Computed geometrically (disjoint box
+    /// decomposition), so it stays exact on high-dimensional spaces.
     pub fn coverage(&self, pp: &PhysicalPlan, cluster: &Cluster) -> f64 {
-        let regions: Vec<Region> = self
-            .supported_indices(pp, cluster)
-            .iter()
-            .flat_map(|i| self.profiles[*i].regions.iter().cloned())
-            .collect();
-        union_cell_count(&regions) as f64 / self.total_cells as f64
+        let set = RegionSet::from_regions(
+            self.supported_indices(pp, cluster)
+                .iter()
+                .flat_map(|i| self.profiles[*i].regions.iter()),
+        );
+        set.volume_f64() / self.total_cells
     }
 
     /// Worst-case load of an operator subset under profile `idx`.
