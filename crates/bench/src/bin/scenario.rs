@@ -8,7 +8,7 @@
 //! Prints the per-strategy comparison table and writes
 //! `BENCH_scenario_<name>.json` with the full metrics of every strategy.
 
-use rld_bench::json::{report_json, write_bench_json};
+use rld_bench::json::{fault_plan_json, report_json, write_bench_json, Json};
 use rld_bench::print_table;
 use rld_core::prelude::*;
 
@@ -81,7 +81,16 @@ fn main() {
         ],
         &rows,
     );
-    match write_bench_json(&format!("scenario_{name}"), report_json(&report)) {
+    let mut data = report_json(&report);
+    if !scenario.fault_plan().is_empty() {
+        if let Json::Obj(pairs) = &mut data {
+            pairs.push((
+                "fault_plan".to_string(),
+                fault_plan_json(scenario.fault_plan()),
+            ));
+        }
+    }
+    match write_bench_json(&format!("scenario_{name}"), data) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(err) => eprintln!("\ncould not write JSON: {err}"),
     }

@@ -127,12 +127,57 @@ pub fn metrics_json(m: &RunMetrics) -> Json {
             "work_vector_recomputes",
             Json::uint(m.work_vector_recomputes),
         ),
+        ("fault_events", Json::uint(m.fault_events)),
+        ("downtime_node_secs", Json::Num(m.downtime_node_secs)),
+        ("tuples_lost", Json::uint(m.tuples_lost)),
+        ("reroutes", Json::uint(m.reroutes)),
+        ("mean_recovery_secs", Json::Num(m.mean_recovery_secs)),
+        (
+            "capacity_available_fraction",
+            Json::Num(m.capacity_available_fraction),
+        ),
         (
             "produced_timeline",
             Json::Arr(
                 m.produced_timeline
                     .iter()
                     .map(|(minute, count)| Json::Arr(vec![Json::uint(*minute), Json::uint(*count)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The machine-readable projection of a fault plan: the recovery semantic
+/// plus the full event schedule, so a fault experiment's JSON carries the
+/// exact disturbance sequence it was produced under.
+pub fn fault_plan_json(plan: &FaultPlan) -> Json {
+    let kind = |k: &FaultKind| match k {
+        FaultKind::Crash => Json::str("crash"),
+        FaultKind::Recover => Json::str("recover"),
+        FaultKind::Degrade { factor } => Json::obj([("degrade", Json::Num(*factor))]),
+        FaultKind::Restore => Json::str("restore"),
+    };
+    Json::obj([
+        (
+            "recovery",
+            Json::str(match plan.recovery {
+                RecoverySemantic::Lost => "lost",
+                RecoverySemantic::Replay => "replay",
+            }),
+        ),
+        (
+            "events",
+            Json::Arr(
+                plan.events()
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("at_secs", Json::Num(e.at_secs)),
+                            ("node", Json::uint(e.node.index() as u64)),
+                            ("kind", kind(&e.kind)),
+                        ])
+                    })
                     .collect(),
             ),
         ),
@@ -213,11 +258,35 @@ mod tests {
             avg_tuple_processing_ms: 4.5,
             batches: 10,
             work_vector_recomputes: 2,
+            tuples_lost: 7,
+            reroutes: 3,
+            downtime_node_secs: 30.0,
+            mean_recovery_secs: 12.5,
+            fault_events: 2,
             ..RunMetrics::default()
         };
         let text = metrics_json(&m).to_string();
         assert!(text.contains(r#""system":"RLD""#));
         assert!(text.contains(r#""tuples_produced":123"#));
         assert!(text.contains(r#""work_vector_recomputes":2"#));
+        assert!(text.contains(r#""tuples_lost":7"#));
+        assert!(text.contains(r#""reroutes":3"#));
+        assert!(text.contains(r#""downtime_node_secs":30"#));
+        assert!(text.contains(r#""mean_recovery_secs":12.5"#));
+    }
+
+    #[test]
+    fn fault_plans_serialize_their_full_schedule() {
+        let plan =
+            FaultPlan::node_crash(NodeId::new(1), 60.0, 180.0, RecoverySemantic::Lost).unwrap();
+        let text = fault_plan_json(&plan).to_string();
+        assert!(text.contains(r#""recovery":"lost""#));
+        assert!(text.contains(r#""kind":"crash""#));
+        assert!(text.contains(r#""kind":"recover""#));
+        assert!(text.contains(r#""at_secs":60"#));
+        let ramp = FaultPlan::straggler_ramp(NodeId::new(0), 10.0, 20.0, 0.0, 0.5, 2).unwrap();
+        let text = fault_plan_json(&ramp).to_string();
+        assert!(text.contains(r#"{"degrade":0.5}"#));
+        assert!(text.contains(r#""kind":"restore""#));
     }
 }

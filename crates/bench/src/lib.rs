@@ -21,13 +21,14 @@
 //! | `overhead_runtime`      | §6.5 runtime-overhead comparison |
 //! | `ablations`             | DESIGN.md ablations (occurrence model, distance metric, ε sweep) |
 //! | `scenario`              | runs any predefined scenario by name (`--list` to enumerate) |
+//! | `faults`                | fault-plane sweep: all four strategies × the crash/straggler/flap scenarios |
 //! | `compile_scale`         | compile-path scaling: dims × grid sweeps, sequential vs parallel WRP/ERP |
 //!
 //! The compile-time binaries drive the [`RobustCompiler`] pipeline (solvers
 //! selected by name), the runtime binaries are thin wrappers over the
 //! scenario layer (`rld_core::scenario`), and the ones tracked across PRs
 //! (`fig15a_processing_time`, `fig15b_throughput`, `overhead_runtime`,
-//! `scenario`, `compile_scale`) also emit a machine-readable
+//! `scenario`, `faults`, `compile_scale`) also emit a machine-readable
 //! `BENCH_<name>.json` via [`json::write_bench_json`].
 //!
 //! This crate also exposes the shared helpers those binaries use, so that

@@ -17,8 +17,8 @@ pub use crate::compiler::{
 };
 pub use crate::optimizer::{PhysicalStrategy, RldConfig, RldOptimizer, RldSolution};
 pub use crate::scenario::{
-    self, regime_switching_workload, runtime_capacity, runtime_rld_config, Scenario,
-    ScenarioReport, StrategyOutcome, StrategySpec, DEFAULT_STRATEGY_NAMES,
+    self, fault_scenario_names, regime_switching_workload, runtime_capacity, runtime_rld_config,
+    Scenario, ScenarioReport, StrategyOutcome, StrategySpec, DEFAULT_STRATEGY_NAMES,
 };
 
 pub use rld_common::{
@@ -27,8 +27,8 @@ pub use rld_common::{
     UncertaintyLevel, Value,
 };
 pub use rld_engine::{
-    DistributionStrategy, DynStrategy, HybridStrategy, RldStrategy, RodStrategy, RunMetrics,
-    RuntimeContext, SimConfig, Simulator,
+    DistributionStrategy, DynStrategy, FaultEvent, FaultKind, FaultPlan, HybridStrategy,
+    RecoverySemantic, RldStrategy, RodStrategy, RunMetrics, RuntimeContext, SimConfig, Simulator,
 };
 pub use rld_logical::{
     CoverageEvaluator, EarlyTerminatedRobustPartitioning, ErpConfig, ExhaustiveSearch,
@@ -37,7 +37,7 @@ pub use rld_logical::{
 };
 pub use rld_paramspace::{OccurrenceModel, ParameterSpace, Point, Region};
 pub use rld_physical::{
-    Cluster, DynPlanner, ExhaustivePhysicalSearch, GreedyPhy, OptPrune, PhysicalPlan,
+    Cluster, ClusterView, DynPlanner, ExhaustivePhysicalSearch, GreedyPhy, OptPrune, PhysicalPlan,
     PhysicalPlanGenerator, PhysicalSearchStats, RodPlanner, SupportModel,
 };
 pub use rld_query::{CostModel, JoinOrderOptimizer, LogicalPlan, OptStrategy, Optimizer};

@@ -21,8 +21,10 @@
 use crate::baselines::{deploy_dyn, deploy_rod};
 use crate::compiler::Deployment;
 use crate::optimizer::RldConfig;
-use rld_common::{Query, Result, RldError};
-use rld_engine::{DistributionStrategy, RunMetrics, SimConfig, Simulator};
+use rld_common::{NodeId, Query, Result, RldError};
+use rld_engine::{
+    DistributionStrategy, FaultPlan, RecoverySemantic, RunMetrics, SimConfig, Simulator,
+};
 use rld_physical::Cluster;
 use rld_query::{CostModel, JoinOrderOptimizer, Optimizer};
 use rld_workloads::{RatePattern, SelectivityPattern, StockWorkload, SyntheticWorkload, Workload};
@@ -172,6 +174,7 @@ pub struct Scenario {
     cluster: Cluster,
     workload: Box<dyn Workload>,
     sim: SimConfig,
+    faults: FaultPlan,
     strategies: Vec<StrategySpec>,
 }
 
@@ -188,6 +191,7 @@ impl Scenario {
                 seed: SCENARIO_SEED,
                 ..SimConfig::default()
             },
+            faults: FaultPlan::none(),
             strategies: Vec::new(),
         }
     }
@@ -222,6 +226,13 @@ impl Scenario {
         &self.sim
     }
 
+    /// The fault plan every strategy is exercised against (empty when the
+    /// scenario simulates a fault-free cluster). The plan is part of the
+    /// scenario definition, so fault experiments serialize with it.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// The strategies this scenario compares, in run order.
     pub fn strategies(&self) -> &[StrategySpec] {
         &self.strategies
@@ -233,7 +244,8 @@ impl Scenario {
     /// shared between specs with the same configuration (the default line-up
     /// deploys RLD and Hybrid from one solution).
     pub fn run(&self) -> Result<ScenarioReport> {
-        let sim = Simulator::new(self.query.clone(), self.cluster.clone(), self.sim)?;
+        let sim = Simulator::new(self.query.clone(), self.cluster.clone(), self.sim)?
+            .with_faults(self.faults.clone())?;
         let mut solved: Vec<(RldConfig, std::result::Result<Deployment, String>)> = Vec::new();
         let mut solve = |config: &RldConfig| {
             if let Some((_, cached)) = solved.iter().find(|(c, _)| c == config) {
@@ -289,6 +301,7 @@ pub struct ScenarioBuilder {
     cluster: Option<Cluster>,
     workload: Option<Box<dyn Workload>>,
     sim: SimConfig,
+    faults: FaultPlan,
     strategies: Vec<StrategySpec>,
 }
 
@@ -340,6 +353,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Exercise every strategy against a fault plan (node crashes,
+    /// recoveries, straggler ramps), applied at tick granularity.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Add one strategy to the comparison.
     pub fn strategy(mut self, spec: StrategySpec) -> Self {
         self.strategies.push(spec);
@@ -378,6 +398,7 @@ impl ScenarioBuilder {
                 "scenario needs at least one strategy".into(),
             ));
         }
+        self.faults.validate_for(cluster.num_nodes())?;
         Ok(Scenario {
             name: self.name,
             description: self.description,
@@ -385,6 +406,7 @@ impl ScenarioBuilder {
             cluster,
             workload,
             sim: self.sim,
+            faults: self.faults,
             strategies: self.strategies,
         })
     }
@@ -474,7 +496,16 @@ pub fn builtin_names() -> Vec<&'static str> {
         "q1-overload",
         "q2-regime-switch",
         "q2-rate-steps",
+        "q1-node-crash",
+        "q2-straggler",
+        "q1-flap",
     ]
+}
+
+/// Names of the fault-plane scenarios (a subset of [`builtin_names`]), in
+/// presentation order — what the `faults` bench binary sweeps.
+pub fn fault_scenario_names() -> Vec<&'static str> {
+    vec!["q1-node-crash", "q2-straggler", "q1-flap"]
 }
 
 /// Look a predefined scenario up by name. Unknown names list the known ones.
@@ -542,6 +573,69 @@ pub fn builtin(name: &str) -> Result<Scenario> {
                 .default_strategies(runtime_rld_config())
                 .build()
         }
+        "q1-node-crash" => {
+            let query = Query::q1_stock_monitoring();
+            Scenario::builder("q1-node-crash", query)
+                .describe(
+                    "Q1 with node 1 crashing at t=60s and recovering at t=180s (backlog lost): \
+                     DYN/HYB fail over, RLD/ROD ride it out",
+                )
+                .homogeneous_cluster(4, 3.0)
+                .workload(StockWorkload::default_config())
+                .duration_secs(300.0)
+                .faults(FaultPlan::node_crash(
+                    NodeId::new(1),
+                    60.0,
+                    180.0,
+                    RecoverySemantic::Lost,
+                )?)
+                .default_strategies(RldConfig::default().with_uncertainty(3))
+                .build()
+        }
+        "q2-straggler" => {
+            let query = Query::q2_ten_way_join();
+            let workload = regime_switching_workload(&query, 90.0, RatePattern::Constant(1.0));
+            Scenario::builder("q2-straggler", query)
+                .describe(
+                    "Q2 with node 3 ramping down to 25% capacity over 2 minutes, holding, \
+                     then restoring: stragglers inflate latency until strategies shed load",
+                )
+                .homogeneous_cluster(10, 3.0)
+                .workload(workload)
+                .duration_secs(420.0)
+                .faults(FaultPlan::straggler_ramp(
+                    NodeId::new(3),
+                    60.0,
+                    120.0,
+                    120.0,
+                    0.25,
+                    4,
+                )?)
+                .default_strategies(runtime_rld_config())
+                .build()
+        }
+        "q1-flap" => {
+            let query = Query::q1_stock_monitoring();
+            Scenario::builder("q1-flap", query)
+                .describe(
+                    "Q1 with node 2 flapping (seed-derived crash/recover intervals): \
+                     repeated failover stresses migration bookkeeping",
+                )
+                .homogeneous_cluster(4, 3.0)
+                .workload(StockWorkload::default_config())
+                .duration_secs(300.0)
+                .faults(FaultPlan::flapping(
+                    SCENARIO_SEED,
+                    NodeId::new(2),
+                    30.0,
+                    270.0,
+                    50.0,
+                    20.0,
+                    RecoverySemantic::Replay,
+                )?)
+                .default_strategies(RldConfig::default().with_uncertainty(3))
+                .build()
+        }
         other => Err(RldError::NotFound(format!(
             "scenario '{other}' (known: {})",
             builtin_names().join(", ")
@@ -578,6 +672,40 @@ mod tests {
             assert!(!s.description().is_empty());
         }
         assert!(builtin("no-such-scenario").is_err());
+    }
+
+    #[test]
+    fn fault_builtins_carry_fault_plans_and_others_do_not() {
+        for name in fault_scenario_names() {
+            let s = builtin(name).unwrap();
+            assert!(
+                !s.fault_plan().is_empty(),
+                "{name} must schedule fault events"
+            );
+            assert!(builtin_names().contains(&name));
+        }
+        assert!(builtin("q1-stock").unwrap().fault_plan().is_empty());
+        // Crash scenarios actually crash; the straggler only degrades.
+        assert!(builtin("q1-node-crash").unwrap().fault_plan().num_crashes() == 1);
+        assert!(builtin("q1-flap").unwrap().fault_plan().num_crashes() >= 1);
+        assert_eq!(
+            builtin("q2-straggler").unwrap().fault_plan().num_crashes(),
+            0
+        );
+    }
+
+    #[test]
+    fn builder_rejects_fault_plans_naming_missing_nodes() {
+        let q = Query::q1_stock_monitoring();
+        let result = Scenario::builder("bad-faults", q)
+            .homogeneous_cluster(2, 3.0)
+            .workload(StockWorkload::default_config())
+            .strategy(StrategySpec::Rod)
+            .faults(
+                FaultPlan::node_crash(NodeId::new(9), 10.0, 20.0, RecoverySemantic::Lost).unwrap(),
+            )
+            .build();
+        assert!(result.is_err());
     }
 
     #[test]

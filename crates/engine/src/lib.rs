@@ -24,7 +24,10 @@
 //! reported separately (the §6.5 runtime-overhead comparison).
 //!
 //! Modules:
-//! * [`node::SimNode`] — a machine with capacity, backlog and work counters.
+//! * [`node::SimNode`] — a machine with capacity, backlog, work counters and
+//!   a dynamic availability state (up / down / degraded).
+//! * [`faults::FaultPlan`] — deterministic schedules of node crashes,
+//!   recoveries and straggler ramps, applied at tick granularity.
 //! * [`monitor::StatisticsMonitor`] — periodic, smoothed statistics sampling.
 //! * [`classifier::OnlineClassifier`] — the QueryMesh-style per-batch plan
 //!   selector used by RLD and HYB.
@@ -41,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod classifier;
+pub mod faults;
 pub mod index;
 pub mod metrics;
 pub mod monitor;
@@ -51,6 +55,7 @@ pub mod strategies;
 pub mod strategy;
 
 pub use classifier::OnlineClassifier;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoverySemantic};
 pub use index::ClassifierIndex;
 pub use metrics::RunMetrics;
 pub use monitor::StatisticsMonitor;

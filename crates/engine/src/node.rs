@@ -1,15 +1,17 @@
 //! Simulated cluster nodes.
 
+use crate::faults::RecoverySemantic;
 use rld_common::NodeId;
 use serde::{Deserialize, Serialize};
 
-/// One simulated machine: a work server with a fixed processing capacity
-/// (cost units per second) and a FIFO backlog of queued work.
+/// One simulated machine: a work server with a nominal processing capacity
+/// (cost units per second), a FIFO backlog of queued work, and a dynamic
+/// availability state (up / down / degraded) driven by the fault plane.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimNode {
     /// The node's identifier.
     pub id: NodeId,
-    /// Processing capacity in cost units per second.
+    /// Nominal processing capacity in cost units per second.
     pub capacity: f64,
     /// Queued, not yet processed work in cost units.
     pub backlog: f64,
@@ -19,10 +21,28 @@ pub struct SimNode {
     pub overhead_done: f64,
     /// Overhead work still queued (subset of `backlog`).
     overhead_pending: f64,
+    /// Whether the node is currently up.
+    up: bool,
+    /// Straggler factor: fraction of nominal capacity currently delivered.
+    capacity_factor: f64,
+    /// Estimated driving tuples whose work is still queued on this node
+    /// (fractional: a batch's tuples are attributed to nodes in proportion
+    /// to the work each node does for the batch). This is what a crash with
+    /// [`RecoverySemantic::Lost`] counts as lost.
+    inflight_tuples: f64,
+}
+
+/// What a crash did to a node's queued state.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CrashOutcome {
+    /// Work (cost units) discarded by the crash (zero under replay).
+    pub work_lost: f64,
+    /// Estimated driving tuples discarded by the crash (zero under replay).
+    pub tuples_lost: f64,
 }
 
 impl SimNode {
-    /// Create an idle node.
+    /// Create an idle, healthy node.
     pub fn new(id: NodeId, capacity: f64) -> Self {
         assert!(capacity > 0.0, "node capacity must be positive");
         Self {
@@ -32,13 +52,83 @@ impl SimNode {
             work_done: 0.0,
             overhead_done: 0.0,
             overhead_pending: 0.0,
+            up: true,
+            capacity_factor: 1.0,
+            inflight_tuples: 0.0,
         }
+    }
+
+    /// Whether the node is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// The capacity the node currently delivers: nominal × degradation
+    /// factor while up, zero while down.
+    pub fn effective_capacity(&self) -> f64 {
+        if self.up {
+            self.capacity * self.capacity_factor
+        } else {
+            0.0
+        }
+    }
+
+    /// The current straggler factor (1.0 = full nominal capacity).
+    pub fn capacity_factor(&self) -> f64 {
+        self.capacity_factor
+    }
+
+    /// Set the straggler factor (1.0 = full nominal capacity).
+    pub fn set_capacity_factor(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "capacity factor must be positive and finite"
+        );
+        self.capacity_factor = factor;
+    }
+
+    /// Take the node down. Under [`RecoverySemantic::Lost`] the queued
+    /// backlog (and the tuples it carried) is discarded and reported; under
+    /// [`RecoverySemantic::Replay`] it survives and will be processed after
+    /// recovery.
+    pub fn crash(&mut self, semantic: RecoverySemantic) -> CrashOutcome {
+        self.up = false;
+        match semantic {
+            RecoverySemantic::Lost => {
+                let outcome = CrashOutcome {
+                    work_lost: self.backlog,
+                    tuples_lost: self.inflight_tuples,
+                };
+                self.backlog = 0.0;
+                self.overhead_pending = 0.0;
+                self.inflight_tuples = 0.0;
+                outcome
+            }
+            RecoverySemantic::Replay => CrashOutcome::default(),
+        }
+    }
+
+    /// Bring the node back up (at whatever degradation factor it last had).
+    pub fn recover(&mut self) {
+        self.up = true;
+    }
+
+    /// Estimated driving tuples whose work is still queued here.
+    pub fn inflight_tuples(&self) -> f64 {
+        self.inflight_tuples
+    }
+
+    /// Enqueue query-processing work (cost units) carrying an estimated
+    /// `tuples` driving tuples (fractional share of a batch).
+    pub fn enqueue_work_with_tuples(&mut self, work: f64, tuples: f64) {
+        debug_assert!(work >= 0.0 && tuples >= 0.0);
+        self.backlog += work.max(0.0);
+        self.inflight_tuples += tuples.max(0.0);
     }
 
     /// Enqueue query-processing work (cost units).
     pub fn enqueue_work(&mut self, work: f64) {
-        debug_assert!(work >= 0.0);
-        self.backlog += work.max(0.0);
+        self.enqueue_work_with_tuples(work, 0.0);
     }
 
     /// Enqueue overhead work (migration state transfer, plan classification).
@@ -50,26 +140,38 @@ impl SimNode {
     }
 
     /// The queueing delay (seconds) a new arrival would currently experience
-    /// before its own work starts being served.
+    /// before its own work starts being served. Infinite while the node is
+    /// down.
     pub fn queueing_delay_secs(&self) -> f64 {
-        self.backlog / self.capacity
+        let capacity = self.effective_capacity();
+        if capacity <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.backlog / capacity
     }
 
     /// Time (seconds) this node needs to process `work` cost units once it
-    /// reaches the head of the queue.
+    /// reaches the head of the queue. Infinite while the node is down.
     pub fn service_time_secs(&self, work: f64) -> f64 {
-        work.max(0.0) / self.capacity
+        let capacity = self.effective_capacity();
+        if capacity <= 0.0 {
+            return f64::INFINITY;
+        }
+        work.max(0.0) / capacity
     }
 
-    /// Advance the node by `dt` seconds of processing, draining the backlog.
-    /// Returns the amount of work actually processed this tick.
+    /// Advance the node by `dt` seconds of processing, draining the backlog
+    /// at the *effective* capacity (a down node processes nothing). Returns
+    /// the amount of work actually processed this tick.
     pub fn tick(&mut self, dt_secs: f64) -> f64 {
-        let can_do = self.capacity * dt_secs.max(0.0);
+        let can_do = self.effective_capacity() * dt_secs.max(0.0);
         let done = can_do.min(self.backlog);
+        let backlog_before = self.backlog;
         self.backlog -= done;
-        // Attribute drained work proportionally to overhead vs query work.
-        let overhead_share = if done > 0.0 && self.backlog + done > 0.0 {
-            (self.overhead_pending / (self.backlog + done)).clamp(0.0, 1.0) * done
+        // Attribute drained work proportionally to overhead vs query work,
+        // and retire the in-flight tuple estimate at the same rate.
+        let overhead_share = if done > 0.0 && backlog_before > 0.0 {
+            (self.overhead_pending / backlog_before).clamp(0.0, 1.0) * done
         } else {
             0.0
         };
@@ -77,10 +179,14 @@ impl SimNode {
         self.overhead_pending -= overhead_share;
         self.overhead_done += overhead_share;
         self.work_done += done - overhead_share;
+        if backlog_before > 0.0 {
+            self.inflight_tuples *= (self.backlog / backlog_before).max(0.0);
+        }
         done
     }
 
-    /// Utilization over an interval of `dt` seconds given the work processed.
+    /// Utilization over an interval of `dt` seconds given the work processed,
+    /// relative to the nominal capacity.
     pub fn utilization(&self, work_processed: f64, dt_secs: f64) -> f64 {
         if dt_secs <= 0.0 {
             return 0.0;
@@ -89,9 +195,10 @@ impl SimNode {
     }
 
     /// Whether the node currently has more work queued than it can process in
-    /// the given horizon (used to detect saturation).
+    /// the given horizon (used to detect saturation). A down node with any
+    /// backlog is always saturated.
     pub fn is_saturated(&self, horizon_secs: f64) -> bool {
-        self.backlog > self.capacity * horizon_secs
+        self.backlog > self.effective_capacity() * horizon_secs
     }
 }
 
@@ -139,6 +246,60 @@ mod tests {
         assert_eq!(n.utilization(50.0, 1.0), 0.5);
         assert_eq!(n.utilization(500.0, 1.0), 1.0);
         assert_eq!(n.utilization(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn down_node_processes_nothing_and_recovers() {
+        let mut n = SimNode::new(NodeId::new(0), 100.0);
+        n.enqueue_work(50.0);
+        let outcome = n.crash(RecoverySemantic::Replay);
+        assert_eq!(outcome, CrashOutcome::default());
+        assert!(!n.is_up());
+        assert_eq!(n.effective_capacity(), 0.0);
+        assert_eq!(n.tick(1.0), 0.0);
+        assert_eq!(n.backlog, 50.0, "replay keeps the backlog");
+        assert_eq!(n.queueing_delay_secs(), f64::INFINITY);
+        assert_eq!(n.service_time_secs(10.0), f64::INFINITY);
+        assert!(n.is_saturated(1e9));
+        n.recover();
+        assert_eq!(n.tick(1.0), 50.0);
+        assert_eq!(n.backlog, 0.0);
+    }
+
+    #[test]
+    fn crash_with_lost_semantics_discards_backlog_and_tuples() {
+        let mut n = SimNode::new(NodeId::new(0), 100.0);
+        n.enqueue_work_with_tuples(80.0, 8.0);
+        n.enqueue_overhead(20.0);
+        let outcome = n.crash(RecoverySemantic::Lost);
+        assert!((outcome.work_lost - 100.0).abs() < 1e-12);
+        assert!((outcome.tuples_lost - 8.0).abs() < 1e-12);
+        assert_eq!(n.backlog, 0.0);
+        assert_eq!(n.inflight_tuples(), 0.0);
+        n.recover();
+        assert_eq!(n.tick(1.0), 0.0, "nothing left to process");
+    }
+
+    #[test]
+    fn degradation_slows_the_drain() {
+        let mut n = SimNode::new(NodeId::new(0), 100.0);
+        n.set_capacity_factor(0.25);
+        assert_eq!(n.effective_capacity(), 25.0);
+        n.enqueue_work(100.0);
+        assert_eq!(n.tick(1.0), 25.0);
+        assert!((n.queueing_delay_secs() - 3.0).abs() < 1e-12);
+        n.set_capacity_factor(1.0);
+        assert_eq!(n.tick(1.0), 75.0);
+    }
+
+    #[test]
+    fn inflight_tuples_retire_proportionally_to_drain() {
+        let mut n = SimNode::new(NodeId::new(0), 100.0);
+        n.enqueue_work_with_tuples(200.0, 10.0);
+        n.tick(1.0); // half the backlog drains
+        assert!((n.inflight_tuples() - 5.0).abs() < 1e-9);
+        n.tick(1.0);
+        assert!(n.inflight_tuples().abs() < 1e-9);
     }
 
     #[test]

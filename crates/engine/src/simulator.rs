@@ -1,14 +1,16 @@
 //! The discrete-time simulation loop.
 
+use crate::faults::{FaultKind, FaultPlan};
 use crate::metrics::{MetricsAccumulator, RunMetrics};
 use crate::monitor::StatisticsMonitor;
 use crate::node::SimNode;
 use crate::stages::{
-    batch_latency_secs, charge_batch, charge_migrations, drain_nodes, ArrivalProcess, PlanRouter,
+    batch_latency_secs, charge_batch, charge_migrations, drain_nodes, pipeline_down_node,
+    ArrivalProcess, PlanRouter,
 };
 use crate::strategy::{DistributionStrategy, RuntimeContext};
 use rld_common::{Query, Result, RldError};
-use rld_physical::Cluster;
+use rld_physical::{Cluster, ClusterView};
 use rld_query::CostModel;
 use rld_workloads::Workload;
 use serde::{Deserialize, Serialize};
@@ -75,7 +77,9 @@ impl SimConfig {
 
 /// The discrete-time DSPS simulator.
 ///
-/// The tick loop is a pipeline of the stages in [`crate::stages`]: adaptation
+/// The tick loop is a pipeline of the stages in [`crate::stages`]: fault
+/// application (the [`FaultPlan`] may crash / recover / degrade nodes, and
+/// the strategy is notified through its cluster-change hook), adaptation
 /// (the strategy may migrate), arrivals, plan routing (with cached per-plan
 /// load vectors), work accounting, and node drain. The simulator itself knows
 /// nothing about the individual deployment policies — it only drives the
@@ -84,10 +88,11 @@ pub struct Simulator {
     query: Query,
     cluster: Cluster,
     config: SimConfig,
+    faults: FaultPlan,
 }
 
 impl Simulator {
-    /// Create a simulator for a query on a cluster.
+    /// Create a simulator for a query on a cluster (fault-free).
     pub fn new(query: Query, cluster: Cluster, config: SimConfig) -> Result<Self> {
         config.validate()?;
         query.validate()?;
@@ -95,12 +100,26 @@ impl Simulator {
             query,
             cluster,
             config,
+            faults: FaultPlan::none(),
         })
+    }
+
+    /// Attach a fault plan; its events are applied at tick granularity. The
+    /// plan must only name nodes the cluster has.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Result<Self> {
+        faults.validate_for(self.cluster.num_nodes())?;
+        self.faults = faults;
+        Ok(self)
     }
 
     /// The simulation configuration.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// The fault plan applied during runs (empty by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Run one distribution strategy against a workload and collect metrics.
@@ -125,6 +144,11 @@ impl Simulator {
         let mut arrivals = ArrivalProcess::new(self.config.seed, strategy.name());
         let mut router = PlanRouter::new();
 
+        self.faults.validate_for(nodes.len())?;
+        let fault_events = self.faults.events();
+        let mut fault_idx = 0usize;
+        let mut view = ClusterView::all_up(&self.cluster);
+
         let mut tuples_arrived: u64 = 0;
         let mut tuples_processed: u64 = 0;
         let mut batches: u64 = 0;
@@ -136,21 +160,78 @@ impl Simulator {
         let mut max_backlog = 0.0f64;
         let mut ticks = 0u64;
 
+        // Fault-plane bookkeeping.
+        let mut faults_applied = 0u64;
+        let mut downtime_node_secs = 0.0f64;
+        let mut tuples_lost = 0.0f64;
+        let mut reroutes = 0u64;
+        let mut available_capacity_integral = 0.0f64;
+        // In-flight tuples a Lost-semantic crash discarded. Those tuples were
+        // optimistically counted into `tuples_processed` when their batch was
+        // accepted, so the total is retracted from the processed count at the
+        // end — a tuple is either processed or lost, never both.
+        let mut crash_lost_inflight = 0.0f64;
+        // Crash times still waiting for the strategy's first completed batch,
+        // and the measured crash → batch-completion durations.
+        let mut pending_recoveries: Vec<f64> = Vec::new();
+        let mut recovery_durations: Vec<f64> = Vec::new();
+
         let dt = self.config.tick_secs;
         let mut t = 0.0f64;
+        let mut monitored = monitor.current().clone();
         while t < self.config.duration_secs {
-            let truth = workload.stats_at(t);
-            monitor.observe(t, &truth);
-            let monitored = monitor.current().clone();
+            // Fault plane: apply every event due by the start of this tick
+            // to the nodes, then derive the availability view from the node
+            // states — the nodes are the single source of truth, the view
+            // can never desync from what actually drains work.
+            let mut cluster_changed = false;
+            while fault_idx < fault_events.len() && fault_events[fault_idx].at_secs <= t + 1e-9 {
+                let event = fault_events[fault_idx];
+                let node = &mut nodes[event.node.index()];
+                match event.kind {
+                    FaultKind::Crash => {
+                        let outcome = node.crash(self.faults.recovery);
+                        tuples_lost += outcome.tuples_lost;
+                        crash_lost_inflight += outcome.tuples_lost;
+                        pending_recoveries.push(t);
+                    }
+                    FaultKind::Recover => node.recover(),
+                    FaultKind::Degrade { factor } => node.set_capacity_factor(factor),
+                    FaultKind::Restore => node.set_capacity_factor(1.0),
+                }
+                cluster_changed = true;
+                faults_applied += 1;
+                fault_idx += 1;
+            }
+            if cluster_changed {
+                for node in &nodes {
+                    view.set_up(node.id, node.is_up());
+                    view.set_capacity_factor(node.id, node.capacity_factor());
+                }
+            }
 
-            // Adaptation: give the strategy a chance to migrate before the
-            // batch is processed, and charge what it decided.
+            let truth = workload.stats_at(t);
+            // Only re-clone the monitor's snapshot when it actually sampled.
+            if monitor.observe(t, &truth) {
+                monitored.clone_from(monitor.current());
+            }
+
             let ctx = RuntimeContext {
                 t_secs: t,
                 query: &self.query,
                 cost_model: &cost_model,
                 cluster: &self.cluster,
             };
+
+            // Cluster-change notification: the strategy may fail over
+            // (migrate off dead nodes) before anything else happens.
+            if cluster_changed {
+                let decisions = strategy.on_cluster_change(&ctx, &view, &monitored)?;
+                charge_migrations(&mut nodes, &decisions, &self.config)?;
+            }
+
+            // Adaptation: give the strategy a chance to migrate before the
+            // batch is processed, and charge what it decided.
             let decisions = strategy.maybe_migrate(&ctx, &monitored)?;
             charge_migrations(&mut nodes, &decisions, &self.config)?;
 
@@ -166,29 +247,70 @@ impl Simulator {
                 let routed =
                     router.route(&mut *strategy, &cost_model, &monitored, &truth, nodes.len())?;
 
-                // Work accounting: measure latency against the pre-batch
-                // backlogs, then charge overhead and query work.
-                let latency_secs = batch_latency_secs(&nodes, routed, n_tuples);
-                let overhead_fraction = strategy.classification_overhead();
-                let produced_exact = n_tuples as f64 * routed.output_per_input + produced_carry;
-                charge_batch(&mut nodes, routed, n_tuples, overhead_fraction);
+                if pipeline_down_node(&nodes, routed).is_some() {
+                    // The placement routes this batch through a dead node:
+                    // drop it loudly. The strategy was already notified via
+                    // `on_cluster_change`; static policies eat the loss.
+                    reroutes += 1;
+                    tuples_lost += n_tuples as f64;
+                } else {
+                    // Work accounting: measure latency against the pre-batch
+                    // backlogs, then charge overhead and query work. Only the
+                    // tuples counted as processed below are tracked in-flight
+                    // on the nodes, so a `Lost` crash retracts exactly what
+                    // was counted.
+                    let latency_secs = batch_latency_secs(&nodes, routed, n_tuples);
+                    let overhead_fraction = strategy.classification_overhead();
+                    let produced_exact = n_tuples as f64 * routed.output_per_input + produced_carry;
+                    let completion = t + latency_secs;
+                    let counted = completion <= self.config.duration_secs;
+                    charge_batch(
+                        &mut nodes,
+                        routed,
+                        n_tuples,
+                        overhead_fraction,
+                        if counted { n_tuples } else { 0 },
+                    );
 
-                let produced = produced_exact.floor().max(0.0) as u64;
-                produced_carry = produced_exact - produced as f64;
-                let completion = t + latency_secs;
-                if completion <= self.config.duration_secs {
-                    tuples_processed += n_tuples;
+                    let produced = produced_exact.floor().max(0.0) as u64;
+                    produced_carry = produced_exact - produced as f64;
+                    if counted {
+                        tuples_processed += n_tuples;
+                    }
+                    acc.record_batch(n_tuples, latency_secs * 1000.0, produced, completion);
+
+                    // The first accepted batch after a crash ends every
+                    // pending crash-recovery window: recovery is measured to
+                    // the batch's end-to-end completion time, so post-crash
+                    // backlog on the surviving nodes still counts.
+                    for crash_at in pending_recoveries.drain(..) {
+                        recovery_durations.push(completion - crash_at);
+                    }
                 }
-                acc.record_batch(n_tuples, latency_secs * 1000.0, produced, completion);
             }
 
-            // Drain every node for this tick.
+            // Drain every node for this tick at its effective capacity.
             let drained = drain_nodes(&mut nodes, dt);
             total_work_capacity_used += drained.work_done;
             max_backlog = max_backlog.max(drained.max_backlog);
+            for node in &nodes {
+                if !node.is_up() {
+                    downtime_node_secs += dt;
+                }
+                available_capacity_integral += node.effective_capacity() * dt;
+            }
             ticks += 1;
             t += dt;
         }
+
+        // Crashes the strategy never processed past within the horizon count
+        // as unrecovered for the rest of the run.
+        for crash_at in pending_recoveries.drain(..) {
+            recovery_durations.push(self.config.duration_secs - crash_at);
+        }
+        // Retract the optimistic processed count for tuples a Lost crash
+        // discarded (see `crash_lost_inflight` above).
+        tuples_processed = tuples_processed.saturating_sub(crash_lost_inflight.round() as u64);
 
         let query_work: f64 = nodes.iter().map(|n| n.work_done).sum();
         let overhead_work: f64 = nodes.iter().map(|n| n.overhead_done).sum();
@@ -200,7 +322,7 @@ impl Simulator {
             tuples_processed,
             tuples_produced: acc.produced_by(self.config.duration_secs),
             avg_tuple_processing_ms: acc.mean_latency_ms(),
-            p95_tuple_processing_ms: acc.percentile_latency_ms(95.0),
+            p95_tuple_processing_ms: acc.percentiles_latency_ms(&[95.0])[0],
             produced_timeline: acc.timeline(self.config.duration_secs),
             migrations: strategy.migrations(),
             plan_switches: strategy.plan_switches(),
@@ -214,6 +336,20 @@ impl Simulator {
             max_backlog,
             batches,
             work_vector_recomputes: router.recomputes(),
+            fault_events: faults_applied,
+            downtime_node_secs,
+            tuples_lost: tuples_lost.round() as u64,
+            reroutes,
+            mean_recovery_secs: if recovery_durations.is_empty() {
+                0.0
+            } else {
+                recovery_durations.iter().sum::<f64>() / recovery_durations.len() as f64
+            },
+            capacity_available_fraction: if capacity_total > 0.0 {
+                (available_capacity_integral / capacity_total).clamp(0.0, 1.0)
+            } else {
+                1.0
+            },
         })
     }
 }
@@ -393,6 +529,101 @@ mod tests {
         let q = Query::q1_stock_monitoring();
         let cluster = Cluster::homogeneous(2, 100.0).unwrap();
         assert!(Simulator::new(q, cluster, bad).is_err());
+    }
+
+    #[test]
+    fn node_crash_loses_tuples_for_a_static_strategy() {
+        use crate::faults::{FaultPlan, RecoverySemantic};
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(4, capacity_for(&q, 3.0)).unwrap();
+        let config = SimConfig {
+            duration_secs: 180.0,
+            ..SimConfig::default()
+        };
+        let workload = StockWorkload::new(20.0, RatePattern::Constant(1.0));
+
+        let baseline_sim = Simulator::new(q.clone(), cluster.clone(), config).unwrap();
+        let mut rod = rod_strategy(&q, &cluster);
+        let baseline = baseline_sim.run(&workload, &mut rod).unwrap();
+        assert_eq!(baseline.fault_events, 0);
+        assert_eq!(baseline.tuples_lost, 0);
+        assert_eq!(baseline.reroutes, 0);
+        assert_eq!(baseline.downtime_node_secs, 0.0);
+        assert!((baseline.capacity_available_fraction - 1.0).abs() < 1e-12);
+
+        // Crash a node ROD's placement uses for 60 s.
+        let victim = (0..4)
+            .map(rld_common::NodeId::new)
+            .find(|n| !rod.physical().operators_on(*n).is_empty())
+            .unwrap();
+        let faulted_sim = Simulator::new(q.clone(), cluster.clone(), config)
+            .unwrap()
+            .with_faults(
+                FaultPlan::node_crash(victim, 60.0, 120.0, RecoverySemantic::Lost).unwrap(),
+            )
+            .unwrap();
+        let mut rod2 = rod_strategy(&q, &cluster);
+        let faulted = faulted_sim.run(&workload, &mut rod2).unwrap();
+        assert_eq!(faulted.fault_events, 2);
+        assert!(faulted.tuples_lost > 0, "{faulted:?}");
+        assert!(faulted.reroutes > 0);
+        assert!((faulted.downtime_node_secs - 60.0).abs() < 1.5);
+        assert!(faulted.capacity_available_fraction < 1.0);
+        assert!(faulted.mean_utilization <= faulted.capacity_available_fraction + 1e-9);
+        // ROD only completes a batch again once the node is back: recovery
+        // time is on the order of the 60 s outage.
+        assert!(faulted.mean_recovery_secs > 30.0, "{faulted:?}");
+        assert!(faulted.tuples_produced < baseline.tuples_produced);
+        // The same arrivals hit both runs.
+        assert_eq!(faulted.tuples_arrived, baseline.tuples_arrived);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_seed() {
+        use crate::faults::{FaultPlan, RecoverySemantic};
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(4, capacity_for(&q, 3.0)).unwrap();
+        let config = SimConfig {
+            duration_secs: 90.0,
+            ..SimConfig::default()
+        };
+        let plan = FaultPlan::node_crash(
+            rld_common::NodeId::new(0),
+            30.0,
+            60.0,
+            RecoverySemantic::Lost,
+        )
+        .unwrap();
+        let run = || {
+            let sim = Simulator::new(q.clone(), cluster.clone(), config)
+                .unwrap()
+                .with_faults(plan.clone())
+                .unwrap();
+            let mut rod = rod_strategy(&q, &cluster);
+            sim.run(&StockWorkload::default_config(), &mut rod).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "fault runs must be bit-deterministic");
+        assert!(a.fault_events == 2);
+    }
+
+    #[test]
+    fn fault_plan_naming_a_missing_node_is_rejected() {
+        use crate::faults::{FaultPlan, RecoverySemantic};
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(2, 100.0).unwrap();
+        let plan = FaultPlan::node_crash(
+            rld_common::NodeId::new(7),
+            10.0,
+            20.0,
+            RecoverySemantic::Lost,
+        )
+        .unwrap();
+        assert!(Simulator::new(q, cluster, SimConfig::default())
+            .unwrap()
+            .with_faults(plan)
+            .is_err());
     }
 
     #[test]

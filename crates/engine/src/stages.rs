@@ -181,6 +181,9 @@ fn derive_routed_batch(
 /// Stage 3a: the per-tuple processing time a batch of `n_tuples` experiences
 /// right now — queueing delay plus service time on every node the pipeline
 /// touches, in plan order, measured before the batch's own work is enqueued.
+/// A pipeline touching a down node has infinite latency; the simulator must
+/// treat that as a re-route trigger (see [`pipeline_down_node`]) instead of
+/// recording it.
 pub fn batch_latency_secs(nodes: &[SimNode], routed: &RoutedBatch, n_tuples: u64) -> f64 {
     routed
         .pipeline_nodes
@@ -193,13 +196,30 @@ pub fn batch_latency_secs(nodes: &[SimNode], routed: &RoutedBatch, n_tuples: u64
         .sum()
 }
 
+/// The first down node a routed batch's pipeline would flow through, if any
+/// — the fault plane's loud re-route trigger: such a batch can never
+/// complete, so the simulator drops it, counts its tuples as lost, and the
+/// strategy's cluster-change hook is what reroutes future batches.
+pub fn pipeline_down_node(nodes: &[SimNode], routed: &RoutedBatch) -> Option<NodeId> {
+    routed
+        .pipeline_nodes
+        .iter()
+        .copied()
+        .find(|node| !nodes[node.index()].is_up())
+}
+
 /// Stage 3b: charge a batch's classification overhead (to the node hosting
-/// the plan's first operator) and its per-node query work.
+/// the plan's first operator) and its per-node query work. `tracked_tuples`
+/// of the batch's driving tuples are attributed to the nodes in proportion
+/// to the work each does, so a `Lost`-semantic crash can account for the
+/// tuples queued on the dead node; the simulator only tracks the tuples it
+/// counted as processed, keeping a later crash retraction exact.
 pub fn charge_batch(
     nodes: &mut [SimNode],
     routed: &RoutedBatch,
     n_tuples: u64,
     overhead_fraction: f64,
+    tracked_tuples: u64,
 ) {
     let scale = n_tuples as f64;
     if overhead_fraction > 0.0 {
@@ -208,16 +228,25 @@ pub fn charge_batch(
                 .enqueue_overhead(routed.per_tuple_total_work() * scale * overhead_fraction);
         }
     }
+    let total_work = routed.per_tuple_total_work();
     for (node, work) in nodes.iter_mut().zip(&routed.per_tuple_node_work) {
-        node.enqueue_work(*work * scale);
+        let tuples = if total_work > 0.0 {
+            tracked_tuples as f64 * (*work / total_work)
+        } else {
+            0.0
+        };
+        node.enqueue_work_with_tuples(*work * scale, tuples);
     }
 }
 
 /// Stage 3c: charge migration decisions as overhead work, split evenly
 /// between the source (suspend + serialize) and target (deserialize +
-/// resume) nodes. A decision naming a node the cluster does not have is a
-/// runtime error — the strategy trait is an open seam, so decisions are not
-/// trusted blindly.
+/// resume) nodes. When the source node is down (a failover migration off a
+/// crashed machine) its half is charged to the target instead — the state
+/// is rebuilt from checkpoints/replay *on the target*, and work queued on a
+/// dead node would otherwise freeze until recovery. A decision naming a
+/// node the cluster does not have is a runtime error — the strategy trait
+/// is an open seam, so decisions are not trusted blindly.
 pub fn charge_migrations(
     nodes: &mut [SimNode],
     decisions: &[MigrationDecision],
@@ -235,8 +264,12 @@ pub fn charge_migrations(
         }
         let work = config.migration_fixed_cost
             + config.migration_cost_per_kb * (d.state_bytes as f64 / 1024.0);
-        nodes[d.from.index()].enqueue_overhead(work / 2.0);
-        nodes[d.to.index()].enqueue_overhead(work / 2.0);
+        if nodes[d.from.index()].is_up() {
+            nodes[d.from.index()].enqueue_overhead(work / 2.0);
+            nodes[d.to.index()].enqueue_overhead(work / 2.0);
+        } else {
+            nodes[d.to.index()].enqueue_overhead(work);
+        }
     }
     Ok(())
 }
@@ -359,7 +392,10 @@ mod tests {
         // node0: 0.5 queueing + 20/100 service; node2: 0 + 30/100.
         assert!((latency - (0.5 + 0.2 + 0.3)).abs() < 1e-12);
 
-        charge_batch(&mut nodes, &routed, 10, 0.02);
+        charge_batch(&mut nodes, &routed, 10, 0.02, 10);
+        // The tracked tuples land on the working nodes in work proportion.
+        assert!((nodes[0].inflight_tuples() - 4.0).abs() < 1e-9);
+        assert!((nodes[2].inflight_tuples() - 6.0).abs() < 1e-9);
         // Overhead charged to node 0 (first pipeline node): 50 * 0.02 = 1.0.
         assert!((nodes[0].backlog - (50.0 + 20.0 + 1.0)).abs() < 1e-9);
         assert!((nodes[2].backlog - 30.0).abs() < 1e-9);

@@ -2,12 +2,13 @@
 
 use crate::strategy::{DistributionStrategy, RuntimeContext};
 use rld_common::{Result, StatsSnapshot};
-use rld_physical::{DynPlanner, MigrationDecision, PhysicalPlan};
+use rld_physical::{ClusterView, DynPlanner, MigrationDecision, PhysicalPlan};
 use rld_query::LogicalPlan;
 use std::sync::Arc;
 
 /// One logical plan, but the placement is rebalanced at runtime by migrating
-/// operators off overloaded nodes every `rebalance_period_secs`.
+/// operators off overloaded nodes every `rebalance_period_secs` — and off
+/// *dead* nodes immediately whenever the fault plane changes the cluster.
 pub struct DynStrategy {
     logical: Arc<LogicalPlan>,
     physical: PhysicalPlan,
@@ -15,6 +16,9 @@ pub struct DynStrategy {
     rebalance_period_secs: f64,
     last_rebalance_at: f64,
     migrations: u64,
+    /// Latest availability view the simulator reported; `None` until the
+    /// first cluster change (i.e. a fully healthy cluster).
+    view: Option<ClusterView>,
 }
 
 impl DynStrategy {
@@ -33,6 +37,7 @@ impl DynStrategy {
             rebalance_period_secs: rebalance_period_secs.max(0.1),
             last_rebalance_at: f64::NEG_INFINITY,
             migrations: 0,
+            view: None,
         }
     }
 
@@ -68,13 +73,35 @@ impl DistributionStrategy for DynStrategy {
             return Ok(Vec::new());
         }
         self.last_rebalance_at = ctx.t_secs;
+        let capacities = super::rebalance_capacities(ctx, self.view.as_ref());
         let decisions = super::rebalance_round(
             &self.planner,
             ctx,
             monitored,
             self.logical.as_ref(),
             &mut self.physical,
+            &capacities,
         )?;
+        self.migrations += decisions.len() as u64;
+        Ok(decisions)
+    }
+
+    fn on_cluster_change(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        view: &ClusterView,
+        monitored: &StatsSnapshot,
+    ) -> Result<Vec<MigrationDecision>> {
+        self.view = Some(view.clone());
+        if view.down_nodes().is_empty() {
+            // Degrade/restore only: the stored view steers the next periodic
+            // rebalance; there is nothing to evacuate.
+            return Ok(Vec::new());
+        }
+        // Fail over immediately: operators stranded on dead nodes process
+        // nothing, so evacuation does not wait for the rebalance period.
+        let loads = ctx.cost_model.operator_loads(&self.logical, monitored)?;
+        let decisions = super::evacuate_down_nodes(ctx.query, &mut self.physical, &loads, view)?;
         self.migrations += decisions.len() as u64;
         Ok(decisions)
     }
@@ -133,5 +160,46 @@ mod tests {
         };
         let again = s.maybe_migrate(&ctx, &surged).unwrap();
         assert!(again.is_empty());
+    }
+
+    #[test]
+    fn dyn_evacuates_a_crashed_node_immediately() {
+        let q = Query::q1_stock_monitoring();
+        let cost_model = CostModel::new(q.clone());
+        let cluster = Cluster::homogeneous(3, 1e6).unwrap();
+        let planner = DynPlanner::new();
+        let (logical, physical) = planner
+            .initial_plan(&q, &q.default_stats(), &cluster)
+            .unwrap();
+        let mut s = DynStrategy::new(logical, physical, planner, 5.0);
+        // Find a node hosting at least one operator and crash it.
+        let victim = (0..3)
+            .map(rld_common::NodeId::new)
+            .find(|n| !s.physical().operators_on(*n).is_empty())
+            .expect("some node hosts operators");
+        let mut view = rld_physical::ClusterView::all_up(&cluster);
+        view.set_up(victim, false);
+        let ctx = RuntimeContext {
+            t_secs: 3.0,
+            query: &q,
+            cost_model: &cost_model,
+            cluster: &cluster,
+        };
+        let decisions = s
+            .on_cluster_change(&ctx, &view, &q.default_stats())
+            .unwrap();
+        assert!(!decisions.is_empty(), "stranded operators must move");
+        assert!(decisions.iter().all(|d| d.from == victim));
+        assert!(decisions.iter().all(|d| d.to != victim));
+        assert!(s.physical().operators_on(victim).is_empty());
+        assert_eq!(s.migrations(), decisions.len() as u64);
+        // The stored view keeps later rebalance rounds off the dead node.
+        let ctx = RuntimeContext {
+            t_secs: 10.0,
+            ..ctx
+        };
+        for d in s.maybe_migrate(&ctx, &q.default_stats()).unwrap() {
+            assert_ne!(d.to, victim);
+        }
     }
 }

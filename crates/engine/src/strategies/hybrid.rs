@@ -23,7 +23,7 @@ use crate::strategy::{DistributionStrategy, RuntimeContext};
 use rld_common::{Query, Result, StatsSnapshot};
 use rld_logical::RobustLogicalSolution;
 use rld_paramspace::ParameterSpace;
-use rld_physical::{DynPlanner, MigrationDecision, PhysicalPlan};
+use rld_physical::{ClusterView, DynPlanner, MigrationDecision, PhysicalPlan};
 use rld_query::{CostModel, LogicalPlan};
 use std::sync::Arc;
 
@@ -43,6 +43,9 @@ pub struct HybridStrategy {
     last_rebalance_at: f64,
     last_plan: Option<Arc<LogicalPlan>>,
     migrations: u64,
+    /// Latest availability view the simulator reported; `None` until the
+    /// first cluster change (i.e. a fully healthy cluster).
+    view: Option<ClusterView>,
 }
 
 impl HybridStrategy {
@@ -68,7 +71,17 @@ impl HybridStrategy {
             last_rebalance_at: f64::NEG_INFINITY,
             last_plan: None,
             migrations: 0,
+            view: None,
         }
+    }
+
+    /// Whether the cluster (as last reported) is fully healthy — the only
+    /// condition under which restoring the compile-time robust placement is
+    /// sound, since that placement assumed every node's nominal capacity.
+    fn cluster_healthy(&self) -> bool {
+        self.view
+            .as_ref()
+            .is_none_or(ClusterView::all_nodes_healthy)
     }
 
     /// The per-batch plan selector.
@@ -109,7 +122,7 @@ impl DistributionStrategy for HybridStrategy {
         ctx: &RuntimeContext<'_>,
         monitored: &StatsSnapshot,
     ) -> Result<Vec<MigrationDecision>> {
-        if self.classifier.robustly_covered(monitored) {
+        if self.cluster_healthy() && self.classifier.robustly_covered(monitored) {
             // Inside a robust region the RLD guarantee holds — but it is
             // stated for the *robust* placement. If an excursion displaced
             // operators, migrate them back (once per rebalance period);
@@ -152,13 +165,47 @@ impl DistributionStrategy for HybridStrategy {
             return Ok(Vec::new());
         };
         self.last_rebalance_at = ctx.t_secs;
+        let capacities = super::rebalance_capacities(ctx, self.view.as_ref());
         let decisions = super::rebalance_round(
             &self.planner,
             ctx,
             monitored,
             plan.as_ref(),
             &mut self.physical,
+            &capacities,
         )?;
+        self.migrations += decisions.len() as u64;
+        Ok(decisions)
+    }
+
+    fn on_cluster_change(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        view: &ClusterView,
+        monitored: &StatsSnapshot,
+    ) -> Result<Vec<MigrationDecision>> {
+        self.view = Some(view.clone());
+        if view.down_nodes().is_empty() {
+            // Degrade/restore only: the stored view gates restoration and
+            // steers the fallback rebalance; nothing to evacuate.
+            return Ok(Vec::new());
+        }
+        // Node death voids the robust guarantee (it assumed every node's
+        // capacity), so the hybrid fails over immediately — even inside a
+        // robust region. Restoration back to the robust placement happens
+        // through `maybe_migrate` once the cluster is healthy again. Loads
+        // are estimated for the last routed plan — or, if the crash precedes
+        // the first batch, for any robust plan (evacuation must not strand
+        // operators just because nothing has been routed yet).
+        let plan = match self.last_plan.clone() {
+            Some(plan) => plan,
+            None => match self.classifier.solution().plans().next() {
+                Some(plan) => Arc::new(plan.clone()),
+                None => return Ok(Vec::new()), // empty solution: nothing runs
+            },
+        };
+        let loads = ctx.cost_model.operator_loads(&plan, monitored)?;
+        let decisions = super::evacuate_down_nodes(ctx.query, &mut self.physical, &loads, view)?;
         self.migrations += decisions.len() as u64;
         Ok(decisions)
     }
@@ -208,6 +255,34 @@ mod tests {
             assert!(s.maybe_migrate(&ctx, &stats).unwrap().is_empty());
         }
         assert_eq!(s.migrations(), 0);
+    }
+
+    #[test]
+    fn hybrid_fails_over_even_before_the_first_batch_is_routed() {
+        // A crash that precedes any routed batch: `last_plan` is still None,
+        // so evacuation must fall back to a robust plan for load estimation
+        // instead of leaving operators stranded on the dead node.
+        let cluster = Cluster::homogeneous(4, 1e9).unwrap();
+        let (q, mut s) = build_hybrid(&cluster);
+        let cm = CostModel::new(q.clone());
+        let victim = (0..4)
+            .map(rld_common::NodeId::new)
+            .find(|n| !s.physical().operators_on(*n).is_empty())
+            .expect("some node hosts operators");
+        let mut view = ClusterView::all_up(&cluster);
+        view.set_up(victim, false);
+        let ctx = RuntimeContext {
+            t_secs: 0.5,
+            query: &q,
+            cost_model: &cm,
+            cluster: &cluster,
+        };
+        let decisions = s
+            .on_cluster_change(&ctx, &view, &q.default_stats())
+            .unwrap();
+        assert!(!decisions.is_empty(), "stranded operators must move");
+        assert!(s.physical().operators_on(victim).is_empty());
+        assert_eq!(s.migrations(), decisions.len() as u64);
     }
 
     #[test]

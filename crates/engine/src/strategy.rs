@@ -20,7 +20,7 @@
 //!    operator migrations)? The simulator charges these as node work.
 
 use rld_common::{Query, Result, StatsSnapshot};
-use rld_physical::{Cluster, MigrationDecision, PhysicalPlan};
+use rld_physical::{Cluster, ClusterView, MigrationDecision, PhysicalPlan};
 use rld_query::{CostModel, LogicalPlan};
 use std::sync::Arc;
 
@@ -91,6 +91,26 @@ pub trait DistributionStrategy {
     ) -> Result<Vec<MigrationDecision>> {
         Ok(Vec::new())
     }
+
+    /// Notify the strategy that the cluster's availability changed (a node
+    /// crashed, recovered, degraded, or was restored by the fault plane).
+    /// Called once per tick in which at least one fault event fired, with
+    /// the up-to-date availability `view`. As with
+    /// [`Self::maybe_migrate`], returned decisions must already be applied
+    /// to [`Self::physical`]; the simulator only charges their cost.
+    ///
+    /// The default is the static policies' answer — ride the fault out
+    /// without reacting (RLD and ROD keep their placement and simply lose
+    /// the tuples routed through a dead node). Adaptive strategies (DYN,
+    /// HYB) fail over here by migrating operators off dead nodes.
+    fn on_cluster_change(
+        &mut self,
+        _ctx: &RuntimeContext<'_>,
+        _view: &ClusterView,
+        _monitored: &StatsSnapshot,
+    ) -> Result<Vec<MigrationDecision>> {
+        Ok(Vec::new())
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +158,12 @@ mod tests {
         };
         assert!(s
             .maybe_migrate(&ctx, &q.default_stats())
+            .unwrap()
+            .is_empty());
+        let mut view = ClusterView::all_up(&cluster);
+        view.set_up(NodeId::new(0), false);
+        assert!(s
+            .on_cluster_change(&ctx, &view, &q.default_stats())
             .unwrap()
             .is_empty());
         assert!(s.plan_for_batch(&q.default_stats()).is_some());

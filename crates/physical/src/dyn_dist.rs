@@ -105,6 +105,21 @@ impl DynPlanner {
         op_loads: &[f64],
         cluster: &Cluster,
     ) -> Result<Vec<MigrationDecision>> {
+        self.rebalance_with_capacities(query, current, op_loads, cluster.capacities())
+    }
+
+    /// [`Self::rebalance`] against an explicit per-node capacity vector —
+    /// the availability-aware entry point. A capacity of zero (or less)
+    /// marks a node as unavailable: it is never chosen as a migration
+    /// target, and any operator still placed on it makes the node count as
+    /// (infinitely) overloaded, so the controller evacuates it first.
+    pub fn rebalance_with_capacities(
+        &self,
+        query: &Query,
+        current: &PhysicalPlan,
+        op_loads: &[f64],
+        capacities: &[f64],
+    ) -> Result<Vec<MigrationDecision>> {
         if op_loads.len() != query.num_operators() {
             return Err(RldError::InvalidArgument(format!(
                 "expected {} operator loads, got {}",
@@ -112,33 +127,52 @@ impl DynPlanner {
                 op_loads.len()
             )));
         }
+        if capacities.len() < current.num_nodes() {
+            return Err(RldError::InvalidArgument(format!(
+                "expected capacities for {} nodes, got {}",
+                current.num_nodes(),
+                capacities.len()
+            )));
+        }
+        if capacities.iter().all(|c| *c <= 0.0) {
+            return Ok(Vec::new()); // total outage: nowhere to move anything
+        }
         let mut plan = current.clone();
         let mut decisions = Vec::new();
         for _ in 0..self.config.max_moves_per_round {
             let loads = node_loads(&plan, op_loads);
-            // Most overloaded node relative to its capacity.
+            // Most overloaded node relative to its (effective) capacity; an
+            // unavailable node hosting any operator is infinitely overloaded.
             let overloaded = loads
                 .iter()
                 .enumerate()
-                .map(|(i, l)| (i, l / cluster.capacity(NodeId::new(i))))
+                .filter_map(|(i, l)| {
+                    let cap = capacities[i];
+                    if cap <= 0.0 {
+                        (!plan.operators_on(NodeId::new(i)).is_empty())
+                            .then_some((i, f64::INFINITY))
+                    } else {
+                        Some((i, l / cap))
+                    }
+                })
                 .filter(|(_, ratio)| *ratio > self.config.overload_threshold)
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
             let Some((from_idx, _)) = overloaded else {
                 break;
             };
             let from = NodeId::new(from_idx);
-            // Least-loaded other node.
+            // Least-loaded other *available* node.
             let Some((to_idx, to_load)) = loads
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| *i != from_idx)
+                .filter(|(i, _)| *i != from_idx && capacities[*i] > 0.0)
                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             else {
                 break;
             };
             let to = NodeId::new(to_idx);
             // Move the largest operator that fits in the target's remaining capacity.
-            let headroom = cluster.capacity(to) - to_load;
+            let headroom = capacities[to_idx] - to_load;
             let candidate = plan
                 .operators_on(from)
                 .iter()
@@ -285,6 +319,45 @@ mod tests {
         for d in &decisions {
             assert_eq!(d.state_bytes, q.operator(d.operator).unwrap().state_bytes);
         }
+    }
+
+    #[test]
+    fn unavailable_nodes_are_evacuated_and_never_targeted() {
+        let q = q1();
+        let pp = PhysicalPlan::new(
+            &q,
+            vec![
+                vec![OperatorId::new(0), OperatorId::new(1)],
+                vec![OperatorId::new(2)],
+                vec![OperatorId::new(3), OperatorId::new(4)],
+            ],
+        )
+        .unwrap();
+        let loads = vec![10.0, 10.0, 10.0, 10.0, 10.0];
+        // Node 1 is down (capacity 0): its operator must be moved off, and
+        // nothing may move onto it even though it is the least loaded.
+        let caps = vec![100.0, 0.0, 100.0];
+        let decisions = DynPlanner::new()
+            .rebalance_with_capacities(&q, &pp, &loads, &caps)
+            .unwrap();
+        assert!(!decisions.is_empty());
+        for d in &decisions {
+            assert_ne!(d.to, NodeId::new(1), "no migration onto a down node");
+        }
+        assert!(decisions.iter().any(|d| d.from == NodeId::new(1)));
+
+        // Total outage: nothing to do rather than an error.
+        let none = DynPlanner::new()
+            .rebalance_with_capacities(&q, &pp, &loads, &[0.0, 0.0, 0.0])
+            .unwrap();
+        assert!(none.is_empty());
+
+        // A capacity vector shorter than the plan's node count is a typed
+        // error, not an index panic.
+        let err = DynPlanner::new()
+            .rebalance_with_capacities(&q, &pp, &loads, &[100.0])
+            .unwrap_err();
+        assert!(matches!(err, RldError::InvalidArgument(_)), "{err:?}");
     }
 
     #[test]

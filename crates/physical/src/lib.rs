@@ -23,6 +23,8 @@
 //!   (Xing et al.): a single balanced placement for a single logical plan.
 //! * [`dyn_dist::DynPlanner`] — the Borealis-style dynamic load distribution
 //!   baseline: reacts to overload at runtime by migrating operators.
+//! * [`availability::ClusterView`] — the runtime availability overlay
+//!   (crashed / degraded nodes) that fault-aware strategies balance against.
 //!
 //! The shared [`support::SupportModel`] precomputes each logical plan's
 //! worst-case per-operator loads and occurrence weight, and scores physical
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod availability;
 pub mod cluster;
 pub mod dyn_dist;
 pub mod exhaustive;
@@ -41,6 +44,7 @@ pub mod plan;
 pub mod rod;
 pub mod support;
 
+pub use availability::ClusterView;
 pub use cluster::Cluster;
 pub use dyn_dist::{DynPlanner, MigrationDecision};
 pub use exhaustive::ExhaustivePhysicalSearch;

@@ -1,0 +1,178 @@
+//! Invariants of the fault plane, exercised through the scenario layer:
+//! bit-determinism of faulted runs, the failover asymmetry between the
+//! adaptive (DYN, HYB) and static (RLD, ROD) strategies, and the
+//! available-capacity bound on utilization under arbitrary fault plans.
+
+use proptest::prelude::*;
+use rld_core::prelude::*;
+use rld_core::scenario;
+
+/// The full q1-node-crash comparison, compiled and simulated once and
+/// shared by the assertions below (the RLD compile is the expensive part);
+/// the determinism test runs its own second, fresh copy.
+fn node_crash_report() -> &'static ScenarioReport {
+    static REPORT: std::sync::OnceLock<ScenarioReport> = std::sync::OnceLock::new();
+    REPORT.get_or_init(|| scenario::builtin("q1-node-crash").unwrap().run().unwrap())
+}
+
+#[test]
+fn fault_runs_are_bit_deterministic_per_seed() {
+    let a = node_crash_report();
+    let b = scenario::builtin("q1-node-crash").unwrap().run().unwrap();
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    let ran: Vec<&str> = a.metrics().map(|m| m.system.as_str()).collect();
+    assert_eq!(ran, DEFAULT_STRATEGY_NAMES.to_vec(), "all four ran");
+    for (ma, mb) in a.metrics().zip(b.metrics()) {
+        // RunMetrics derives PartialEq: identical down to every fault
+        // counter, latency and the full produced timeline.
+        assert_eq!(ma, mb, "{} must be bit-deterministic", ma.system);
+    }
+}
+
+#[test]
+fn adaptive_strategies_fail_over_and_static_ones_ride_it_out() {
+    let report = node_crash_report();
+    let crash = scenario::builtin("q1-node-crash").unwrap();
+    assert_eq!(crash.fault_plan().num_crashes(), 1);
+
+    for name in ["RLD", "ROD"] {
+        let m = report.metrics_for(name).expect("static strategy ran");
+        assert_eq!(m.migrations, 0, "{name} must never migrate");
+        assert!(
+            m.tuples_lost > 0,
+            "{name} keeps routing through the dead node: {m:?}"
+        );
+        assert!(m.reroutes > 0, "{name}: {m:?}");
+        // Without failover, recovery waits for the node itself (120 s).
+        assert!(m.mean_recovery_secs > 60.0, "{name}: {m:?}");
+    }
+    for name in ["DYN", "HYB"] {
+        let m = report.metrics_for(name).expect("adaptive strategy ran");
+        assert!(m.migrations > 0, "{name} must fail over: {m:?}");
+        // Failover happens the same tick as the crash: almost nothing is
+        // lost and the strategy is processing again immediately.
+        assert!(
+            m.mean_recovery_secs < 10.0,
+            "{name} must recover quickly: {m:?}"
+        );
+    }
+
+    // The headline claim: after the crash the adaptive strategies keep
+    // producing results, the static ones lose far more tuples.
+    let rod = report.metrics_for("ROD").unwrap();
+    let dyn_m = report.metrics_for("DYN").unwrap();
+    let hyb = report.metrics_for("HYB").unwrap();
+    assert!(
+        dyn_m.tuples_produced > rod.tuples_produced,
+        "DYN {} vs ROD {}",
+        dyn_m.tuples_produced,
+        rod.tuples_produced
+    );
+    assert!(hyb.tuples_produced > rod.tuples_produced);
+    assert!(rod.tuples_lost > 10 * dyn_m.tuples_lost.max(1));
+
+    // Every strategy saw the same outage and the same arrivals.
+    let metrics: Vec<&RunMetrics> = report.metrics().collect();
+    for m in &metrics {
+        assert_eq!(m.fault_events, 2, "{}", m.system);
+        assert!((m.downtime_node_secs - 120.0).abs() < 1.5, "{}", m.system);
+        assert!(m.capacity_available_fraction < 1.0, "{}", m.system);
+        assert!(
+            m.mean_utilization <= m.capacity_available_fraction + 1e-9,
+            "{}: utilization {} exceeds available fraction {}",
+            m.system,
+            m.mean_utilization,
+            m.capacity_available_fraction
+        );
+    }
+}
+
+#[test]
+fn straggler_scenario_degrades_without_crashing() {
+    let s = scenario::builtin("q2-straggler").unwrap();
+    assert_eq!(s.fault_plan().num_crashes(), 0);
+    assert!(!s.fault_plan().is_empty());
+    // Degrade-only plans never take a node down, so nothing can be lost to
+    // re-routing — the cost shows up as latency, not loss. Run only the
+    // cheap static baseline here; the full four-strategy comparison is the
+    // faults bench binary's job.
+    let quick = Scenario::builder("q2-straggler-rod", s.query().clone())
+        .cluster(s.cluster().clone())
+        .workload(regime_switching_workload(
+            s.query(),
+            90.0,
+            RatePattern::Constant(1.0),
+        ))
+        .duration_secs(s.sim_config().duration_secs)
+        .faults(s.fault_plan().clone())
+        .strategy(StrategySpec::Rod)
+        .build()
+        .unwrap();
+    let report = quick.run().unwrap();
+    let rod = report.metrics_for("ROD").expect("ROD ran");
+    assert!(rod.fault_events > 0);
+    assert_eq!(rod.tuples_lost, 0);
+    assert_eq!(rod.reroutes, 0);
+    assert_eq!(rod.downtime_node_secs, 0.0);
+    assert!(rod.capacity_available_fraction < 1.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the fault plan does — crashes, degradations, any window —
+    /// the mean utilization can never exceed the fraction of capacity that
+    /// was actually available, and the run keeps its basic invariants.
+    #[test]
+    fn downtime_bounds_mean_utilization(
+        seed in 0u64..1000,
+        node in 0usize..4,
+        crash_at in 10.0f64..60.0,
+        outage in 10.0f64..120.0,
+        factor in 0.1f64..0.9,
+        replay in 0u32..2,
+    ) {
+        let query = Query::q1_stock_monitoring();
+        let semantic = if replay == 1 { RecoverySemantic::Replay } else { RecoverySemantic::Lost };
+        let mut events = FaultPlan::node_crash(
+            NodeId::new(node),
+            crash_at,
+            crash_at + outage,
+            semantic,
+        ).unwrap().events().to_vec();
+        // Add a straggler on the next node over, overlapping the outage.
+        events.push(FaultEvent {
+            at_secs: crash_at + 5.0,
+            node: NodeId::new((node + 1) % 4),
+            kind: FaultKind::Degrade { factor },
+        });
+        let plan = FaultPlan::new(events, semantic).unwrap();
+        let report = Scenario::builder("utilization-bound", query)
+            .homogeneous_cluster(4, 3.0)
+            .workload(StockWorkload::default_config())
+            .duration_secs(180.0)
+            .seed(seed)
+            .faults(plan)
+            .strategy(StrategySpec::Rod)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let m = report.metrics_for("ROD").expect("ROD ran");
+        prop_assert!(m.fault_events >= 2, "{m:?}");
+        prop_assert!(m.capacity_available_fraction < 1.0);
+        prop_assert!(
+            m.mean_utilization <= m.capacity_available_fraction + 1e-9,
+            "utilization {} exceeds available fraction {}",
+            m.mean_utilization,
+            m.capacity_available_fraction
+        );
+        prop_assert!(m.downtime_node_secs >= outage - 1.5);
+        prop_assert!(m.tuples_arrived >= m.tuples_processed + m.tuples_lost
+            || m.tuples_lost == 0,
+            "{m:?}");
+        // Timeline stays monotone under faults.
+        let counts: Vec<u64> = m.produced_timeline.iter().map(|(_, c)| *c).collect();
+        prop_assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
