@@ -18,7 +18,7 @@
 //! Emits `BENCH_compile_scale.json` with one record per
 //! (dims, steps, solver, mode).
 
-use rld_bench::json::{write_bench_json, Json};
+use rld_bench::json::{write_bench_json, BenchMeta, Json};
 use rld_bench::print_table;
 use rld_core::prelude::*;
 use std::time::Instant;
@@ -182,7 +182,8 @@ fn main() {
             ),
         ),
     ]);
-    match write_bench_json("compile_scale", data) {
+    let meta = BenchMeta::new().scenario("compile-scale-sweep");
+    match write_bench_json("compile_scale", &meta, data) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(err) => eprintln!("\ncould not write JSON: {err}"),
     }

@@ -1,0 +1,120 @@
+//! The dataplane sweep: all four strategies on the threaded executor.
+//!
+//! ```text
+//! cargo run -p rld-bench --release --bin dataplane            # full sweep
+//! cargo run -p rld-bench --release --bin dataplane -- --quick # CI smoke
+//! ```
+//!
+//! Where every other runtime bench models execution on the discrete-tick
+//! simulator, this one pushes *real tuple batches* through the threaded
+//! executor (`rld-exec`) for ROD / DYN / RLD / HYB on the Q1 stock workload
+//! and reports what was actually measured: driving tuples per wall second,
+//! tuple-weighted wall-latency percentiles (p50/p95/p99), and the migration
+//! pause cost in wall milliseconds. Results land in `BENCH_dataplane.json`.
+//!
+//! `--quick` shortens the horizon and asserts the healthy-scenario
+//! invariants (every strategy processes tuples, none loses any), making the
+//! binary a CI smoke test for the whole tuple-level dataplane.
+
+use rld_bench::json::{metrics_json, write_bench_json, BenchMeta, Json};
+use rld_bench::print_table;
+use rld_core::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let duration = if quick { 45.0 } else { 300.0 };
+
+    let query = Query::q1_stock_monitoring();
+    let scenario = Scenario::builder("dataplane-q1", query)
+        .describe("Q1 stock workload on the threaded executor, all four strategies")
+        .homogeneous_cluster(4, 3.0)
+        .workload(StockWorkload::default_config())
+        .duration_secs(duration)
+        .default_strategies(RldConfig::default().with_uncertainty(3))
+        .build()
+        .expect("scenario");
+    println!(
+        "dataplane — {} on {} nodes, {:.0} s virtual, execute backend\n",
+        scenario.query().name,
+        scenario.cluster().num_nodes(),
+        duration,
+    );
+
+    let exec = ThreadedExecutor::new(
+        scenario.query().clone(),
+        scenario.cluster().clone(),
+        ExecConfig::from_sim(*scenario.sim_config()),
+    )
+    .expect("executor");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut docs: Vec<Json> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for spec in scenario.strategies() {
+        let mut strategy = spec
+            .build(scenario.query(), scenario.cluster())
+            .expect("strategy deploys on the comfortable cluster");
+        let report = exec
+            .run_report(scenario.workload(), strategy.as_mut(), false)
+            .expect("executor run");
+        let m = &report.metrics;
+        if quick {
+            assert!(
+                m.tuples_processed > 0,
+                "{}: the healthy dataplane must process tuples",
+                m.system
+            );
+            assert_eq!(
+                m.tuples_lost, 0,
+                "{}: the healthy dataplane must lose nothing",
+                m.system
+            );
+        }
+        let p = |i: usize| report.latency_percentiles_ms[i].1;
+        rows.push(vec![
+            m.system.clone(),
+            format!("{:.0}", report.tuples_per_sec),
+            format!("{:.2}", p(0)),
+            format!("{:.2}", p(1)),
+            format!("{:.2}", p(2)),
+            m.migrations.to_string(),
+            format!("{:.2}", report.migration_pause_ms),
+            m.plan_switches.to_string(),
+        ]);
+        names.push(m.system.clone());
+        docs.push(Json::obj([
+            ("system", Json::str(&m.system)),
+            ("tuples_per_sec", Json::Num(report.tuples_per_sec)),
+            ("wall_secs", Json::Num(report.wall_secs)),
+            ("p50_latency_ms", Json::Num(p(0))),
+            ("p95_latency_ms", Json::Num(p(1))),
+            ("p99_latency_ms", Json::Num(p(2))),
+            ("migration_pause_ms", Json::Num(report.migration_pause_ms)),
+            ("metrics", metrics_json(m)),
+        ]));
+    }
+
+    print_table(
+        "Dataplane — real tuples through the threaded executor",
+        &[
+            "system", "tuples/s", "p50 ms", "p95 ms", "p99 ms", "migr", "pause ms", "switches",
+        ],
+        &rows,
+    );
+
+    let data = Json::obj([
+        ("quick", Json::Bool(quick)),
+        ("duration_secs", Json::Num(duration)),
+        ("runs", Json::Arr(docs)),
+    ]);
+    let meta = BenchMeta::new()
+        .seed(scenario.sim_config().seed)
+        .scenario("dataplane-q1")
+        .backend(Backend::Execute.name())
+        .strategies(names);
+    match write_bench_json("dataplane", &meta, data) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(err) => eprintln!("\ncould not write JSON: {err}"),
+    }
+}

@@ -13,7 +13,7 @@
 //! fail over off dead nodes and recover throughput, the static ones (ROD,
 //! RLD) ride the fault out and pay in lost tuples.
 
-use rld_bench::json::{fault_plan_json, report_json, write_bench_json, Json};
+use rld_bench::json::{fault_plan_json, report_json, write_bench_json, BenchMeta, Json};
 use rld_bench::print_table;
 use rld_core::prelude::*;
 
@@ -93,7 +93,12 @@ fn main() {
         ("quick", Json::Bool(quick)),
         ("scenarios", Json::Arr(scenario_docs)),
     ]);
-    match write_bench_json("faults", data) {
+    let meta = BenchMeta::new()
+        .seed(scenario::SCENARIO_SEED)
+        .scenario("fault-plane-sweep")
+        .backend(Backend::Simulate.name())
+        .strategies(DEFAULT_STRATEGY_NAMES);
+    match write_bench_json("faults", &meta, data) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(err) => eprintln!("could not write JSON: {err}"),
     }

@@ -6,7 +6,7 @@
 //! Alongside the text table the binary writes
 //! `BENCH_fig15a_processing_time.json` for cross-PR perf tracking.
 
-use rld_bench::json::{report_json, write_bench_json, Json};
+use rld_bench::json::{report_json, write_bench_json, BenchMeta, Json};
 use rld_bench::print_table;
 use rld_core::prelude::*;
 
@@ -47,7 +47,12 @@ fn main() {
         &["rate", "ROD", "DYN", "RLD", "HYB"],
         &rows,
     );
-    match write_bench_json("fig15a_processing_time", Json::Arr(json_rows)) {
+    let meta = BenchMeta::new()
+        .seed(scenario::SCENARIO_SEED)
+        .scenario("fig15a-rate-sweep")
+        .backend(Backend::Simulate.name())
+        .strategies(DEFAULT_STRATEGY_NAMES);
+    match write_bench_json("fig15a_processing_time", &meta, Json::Arr(json_rows)) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(err) => eprintln!("\ncould not write JSON: {err}"),
     }

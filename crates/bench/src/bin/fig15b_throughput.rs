@@ -5,15 +5,13 @@
 //! The underlying setup is the predefined `q2-rate-steps` scenario; the
 //! binary also writes `BENCH_fig15b_throughput.json`.
 
-use rld_bench::json::{report_json, write_bench_json};
+use rld_bench::json::{report_json, write_bench_json, BenchMeta};
 use rld_bench::print_table;
 use rld_core::prelude::*;
 
 fn main() {
-    let report = scenario::builtin("q2-rate-steps")
-        .expect("predefined scenario")
-        .run()
-        .expect("simulation run");
+    let scenario = scenario::builtin("q2-rate-steps").expect("predefined scenario");
+    let report = scenario.run().expect("simulation run");
 
     let mut rows = Vec::new();
     for minute in (10..=60).step_by(10) {
@@ -33,7 +31,8 @@ fn main() {
         &["minute", "ROD", "DYN", "RLD", "HYB"],
         &rows,
     );
-    match write_bench_json("fig15b_throughput", report_json(&report)) {
+    let meta = BenchMeta::for_report(&scenario, &report);
+    match write_bench_json("fig15b_throughput", &meta, report_json(&report)) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(err) => eprintln!("\ncould not write JSON: {err}"),
     }

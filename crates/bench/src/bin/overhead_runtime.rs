@@ -6,15 +6,13 @@
 //! The underlying setup is the predefined `q2-regime-switch` scenario; the
 //! binary also writes `BENCH_overhead_runtime.json`.
 
-use rld_bench::json::{report_json, write_bench_json};
+use rld_bench::json::{report_json, write_bench_json, BenchMeta};
 use rld_bench::print_table;
 use rld_core::prelude::*;
 
 fn main() {
-    let report = scenario::builtin("q2-regime-switch")
-        .expect("predefined scenario")
-        .run()
-        .expect("simulation run");
+    let scenario = scenario::builtin("q2-regime-switch").expect("predefined scenario");
+    let report = scenario.run().expect("simulation run");
 
     let rows: Vec<Vec<String>> = report
         .metrics()
@@ -39,7 +37,8 @@ fn main() {
         ],
         &rows,
     );
-    match write_bench_json("overhead_runtime", report_json(&report)) {
+    let meta = BenchMeta::for_report(&scenario, &report);
+    match write_bench_json("overhead_runtime", &meta, report_json(&report)) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(err) => eprintln!("\ncould not write JSON: {err}"),
     }

@@ -1,14 +1,19 @@
-//! The scenario runner: execute any predefined runtime scenario by name.
+//! The scenario runner: execute any predefined runtime scenario by name, on
+//! either execution backend.
 //!
 //! ```text
 //! cargo run -p rld-bench --release --bin scenario -- --list
 //! cargo run -p rld-bench --release --bin scenario -- q2-regime-switch
+//! cargo run -p rld-bench --release --bin scenario -- --backend execute q1-stock
 //! ```
 //!
 //! Prints the per-strategy comparison table and writes
-//! `BENCH_scenario_<name>.json` with the full metrics of every strategy.
+//! `BENCH_scenario_<name>.json` with the full metrics of every strategy
+//! (plus provenance meta: seed, scenario, backend, strategies, version).
+//! With `--backend execute` the strategies run on the threaded executor —
+//! real tuples through per-node worker threads — instead of the simulator.
 
-use rld_bench::json::{fault_plan_json, report_json, write_bench_json, Json};
+use rld_bench::json::{fault_plan_json, report_json, write_bench_json, BenchMeta, Json};
 use rld_bench::print_table;
 use rld_core::prelude::*;
 
@@ -20,17 +25,38 @@ fn list() {
     }
 }
 
+fn usage() -> ! {
+    eprintln!("usage: scenario [--backend simulate|execute] <name> | --list");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = match args.first().map(String::as_str) {
-        None | Some("--list") | Some("-l") => {
-            list();
-            if args.is_empty() {
-                println!("\nusage: scenario <name> | --list");
+    let mut backend = Backend::Simulate;
+    let mut name: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" | "-l" => {
+                list();
+                return;
             }
-            return;
+            "--backend" | "-b" => match iter.next().map(|s| Backend::by_name(s)) {
+                Some(Ok(b)) => backend = b,
+                Some(Err(err)) => {
+                    eprintln!("error: {err}");
+                    std::process::exit(2);
+                }
+                None => usage(),
+            },
+            other if !other.starts_with('-') => name = Some(other.to_string()),
+            _ => usage(),
         }
-        Some(name) => name.to_string(),
+    }
+    let Some(name) = name else {
+        list();
+        println!("\nusage: scenario [--backend simulate|execute] <name> | --list");
+        return;
     };
 
     let scenario = match scenario::builtin(&name) {
@@ -41,14 +67,15 @@ fn main() {
         }
     };
     println!(
-        "scenario {} — {}\nquery {} on {} nodes, {:.0} s simulated",
+        "scenario {} — {}\nquery {} on {} nodes, {:.0} s simulated, {} backend",
         scenario.name(),
         scenario.description(),
         scenario.query().name,
         scenario.cluster().num_nodes(),
         scenario.sim_config().duration_secs,
+        backend.name(),
     );
-    let report = scenario.run().expect("simulation run");
+    let report = scenario.run_on(backend).expect("scenario run");
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     for outcome in &report.outcomes {
@@ -75,7 +102,10 @@ fn main() {
         }
     }
     print_table(
-        &format!("Scenario {} — strategy comparison", report.scenario),
+        &format!(
+            "Scenario {} — strategy comparison ({})",
+            report.scenario, report.backend
+        ),
         &[
             "system", "avg ms", "p95 ms", "produced", "migr", "switches", "overhead",
         ],
@@ -90,7 +120,8 @@ fn main() {
             ));
         }
     }
-    match write_bench_json(&format!("scenario_{name}"), data) {
+    let meta = BenchMeta::for_report(&scenario, &report);
+    match write_bench_json(&format!("scenario_{name}"), &meta, data) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(err) => eprintln!("\ncould not write JSON: {err}"),
     }

@@ -188,6 +188,7 @@ pub fn fault_plan_json(plan: &FaultPlan) -> Json {
 pub fn report_json(report: &ScenarioReport) -> Json {
     Json::obj([
         ("scenario", Json::str(&report.scenario)),
+        ("backend", Json::str(&report.backend)),
         (
             "outcomes",
             Json::Arr(
@@ -216,11 +217,88 @@ pub fn report_json(report: &ScenarioReport) -> Json {
     ])
 }
 
+/// Provenance shared by every `BENCH_*.json` artifact, so CI artifacts are
+/// attributable and diffable across PRs: which seed produced the numbers, on
+/// which scenario and backend, comparing which strategies, at which
+/// workspace version.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchMeta {
+    /// The experiment seed the run derived its randomness from.
+    pub seed: Option<u64>,
+    /// The scenario (or sweep) the artifact belongs to.
+    pub scenario: Option<String>,
+    /// The execution backend (`"simulate"` / `"execute"`).
+    pub backend: Option<String>,
+    /// Short names of the strategies compared, in run order.
+    pub strategies: Vec<String>,
+}
+
+impl BenchMeta {
+    /// An empty meta (version is always emitted).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the experiment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Set the scenario / sweep name.
+    pub fn scenario(mut self, scenario: impl Into<String>) -> Self {
+        self.scenario = Some(scenario.into());
+        self
+    }
+
+    /// Set the execution backend.
+    pub fn backend(mut self, backend: impl Into<String>) -> Self {
+        self.backend = Some(backend.into());
+        self
+    }
+
+    /// Set the compared strategies.
+    pub fn strategies<I: IntoIterator<Item = S>, S: Into<String>>(mut self, names: I) -> Self {
+        self.strategies = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// The meta for one scenario report: seed from the scenario's sim
+    /// config, name/backend/strategy list from the report.
+    pub fn for_report(scenario: &Scenario, report: &ScenarioReport) -> Self {
+        Self::new()
+            .seed(scenario.sim_config().seed)
+            .scenario(report.scenario.clone())
+            .backend(report.backend.clone())
+            .strategies(report.outcomes.iter().map(|o| o.strategy.clone()))
+    }
+
+    /// The JSON projection (always carries the workspace version).
+    pub fn to_json(&self) -> Json {
+        let opt_str = |v: &Option<String>| v.as_deref().map(Json::str).unwrap_or(Json::Null);
+        Json::obj([
+            ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+            ("seed", self.seed.map(Json::uint).unwrap_or(Json::Null)),
+            ("scenario", opt_str(&self.scenario)),
+            ("backend", opt_str(&self.backend)),
+            (
+                "strategies",
+                Json::Arr(self.strategies.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+}
+
 /// Write `BENCH_<name>.json` in the current directory and return its path.
-/// The emitted object is `{"bench": <name>, "data": <json>}`.
-pub fn write_bench_json(name: &str, data: Json) -> std::io::Result<PathBuf> {
+/// The emitted object is `{"bench": <name>, "meta": <meta>, "data": <json>}`
+/// — every artifact carries its provenance.
+pub fn write_bench_json(name: &str, meta: &BenchMeta, data: Json) -> std::io::Result<PathBuf> {
     let path = PathBuf::from(format!("BENCH_{name}.json"));
-    let doc = Json::obj([("bench", Json::str(name)), ("data", data)]);
+    let doc = Json::obj([
+        ("bench", Json::str(name)),
+        ("meta", meta.to_json()),
+        ("data", data),
+    ]);
     std::fs::write(&path, format!("{doc}\n"))?;
     Ok(path)
 }
@@ -276,6 +354,36 @@ mod tests {
     }
 
     #[test]
+    fn bench_meta_carries_provenance() {
+        let meta = BenchMeta::new()
+            .seed(7)
+            .scenario("q1-stock")
+            .backend("execute")
+            .strategies(["ROD", "RLD"]);
+        let text = meta.to_json().to_string();
+        assert!(text.contains(&format!(r#""version":"{}""#, env!("CARGO_PKG_VERSION"))));
+        assert!(text.contains(r#""seed":7"#));
+        assert!(text.contains(r#""scenario":"q1-stock""#));
+        assert!(text.contains(r#""backend":"execute""#));
+        assert!(text.contains(r#""strategies":["ROD","RLD"]"#));
+        // Unset fields emit as null, never silently dropped.
+        let empty = BenchMeta::new().to_json().to_string();
+        assert!(empty.contains(r#""seed":null"#));
+        assert!(empty.contains(r#""scenario":null"#));
+    }
+
+    #[test]
+    fn bench_json_documents_embed_the_meta() {
+        let meta = BenchMeta::new().seed(1).scenario("unit-test");
+        let path = write_bench_json("meta_unit_test_artifact", &meta, Json::Bool(true)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(text.contains(r#""bench":"meta_unit_test_artifact""#));
+        assert!(text.contains(r#""meta":{"version":"#));
+        assert!(text.contains(r#""data":true"#));
+    }
+
+    #[test]
     fn fault_plans_serialize_their_full_schedule() {
         let plan =
             FaultPlan::node_crash(NodeId::new(1), 60.0, 180.0, RecoverySemantic::Lost).unwrap();
@@ -284,7 +392,7 @@ mod tests {
         assert!(text.contains(r#""kind":"crash""#));
         assert!(text.contains(r#""kind":"recover""#));
         assert!(text.contains(r#""at_secs":60"#));
-        let ramp = FaultPlan::straggler_ramp(NodeId::new(0), 10.0, 20.0, 0.0, 0.5, 2).unwrap();
+        let ramp = FaultPlan::straggler_ramp(NodeId::new(0), 10.0, 20.0, 5.0, 0.5, 2).unwrap();
         let text = fault_plan_json(&ramp).to_string();
         assert!(text.contains(r#"{"degrade":0.5}"#));
         assert!(text.contains(r#""kind":"restore""#));

@@ -11,6 +11,8 @@
 //! * [`stream::StreamSpec`] — a named input stream with a rate estimate.
 //! * [`operator::OperatorSpec`] — a query operator with per-tuple cost and a
 //!   selectivity estimate.
+//! * [`exec`] — the executable form of operators: real predicates, column
+//!   lists, lookup tables and sliding-window state for tuple-level backends.
 //! * [`query::Query`] — a select-project-join continuous query over streams,
 //!   including the paper's running examples Q1 (5-way join) and Q2 (10-way join).
 //! * [`stats::StatisticEstimate`] / [`stats::StatsSnapshot`] — point estimates
@@ -24,6 +26,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod error;
+pub mod exec;
 pub mod ids;
 pub mod operator;
 pub mod query;
@@ -35,6 +38,7 @@ pub mod tuple;
 pub mod value;
 
 pub use error::{Result, RldError};
+pub use exec::{CmpOp, CompiledOp, CompiledQuery, Predicate};
 pub use ids::{NodeId, OperatorId, PlanId, StreamId};
 pub use operator::{OperatorKind, OperatorSpec};
 pub use query::{Query, QueryBuilder};

@@ -56,11 +56,12 @@ pub use compiler::{
     UncertaintySpec,
 };
 pub use optimizer::{PhysicalStrategy, RldConfig, RldOptimizer, RldSolution};
-pub use scenario::{Scenario, ScenarioReport, StrategyOutcome, StrategySpec};
+pub use scenario::{Backend, Scenario, ScenarioReport, StrategyOutcome, StrategySpec};
 
 // Re-export the constituent crates so downstream users need only one dependency.
 pub use rld_common as common;
 pub use rld_engine as engine;
+pub use rld_exec as exec;
 pub use rld_logical as logical;
 pub use rld_paramspace as paramspace;
 pub use rld_physical as physical;

@@ -18,7 +18,7 @@ pub use crate::compiler::{
 pub use crate::optimizer::{PhysicalStrategy, RldConfig, RldOptimizer, RldSolution};
 pub use crate::scenario::{
     self, fault_scenario_names, regime_switching_workload, runtime_capacity, runtime_rld_config,
-    Scenario, ScenarioReport, StrategyOutcome, StrategySpec, DEFAULT_STRATEGY_NAMES,
+    Backend, Scenario, ScenarioReport, StrategyOutcome, StrategySpec, DEFAULT_STRATEGY_NAMES,
 };
 
 pub use rld_common::{
@@ -28,8 +28,10 @@ pub use rld_common::{
 };
 pub use rld_engine::{
     DistributionStrategy, DynStrategy, FaultEvent, FaultKind, FaultPlan, HybridStrategy,
-    RecoverySemantic, RldStrategy, RodStrategy, RunMetrics, RuntimeContext, SimConfig, Simulator,
+    RecoverySemantic, RldStrategy, RodStrategy, RunMetrics, RunTrace, RuntimeContext, RuntimeCore,
+    SimConfig, Simulator,
 };
+pub use rld_exec::{ExecConfig, ExecReport, MonitorSource, ThreadedExecutor};
 pub use rld_logical::{
     CoverageEvaluator, EarlyTerminatedRobustPartitioning, ErpConfig, ExhaustiveSearch,
     LogicalPlanGenerator, RandomSearch, RobustLogicalSolution, SearchStats,

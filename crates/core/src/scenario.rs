@@ -25,6 +25,7 @@ use rld_common::{NodeId, Query, Result, RldError};
 use rld_engine::{
     DistributionStrategy, FaultPlan, RecoverySemantic, RunMetrics, SimConfig, Simulator,
 };
+use rld_exec::{ExecConfig, ThreadedExecutor};
 use rld_physical::Cluster;
 use rld_query::{CostModel, JoinOrderOptimizer, Optimizer};
 use rld_workloads::{RatePattern, SelectivityPattern, StockWorkload, SyntheticWorkload, Workload};
@@ -35,6 +36,41 @@ pub const SCENARIO_SEED: u64 = 0xF1D0_2013;
 /// Short names of the strategies [`ScenarioBuilder::default_strategies`]
 /// configures, in run order — the column order of the figure tables.
 pub const DEFAULT_STRATEGY_NAMES: [&str; 4] = ["ROD", "DYN", "RLD", "HYB"];
+
+/// Which execution backend a scenario runs its strategies on. Every builtin
+/// scenario runs on either backend unchanged — same query, cluster,
+/// workload, fault plan, strategies, and seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The discrete-tick simulator (`rld-engine`): work is an abstract
+    /// scalar, queueing is modelled, runs are bit-deterministic per seed.
+    #[default]
+    Simulate,
+    /// The threaded executor (`rld-exec`): real tuples through real operator
+    /// state on one worker thread per node; latencies are wall-clock.
+    Execute,
+}
+
+impl Backend {
+    /// The backend's short name (`"simulate"` / `"execute"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Simulate => "simulate",
+            Backend::Execute => "execute",
+        }
+    }
+
+    /// Look a backend up by name.
+    pub fn by_name(name: &str) -> Result<Self> {
+        match name {
+            "simulate" | "sim" => Ok(Backend::Simulate),
+            "execute" | "exec" => Ok(Backend::Execute),
+            other => Err(RldError::NotFound(format!(
+                "backend '{other}' (known: simulate, execute)"
+            ))),
+        }
+    }
+}
 
 /// Which deployment policy to build for a scenario, and with which
 /// compile-time inputs.
@@ -149,6 +185,8 @@ pub struct StrategyOutcome {
 pub struct ScenarioReport {
     /// The scenario's name.
     pub scenario: String,
+    /// The backend the strategies ran on (`"simulate"` / `"execute"`).
+    pub backend: String,
     /// One outcome per configured strategy, in configuration order.
     pub outcomes: Vec<StrategyOutcome>,
 }
@@ -238,14 +276,40 @@ impl Scenario {
         &self.strategies
     }
 
-    /// Build every strategy, run each against the workload, and collect the
-    /// per-strategy outcomes. Deployment failures become skips; simulation
-    /// failures propagate. The expensive RLD compile-time optimization is
-    /// shared between specs with the same configuration (the default line-up
-    /// deploys RLD and Hybrid from one solution).
+    /// Build every strategy, run each against the workload on the
+    /// simulator, and collect the per-strategy outcomes. Deployment failures
+    /// become skips; simulation failures propagate. The expensive RLD
+    /// compile-time optimization is shared between specs with the same
+    /// configuration (the default line-up deploys RLD and Hybrid from one
+    /// solution).
     pub fn run(&self) -> Result<ScenarioReport> {
-        let sim = Simulator::new(self.query.clone(), self.cluster.clone(), self.sim)?
-            .with_faults(self.faults.clone())?;
+        self.run_on(Backend::Simulate)
+    }
+
+    /// Like [`Self::run`], on an explicit execution backend: the simulator
+    /// models the run at tick granularity, the threaded executor pushes real
+    /// tuple batches through per-node worker threads. Everything else — the
+    /// compile, the strategies, the workload timeline, the fault plan, the
+    /// seed — is identical.
+    pub fn run_on(&self, backend: Backend) -> Result<ScenarioReport> {
+        enum Runner {
+            Sim(Simulator),
+            Exec(ThreadedExecutor),
+        }
+        let runner = match backend {
+            Backend::Simulate => Runner::Sim(
+                Simulator::new(self.query.clone(), self.cluster.clone(), self.sim)?
+                    .with_faults(self.faults.clone())?,
+            ),
+            Backend::Execute => Runner::Exec(
+                ThreadedExecutor::new(
+                    self.query.clone(),
+                    self.cluster.clone(),
+                    ExecConfig::from_sim(self.sim),
+                )?
+                .with_faults(self.faults.clone())?,
+            ),
+        };
         let mut solved: Vec<(RldConfig, std::result::Result<Deployment, String>)> = Vec::new();
         let mut solve = |config: &RldConfig| {
             if let Some((_, cached)) = solved.iter().find(|(c, _)| c == config) {
@@ -272,7 +336,12 @@ impl Scenario {
                 };
             match built {
                 Ok(mut strategy) => {
-                    let metrics = sim.run(self.workload.as_ref(), strategy.as_mut())?;
+                    let metrics = match &runner {
+                        Runner::Sim(sim) => sim.run(self.workload.as_ref(), strategy.as_mut())?,
+                        Runner::Exec(exec) => {
+                            exec.run(self.workload.as_ref(), strategy.as_mut())?
+                        }
+                    };
                     outcomes.push(StrategyOutcome {
                         strategy: metrics.system.clone(),
                         metrics: Some(metrics),
@@ -288,6 +357,7 @@ impl Scenario {
         }
         Ok(ScenarioReport {
             scenario: self.name.clone(),
+            backend: backend.name().to_string(),
             outcomes,
         })
     }
@@ -726,6 +796,47 @@ mod tests {
         for o in &report.outcomes {
             assert!(o.metrics.is_some() || o.skipped.is_some());
         }
+    }
+
+    #[test]
+    fn scenarios_run_unchanged_on_the_execute_backend() {
+        let q = Query::q1_stock_monitoring();
+        let scenario = Scenario::builder("exec-smoke", q)
+            .homogeneous_cluster(4, 3.0)
+            .workload(StockWorkload::default_config())
+            .duration_secs(20.0)
+            .strategy(StrategySpec::Rod)
+            .strategy(StrategySpec::Dyn {
+                rebalance_period_secs: 5.0,
+            })
+            .build()
+            .unwrap();
+        let report = scenario.run_on(Backend::Execute).unwrap();
+        assert_eq!(report.backend, "execute");
+        assert_eq!(report.outcomes.len(), 2);
+        let rod = report.metrics_for("ROD").expect("ROD ran on the executor");
+        assert!(rod.tuples_arrived > 0);
+        assert_eq!(rod.tuples_processed, rod.tuples_arrived);
+        assert_eq!(rod.tuples_lost, 0);
+        // The simulator report of the same scenario has the same arrivals
+        // (same seed, same arrival process) on the default backend.
+        let sim_report = scenario.run().unwrap();
+        assert_eq!(sim_report.backend, "simulate");
+        assert_eq!(
+            sim_report.metrics_for("ROD").unwrap().tuples_arrived,
+            rod.tuples_arrived
+        );
+    }
+
+    #[test]
+    fn backend_lookup_by_name() {
+        assert_eq!(Backend::by_name("simulate").unwrap(), Backend::Simulate);
+        assert_eq!(Backend::by_name("sim").unwrap(), Backend::Simulate);
+        assert_eq!(Backend::by_name("execute").unwrap(), Backend::Execute);
+        assert_eq!(Backend::by_name("exec").unwrap(), Backend::Execute);
+        assert!(Backend::by_name("quantum").is_err());
+        assert_eq!(Backend::default(), Backend::Simulate);
+        assert_eq!(Backend::Execute.name(), "execute");
     }
 
     #[test]

@@ -88,7 +88,13 @@ impl FaultPlan {
 
     /// Build a plan from explicit events. Events are sorted by time (ties
     /// broken by node index, then by declaration order); times must be
-    /// finite and non-negative, degrade factors in `(0, 1]`.
+    /// finite and non-negative, and degrade factors strictly inside
+    /// `(0, 1)` — a factor of `1.0` is not a degradation and a factor of
+    /// `0.0` (or more than one) would silently produce a nonsense effective
+    /// capacity, so both are rejected here instead of surfacing as weird
+    /// simulation results. Two events for the same node at the same instant
+    /// are ambiguous (their application order would be declaration
+    /// dependent) and are rejected as well.
     pub fn new(events: Vec<FaultEvent>, recovery: RecoverySemantic) -> Result<Self> {
         for e in &events {
             if !e.at_secs.is_finite() || e.at_secs < 0.0 {
@@ -98,9 +104,9 @@ impl FaultPlan {
                 )));
             }
             if let FaultKind::Degrade { factor } = e.kind {
-                if !(factor > 0.0 && factor <= 1.0) {
+                if !(factor > 0.0 && factor < 1.0) {
                     return Err(RldError::InvalidArgument(format!(
-                        "degrade factor must be in (0, 1], got {factor}"
+                        "degrade factor must be in (0, 1), got {factor}"
                     )));
                 }
             }
@@ -112,6 +118,15 @@ impl FaultPlan {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.node.index().cmp(&b.node.index()))
         });
+        if let Some(pair) = events
+            .windows(2)
+            .find(|w| w[0].node == w[1].node && w[0].at_secs == w[1].at_secs)
+        {
+            return Err(RldError::InvalidArgument(format!(
+                "duplicate fault events for node {} at t={}: {:?} and {:?}",
+                pair[0].node, pair[0].at_secs, pair[0].kind, pair[1].kind
+            )));
+        }
         Ok(Self { events, recovery })
     }
 
@@ -165,6 +180,13 @@ impl FaultPlan {
                 "straggler ramp needs at least one step over a positive duration".into(),
             ));
         }
+        if hold_secs <= 0.0 {
+            // A zero hold would schedule the restore at the exact instant of
+            // the final degrade step — an ambiguous duplicate event.
+            return Err(RldError::InvalidArgument(
+                "straggler ramp needs a positive hold before restoring".into(),
+            ));
+        }
         let mut events = Vec::with_capacity(steps + 1);
         for s in 0..steps {
             // Step s+1 of `steps` fires at its share of the ramp window, so
@@ -179,7 +201,7 @@ impl FaultPlan {
             });
         }
         events.push(FaultEvent {
-            at_secs: start_secs + ramp_secs + hold_secs.max(0.0),
+            at_secs: start_secs + ramp_secs + hold_secs,
             node,
             kind: FaultKind::Restore,
         });
@@ -305,6 +327,72 @@ mod tests {
             RecoverySemantic::Lost,
         )
         .is_err());
+    }
+
+    #[test]
+    fn degrade_factor_must_be_a_real_degradation() {
+        let degrade = |factor| {
+            FaultPlan::new(
+                vec![FaultEvent {
+                    at_secs: 0.0,
+                    node: NodeId::new(0),
+                    kind: FaultKind::Degrade { factor },
+                }],
+                RecoverySemantic::Lost,
+            )
+        };
+        // 1.0 is "no degradation" and anything above would *add* capacity;
+        // both silently produced nonsense effective capacities before.
+        assert!(degrade(1.0).is_err());
+        assert!(degrade(1.5).is_err());
+        assert!(degrade(0.0).is_err());
+        assert!(degrade(-0.5).is_err());
+        assert!(degrade(f64::NAN).is_err());
+        assert!(degrade(0.5).is_ok());
+        assert!(degrade(0.999).is_ok());
+    }
+
+    #[test]
+    fn duplicate_same_instant_events_for_one_node_are_rejected() {
+        let event = |at_secs, node, kind| FaultEvent {
+            at_secs,
+            node: NodeId::new(node),
+            kind,
+        };
+        // Same node, same instant: ambiguous application order.
+        assert!(FaultPlan::new(
+            vec![
+                event(10.0, 0, FaultKind::Crash),
+                event(10.0, 0, FaultKind::Recover),
+            ],
+            RecoverySemantic::Lost,
+        )
+        .is_err());
+        // Same instant on different nodes is fine.
+        assert!(FaultPlan::new(
+            vec![
+                event(10.0, 0, FaultKind::Crash),
+                event(10.0, 1, FaultKind::Crash),
+            ],
+            RecoverySemantic::Lost,
+        )
+        .is_ok());
+        // Same node at different instants is fine.
+        assert!(FaultPlan::new(
+            vec![
+                event(10.0, 0, FaultKind::Crash),
+                event(11.0, 0, FaultKind::Recover),
+            ],
+            RecoverySemantic::Lost,
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn straggler_ramp_requires_a_positive_hold() {
+        assert!(FaultPlan::straggler_ramp(NodeId::new(0), 10.0, 20.0, 0.0, 0.5, 2).is_err());
+        assert!(FaultPlan::straggler_ramp(NodeId::new(0), 10.0, 20.0, -1.0, 0.5, 2).is_err());
+        assert!(FaultPlan::straggler_ramp(NodeId::new(0), 10.0, 20.0, 5.0, 0.5, 2).is_ok());
     }
 
     #[test]

@@ -37,6 +37,9 @@
 //! * [`strategies`] — the RLD / ROD / DYN / HYB implementations.
 //! * [`stages`] — the composable stages of the tick loop (arrivals, cached
 //!   plan routing, work accounting, drain).
+//! * [`runtime::RuntimeCore`] — the backend-neutral control plane (strategy
+//!   dispatch, monitoring, fault cursor, metrics assembly) shared between
+//!   this simulator and the threaded executor in `rld-exec`.
 //! * [`simulator::Simulator`] — the tick loop driving a strategy.
 //! * [`metrics::RunMetrics`] — the measurements reported by every run.
 
@@ -49,6 +52,7 @@ pub mod index;
 pub mod metrics;
 pub mod monitor;
 pub mod node;
+pub mod runtime;
 pub mod simulator;
 pub mod stages;
 pub mod strategies;
@@ -60,6 +64,7 @@ pub use index::ClassifierIndex;
 pub use metrics::RunMetrics;
 pub use monitor::StatisticsMonitor;
 pub use node::SimNode;
+pub use runtime::{BackendTotals, MigrationRecord, RouteRecord, RunTrace, RuntimeCore};
 pub use simulator::{SimConfig, Simulator};
 pub use stages::{ArrivalProcess, PlanRouter, RoutedBatch};
 pub use strategies::{DynStrategy, HybridStrategy, RldStrategy, RodStrategy};

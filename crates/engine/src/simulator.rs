@@ -1,17 +1,15 @@
 //! The discrete-time simulation loop.
 
 use crate::faults::{FaultKind, FaultPlan};
-use crate::metrics::{MetricsAccumulator, RunMetrics};
-use crate::monitor::StatisticsMonitor;
+use crate::metrics::RunMetrics;
 use crate::node::SimNode;
+use crate::runtime::{BackendTotals, RunTrace, RuntimeCore};
 use crate::stages::{
     batch_latency_secs, charge_batch, charge_migrations, drain_nodes, pipeline_down_node,
-    ArrivalProcess, PlanRouter,
 };
-use crate::strategy::{DistributionStrategy, RuntimeContext};
+use crate::strategy::DistributionStrategy;
 use rld_common::{Query, Result, RldError};
 use rld_physical::{Cluster, ClusterView};
-use rld_query::CostModel;
 use rld_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -128,30 +126,47 @@ impl Simulator {
         workload: &dyn Workload,
         strategy: &mut dyn DistributionStrategy,
     ) -> Result<RunMetrics> {
-        let cost_model = CostModel::new(self.query.clone());
+        self.run_inner(workload, strategy, false)
+            .map(|(metrics, _)| metrics)
+    }
+
+    /// Like [`Self::run`], additionally recording every routing and
+    /// migration decision — the cross-backend agreement oracle (the threaded
+    /// executor's trace must match this one for fault-free runs).
+    pub fn run_traced(
+        &self,
+        workload: &dyn Workload,
+        strategy: &mut dyn DistributionStrategy,
+    ) -> Result<(RunMetrics, RunTrace)> {
+        self.run_inner(workload, strategy, true)
+            .map(|(metrics, trace)| (metrics, trace.expect("trace was enabled")))
+    }
+
+    fn run_inner(
+        &self,
+        workload: &dyn Workload,
+        strategy: &mut dyn DistributionStrategy,
+        traced: bool,
+    ) -> Result<(RunMetrics, Option<RunTrace>)> {
         let mut nodes: Vec<SimNode> = self
             .cluster
             .node_ids()
             .into_iter()
             .map(|id| SimNode::new(id, self.cluster.capacity(id)))
             .collect();
-        let mut monitor = StatisticsMonitor::new(
-            self.query.default_stats(),
-            self.config.monitor_period_secs,
-            self.config.monitor_alpha,
-        );
-        let mut acc = MetricsAccumulator::new();
-        let mut arrivals = ArrivalProcess::new(self.config.seed, strategy.name());
-        let mut router = PlanRouter::new();
-
-        self.faults.validate_for(nodes.len())?;
-        let fault_events = self.faults.events();
-        let mut fault_idx = 0usize;
+        let mut core = RuntimeCore::new(
+            self.query.clone(),
+            nodes.len(),
+            self.config,
+            self.faults.clone(),
+            strategy.name(),
+        )?;
+        if traced {
+            core = core.with_trace();
+        }
         let mut view = ClusterView::all_up(&self.cluster);
 
-        let mut tuples_arrived: u64 = 0;
         let mut tuples_processed: u64 = 0;
-        let mut batches: u64 = 0;
         // Result tuples are produced at fractional rates (the product of all
         // selectivities can be well below one per driving tuple), so carry the
         // fractional remainder across batches instead of rounding it away.
@@ -159,49 +174,33 @@ impl Simulator {
         let mut total_work_capacity_used = 0.0f64;
         let mut max_backlog = 0.0f64;
         let mut ticks = 0u64;
-
-        // Fault-plane bookkeeping.
-        let mut faults_applied = 0u64;
-        let mut downtime_node_secs = 0.0f64;
-        let mut tuples_lost = 0.0f64;
-        let mut reroutes = 0u64;
-        let mut available_capacity_integral = 0.0f64;
         // In-flight tuples a Lost-semantic crash discarded. Those tuples were
         // optimistically counted into `tuples_processed` when their batch was
         // accepted, so the total is retracted from the processed count at the
         // end — a tuple is either processed or lost, never both.
         let mut crash_lost_inflight = 0.0f64;
-        // Crash times still waiting for the strategy's first completed batch,
-        // and the measured crash → batch-completion durations.
-        let mut pending_recoveries: Vec<f64> = Vec::new();
-        let mut recovery_durations: Vec<f64> = Vec::new();
 
         let dt = self.config.tick_secs;
         let mut t = 0.0f64;
-        let mut monitored = monitor.current().clone();
         while t < self.config.duration_secs {
             // Fault plane: apply every event due by the start of this tick
             // to the nodes, then derive the availability view from the node
             // states — the nodes are the single source of truth, the view
             // can never desync from what actually drains work.
             let mut cluster_changed = false;
-            while fault_idx < fault_events.len() && fault_events[fault_idx].at_secs <= t + 1e-9 {
-                let event = fault_events[fault_idx];
+            while let Some(event) = core.next_fault_due(t) {
                 let node = &mut nodes[event.node.index()];
                 match event.kind {
                     FaultKind::Crash => {
                         let outcome = node.crash(self.faults.recovery);
-                        tuples_lost += outcome.tuples_lost;
                         crash_lost_inflight += outcome.tuples_lost;
-                        pending_recoveries.push(t);
+                        core.note_crash(t, outcome.tuples_lost);
                     }
                     FaultKind::Recover => node.recover(),
                     FaultKind::Degrade { factor } => node.set_capacity_factor(factor),
                     FaultKind::Restore => node.set_capacity_factor(1.0),
                 }
                 cluster_changed = true;
-                faults_applied += 1;
-                fault_idx += 1;
             }
             if cluster_changed {
                 for node in &nodes {
@@ -211,80 +210,77 @@ impl Simulator {
             }
 
             let truth = workload.stats_at(t);
-            // Only re-clone the monitor's snapshot when it actually sampled.
-            if monitor.observe(t, &truth) {
-                monitored.clone_from(monitor.current());
-            }
-
-            let ctx = RuntimeContext {
-                t_secs: t,
-                query: &self.query,
-                cost_model: &cost_model,
-                cluster: &self.cluster,
-            };
+            core.observe(t, &truth);
 
             // Cluster-change notification: the strategy may fail over
             // (migrate off dead nodes) before anything else happens.
             if cluster_changed {
-                let decisions = strategy.on_cluster_change(&ctx, &view, &monitored)?;
+                let decisions = {
+                    let ctx = core.context(t, &self.cluster);
+                    strategy.on_cluster_change(&ctx, &view, core.monitored())?
+                };
                 charge_migrations(&mut nodes, &decisions, &self.config)?;
+                core.note_migrations(t, &decisions);
             }
 
             // Adaptation: give the strategy a chance to migrate before the
             // batch is processed, and charge what it decided.
-            let decisions = strategy.maybe_migrate(&ctx, &monitored)?;
+            let decisions = {
+                let ctx = core.context(t, &self.cluster);
+                strategy.maybe_migrate(&ctx, core.monitored())?
+            };
             charge_migrations(&mut nodes, &decisions, &self.config)?;
+            core.note_migrations(t, &decisions);
 
             // Arrivals for this tick.
-            let rate = cost_model.input_rate(self.query.driving_stream, &truth);
-            let n_tuples = arrivals.sample_batch(rate, dt);
+            let n_tuples = core.sample_arrivals(&truth);
             if n_tuples > 0 {
-                tuples_arrived += n_tuples;
-                batches += 1;
-
                 // Routing: pick the logical plan and get the (cached) derived
-                // per-node work vectors.
-                let routed =
-                    router.route(&mut *strategy, &cost_model, &monitored, &truth, nodes.len())?;
+                // per-node work vectors, then do the node-side work accounting
+                // while the routed borrow is live.
+                let accepted = {
+                    let routed = core.route(&mut *strategy, &truth, nodes.len(), t)?;
+                    if pipeline_down_node(&nodes, routed).is_some() {
+                        // The placement routes this batch through a dead node:
+                        // drop it loudly. The strategy was already notified via
+                        // `on_cluster_change`; static policies eat the loss.
+                        None
+                    } else {
+                        // Work accounting: measure latency against the pre-batch
+                        // backlogs, then charge overhead and query work. Only the
+                        // tuples counted as processed below are tracked in-flight
+                        // on the nodes, so a `Lost` crash retracts exactly what
+                        // was counted.
+                        let latency_secs = batch_latency_secs(&nodes, routed, n_tuples);
+                        let overhead_fraction = strategy.classification_overhead();
+                        let produced_exact =
+                            n_tuples as f64 * routed.output_per_input + produced_carry;
+                        let completion = t + latency_secs;
+                        let counted = completion <= self.config.duration_secs;
+                        charge_batch(
+                            &mut nodes,
+                            routed,
+                            n_tuples,
+                            overhead_fraction,
+                            if counted { n_tuples } else { 0 },
+                        );
 
-                if pipeline_down_node(&nodes, routed).is_some() {
-                    // The placement routes this batch through a dead node:
-                    // drop it loudly. The strategy was already notified via
-                    // `on_cluster_change`; static policies eat the loss.
-                    reroutes += 1;
-                    tuples_lost += n_tuples as f64;
-                } else {
-                    // Work accounting: measure latency against the pre-batch
-                    // backlogs, then charge overhead and query work. Only the
-                    // tuples counted as processed below are tracked in-flight
-                    // on the nodes, so a `Lost` crash retracts exactly what
-                    // was counted.
-                    let latency_secs = batch_latency_secs(&nodes, routed, n_tuples);
-                    let overhead_fraction = strategy.classification_overhead();
-                    let produced_exact = n_tuples as f64 * routed.output_per_input + produced_carry;
-                    let completion = t + latency_secs;
-                    let counted = completion <= self.config.duration_secs;
-                    charge_batch(
-                        &mut nodes,
-                        routed,
-                        n_tuples,
-                        overhead_fraction,
-                        if counted { n_tuples } else { 0 },
-                    );
-
-                    let produced = produced_exact.floor().max(0.0) as u64;
-                    produced_carry = produced_exact - produced as f64;
-                    if counted {
-                        tuples_processed += n_tuples;
+                        let produced = produced_exact.floor().max(0.0) as u64;
+                        produced_carry = produced_exact - produced as f64;
+                        if counted {
+                            tuples_processed += n_tuples;
+                        }
+                        Some((latency_secs, produced, completion))
                     }
-                    acc.record_batch(n_tuples, latency_secs * 1000.0, produced, completion);
-
+                };
+                match accepted {
+                    None => core.note_dropped_batch(n_tuples),
                     // The first accepted batch after a crash ends every
                     // pending crash-recovery window: recovery is measured to
                     // the batch's end-to-end completion time, so post-crash
                     // backlog on the surviving nodes still counts.
-                    for crash_at in pending_recoveries.drain(..) {
-                        recovery_durations.push(completion - crash_at);
+                    Some((latency_secs, produced, completion)) => {
+                        core.record_batch(n_tuples, latency_secs * 1000.0, produced, completion)
                     }
                 }
             }
@@ -294,20 +290,12 @@ impl Simulator {
             total_work_capacity_used += drained.work_done;
             max_backlog = max_backlog.max(drained.max_backlog);
             for node in &nodes {
-                if !node.is_up() {
-                    downtime_node_secs += dt;
-                }
-                available_capacity_integral += node.effective_capacity() * dt;
+                core.account_node(dt, node.is_up(), node.effective_capacity());
             }
             ticks += 1;
             t += dt;
         }
 
-        // Crashes the strategy never processed past within the horizon count
-        // as unrecovered for the rest of the run.
-        for crash_at in pending_recoveries.drain(..) {
-            recovery_durations.push(self.config.duration_secs - crash_at);
-        }
         // Retract the optimistic processed count for tuples a Lost crash
         // discarded (see `crash_lost_inflight` above).
         tuples_processed = tuples_processed.saturating_sub(crash_lost_inflight.round() as u64);
@@ -315,42 +303,22 @@ impl Simulator {
         let query_work: f64 = nodes.iter().map(|n| n.work_done).sum();
         let overhead_work: f64 = nodes.iter().map(|n| n.overhead_done).sum();
         let capacity_total = self.cluster.total_capacity() * dt * ticks as f64;
-        Ok(RunMetrics {
-            system: strategy.name().to_string(),
-            duration_secs: self.config.duration_secs,
-            tuples_arrived,
-            tuples_processed,
-            tuples_produced: acc.produced_by(self.config.duration_secs),
-            avg_tuple_processing_ms: acc.mean_latency_ms(),
-            p95_tuple_processing_ms: acc.percentiles_latency_ms(&[95.0])[0],
-            produced_timeline: acc.timeline(self.config.duration_secs),
-            migrations: strategy.migrations(),
-            plan_switches: strategy.plan_switches(),
-            query_work,
-            overhead_work,
-            mean_utilization: if capacity_total > 0.0 {
-                (total_work_capacity_used / capacity_total).clamp(0.0, 1.0)
-            } else {
-                0.0
+        let (metrics, trace) = core.finish(
+            &*strategy,
+            BackendTotals {
+                tuples_processed,
+                query_work,
+                overhead_work,
+                mean_utilization: if capacity_total > 0.0 {
+                    (total_work_capacity_used / capacity_total).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                },
+                max_backlog,
+                capacity_total,
             },
-            max_backlog,
-            batches,
-            work_vector_recomputes: router.recomputes(),
-            fault_events: faults_applied,
-            downtime_node_secs,
-            tuples_lost: tuples_lost.round() as u64,
-            reroutes,
-            mean_recovery_secs: if recovery_durations.is_empty() {
-                0.0
-            } else {
-                recovery_durations.iter().sum::<f64>() / recovery_durations.len() as f64
-            },
-            capacity_available_fraction: if capacity_total > 0.0 {
-                (available_capacity_integral / capacity_total).clamp(0.0, 1.0)
-            } else {
-                1.0
-            },
-        })
+        );
+        Ok((metrics, trace))
     }
 }
 
@@ -360,7 +328,7 @@ mod tests {
     use crate::strategies::RodStrategy;
     use rld_common::{NodeId, StatsSnapshot};
     use rld_physical::{PhysicalPlan, RodPlanner};
-    use rld_query::{JoinOrderOptimizer, LogicalPlan, Optimizer};
+    use rld_query::{CostModel, JoinOrderOptimizer, LogicalPlan, Optimizer};
     use rld_workloads::{RatePattern, StockWorkload};
 
     /// Per-node capacity leaving `slack`× headroom over the heaviest single

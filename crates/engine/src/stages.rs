@@ -107,6 +107,16 @@ impl PlanRouter {
         self.recomputes
     }
 
+    /// The most recently derived routed batch (default before any routing).
+    pub fn current(&self) -> &RoutedBatch {
+        &self.derived
+    }
+
+    /// The logical plan of the most recent [`Self::route`] call, if any.
+    pub fn current_plan(&self) -> Option<&Arc<LogicalPlan>> {
+        self.cached_logical.as_ref()
+    }
+
     /// Route one batch: ask the strategy for the logical plan and return the
     /// (possibly cached) derived work vectors.
     pub fn route(

@@ -15,6 +15,11 @@
 //!   constant scaling (Figure 15a's 50–400% sweeps), periodic high/low
 //!   alternation (Figure 16b), and step schedules (Figure 15b's 50%→100%→200%
 //!   ramp).
+//! * [`tuples::DataplaneGenerator`] — seeded generators of *actual* tuple
+//!   batches (stock ticks with symbols and random-walk prices, partner-stream
+//!   deliveries with window-join marks) for the threaded executor, following
+//!   the match-column convention of `rld_common::exec` so executed
+//!   selectivities track the workload's ground truth.
 //!
 //! Every workload implements the [`Workload`] trait: given a simulated time
 //! it reports the ground-truth statistics (the values the statistic monitor
@@ -33,11 +38,13 @@ pub mod fluctuation;
 pub mod sensor;
 pub mod stock;
 pub mod synthetic;
+pub mod tuples;
 
 pub use fluctuation::{RatePattern, SelectivityPattern};
 pub use sensor::SensorWorkload;
 pub use stock::StockWorkload;
 pub use synthetic::{summary_stats, SummaryStats, SyntheticWorkload, ValueDistribution};
+pub use tuples::DataplaneGenerator;
 
 use rld_common::{Batch, Query, StatsSnapshot};
 

@@ -1,0 +1,343 @@
+//! Seeded tuple-batch generators for the dataplane.
+//!
+//! The simulator only needs the workloads' *statistics*; the threaded
+//! executor needs the tuples themselves. [`DataplaneGenerator`] produces
+//! genuine driving-stream batches (stock ticks, sensor readings — application
+//! fields are filled per the stream's schema, with symbols and random-walk
+//! prices for text/float columns) and partner-stream batches for the
+//! window-join state, following the match-column convention of
+//! [`rld_common::exec`]:
+//!
+//! * driving tuples carry one extra *match column* per operator, valued so
+//!   that the compiled operator's fixed predicate passes with exactly the
+//!   workload's ground-truth selectivity at generation time, and
+//! * partner tuples carry one extra *mark column* in `[0, 1)` probed by
+//!   window joins.
+//!
+//! Everything is derived from one seed, so the generated dataplane is
+//! bit-reproducible per (seed, call sequence).
+
+use crate::Workload;
+use rand::RngExt;
+use rld_common::exec;
+use rld_common::rng::{derive_seed, rng_from_seed, sample_poisson, SeededRng};
+use rld_common::{Batch, DataType, OperatorKind, Query, StatsSnapshot, StreamId, Tuple, Value};
+
+/// Ticker symbols used for text fields of driving/partner tuples — the
+/// stock-tick flavor of the paper's Stocks–News–Blogs–Currency feeds.
+const SYMBOLS: [&str; 8] = [
+    "AAPL", "MSFT", "IBM", "ORCL", "GOOG", "AMZN", "TSLA", "NVDA",
+];
+
+/// Fill one application field by data type — the single value-generation
+/// convention shared by driving and partner tuples. Float fields advance
+/// the stream's random walk (prices, sensor readings), so consecutive
+/// tuples are correlated like real feeds.
+fn draw_app_value(rng: &mut SeededRng, walk: &mut f64, data_type: DataType, ts_ms: u64) -> Value {
+    match data_type {
+        DataType::Text => {
+            let i = rng.random_range(0..SYMBOLS.len());
+            Value::from(SYMBOLS[i])
+        }
+        DataType::Float => {
+            let step: f64 = rng.random_range(-1.0..1.0);
+            *walk = (*walk + step).max(1.0);
+            Value::Float(*walk)
+        }
+        DataType::Int => Value::Int(rng.random_range(0..1000i64)),
+        DataType::Bool => Value::Bool(rng.random_range(0.0..1.0f64) < 0.5),
+        DataType::Timestamp => Value::Timestamp(ts_ms),
+    }
+}
+
+/// Seeded generator of real tuple batches for one query's dataplane.
+#[derive(Debug, Clone)]
+pub struct DataplaneGenerator {
+    query: Query,
+    driving_rng: SeededRng,
+    partner_rngs: Vec<SeededRng>,
+    /// One random-walk level per stream, driving float fields (prices,
+    /// sensor readings) so consecutive tuples are correlated like real feeds.
+    walk: Vec<f64>,
+}
+
+impl DataplaneGenerator {
+    /// Create a generator for a query. All randomness derives from `seed`.
+    pub fn new(query: &Query, seed: u64) -> Self {
+        let partner_rngs = (0..query.num_streams())
+            .map(|i| rng_from_seed(derive_seed(seed, &format!("partner-{i}"))))
+            .collect();
+        Self {
+            query: query.clone(),
+            driving_rng: rng_from_seed(derive_seed(seed, "driving")),
+            partner_rngs,
+            walk: vec![100.0; query.num_streams()],
+        }
+    }
+
+    /// The query this generator produces tuples for.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Fill one application field by data type, advancing the stream's
+    /// random walk for float fields.
+    fn app_value(&mut self, stream: usize, data_type: DataType, ts_ms: u64) -> Value {
+        draw_app_value(
+            &mut self.driving_rng,
+            &mut self.walk[stream],
+            data_type,
+            ts_ms,
+        )
+    }
+
+    /// The match-column value for one operator at the current ground truth
+    /// (see the module docs of [`rld_common::exec`] for the convention).
+    fn match_value(&mut self, op_index: usize, truth: &StatsSnapshot) -> Value {
+        let spec = &self.query.operators[op_index];
+        let s_true = truth
+            .selectivity(spec.id)
+            .unwrap_or(spec.selectivity_estimate);
+        let u: f64 = self.driving_rng.random_range(0.0..1.0);
+        let v = match spec.kind {
+            OperatorKind::Filter => {
+                // Predicate is `match < s_est`; scale u so it passes with
+                // probability s_true. A zero truth never passes.
+                if s_true <= 0.0 {
+                    spec.selectivity_estimate + 1.0
+                } else {
+                    u * spec.selectivity_estimate / s_true
+                }
+            }
+            OperatorKind::Project => u,
+            OperatorKind::LookupJoin { table_size } => {
+                // θ = fraction of the table that should match.
+                (s_true / table_size.max(1) as f64).clamp(0.0, 1.0)
+            }
+            OperatorKind::WindowJoin { partner } => {
+                // θ = per-window-tuple match probability at the expected
+                // window occupancy (partner rate × window length).
+                let rate = truth
+                    .input_rate(partner)
+                    .unwrap_or(self.query.streams[partner.index()].rate_estimate);
+                let expected_window = (rate * self.query.window_secs).max(1.0);
+                (s_true / expected_window).clamp(0.0, 1.0)
+            }
+        };
+        Value::Float(v)
+    }
+
+    /// Generate exactly `n` driving-stream tuples for the interval
+    /// `[t, t + dt)` under the ground-truth statistics `truth`. Timestamps
+    /// are spread evenly across the interval, in arrival order.
+    pub fn driving_batch(
+        &mut self,
+        t_secs: f64,
+        dt_secs: f64,
+        n: u64,
+        truth: &StatsSnapshot,
+    ) -> Batch {
+        let driving = self.query.driving_stream;
+        let schema_types: Vec<DataType> = self.query.streams[driving.index()]
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.data_type)
+            .collect();
+        let num_ops = self.query.num_operators();
+        let mut batch = Batch::new();
+        for i in 0..n {
+            let ts_ms = ((t_secs + dt_secs * i as f64 / n.max(1) as f64) * 1000.0) as u64;
+            let mut values = Vec::with_capacity(schema_types.len() + num_ops);
+            for dt in &schema_types {
+                values.push(self.app_value(driving.index(), *dt, ts_ms));
+            }
+            for op in 0..num_ops {
+                values.push(self.match_value(op, truth));
+            }
+            batch.push(Tuple::new(driving, ts_ms, values));
+        }
+        debug_assert!(batch
+            .tuples
+            .iter()
+            .all(|t| t.arity() == exec::driving_arity(&self.query)));
+        batch
+    }
+
+    /// Generate the partner-stream deliveries for the interval `[t, t + dt)`:
+    /// one Poisson-sized batch per non-driving stream at the truth's input
+    /// rates, each tuple carrying its window-join match mark.
+    pub fn partner_batches(
+        &mut self,
+        t_secs: f64,
+        dt_secs: f64,
+        truth: &StatsSnapshot,
+    ) -> Vec<(StreamId, Batch)> {
+        let mut out = Vec::new();
+        for s in 0..self.query.num_streams() {
+            let sid = StreamId::new(s);
+            if sid == self.query.driving_stream {
+                continue;
+            }
+            let rate = truth
+                .input_rate(sid)
+                .unwrap_or(self.query.streams[s].rate_estimate);
+            let rng = &mut self.partner_rngs[s];
+            let n = sample_poisson(rng, (rate * dt_secs).max(0.0));
+            let schema_types: Vec<DataType> = self.query.streams[s]
+                .schema
+                .fields()
+                .iter()
+                .map(|f| f.data_type)
+                .collect();
+            let mut batch = Batch::new();
+            for i in 0..n {
+                let ts_ms = ((t_secs + dt_secs * i as f64 / n.max(1) as f64) * 1000.0) as u64;
+                let mut values = Vec::with_capacity(schema_types.len() + 1);
+                for dt in &schema_types {
+                    values.push(draw_app_value(rng, &mut self.walk[s], *dt, ts_ms));
+                }
+                // The window-join match mark.
+                values.push(Value::Float(rng.random_range(0.0..1.0)));
+                batch.push(Tuple::new(sid, ts_ms, values));
+            }
+            out.push((sid, batch));
+        }
+        out
+    }
+
+    /// Convenience: the generator for a workload's query, seeded per
+    /// (seed, workload name).
+    pub fn for_workload(workload: &dyn Workload, seed: u64) -> Self {
+        Self::new(workload.query(), derive_seed(seed, workload.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RatePattern, StockWorkload};
+    use rld_common::exec::CompiledQuery;
+    use rld_common::OperatorId;
+
+    #[test]
+    fn driving_batches_are_deterministic_per_seed() {
+        let q = Query::q1_stock_monitoring();
+        let truth = q.default_stats();
+        let mut a = DataplaneGenerator::new(&q, 7);
+        let mut b = DataplaneGenerator::new(&q, 7);
+        let mut c = DataplaneGenerator::new(&q, 8);
+        let ba = a.driving_batch(0.0, 1.0, 50, &truth);
+        let bb = b.driving_batch(0.0, 1.0, 50, &truth);
+        let bc = c.driving_batch(0.0, 1.0, 50, &truth);
+        assert_eq!(ba, bb);
+        assert_ne!(ba, bc);
+        assert_eq!(ba.len(), 50);
+        assert!(ba
+            .tuples
+            .iter()
+            .all(|t| t.arity() == exec::driving_arity(&q)));
+        // Timestamps advance within the interval.
+        assert!(ba
+            .tuples
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn partner_batches_carry_marks_and_follow_rates() {
+        let q = Query::q1_stock_monitoring();
+        let truth = q.default_stats();
+        let mut g = DataplaneGenerator::new(&q, 7);
+        let batches = g.partner_batches(0.0, 2.0, &truth);
+        assert_eq!(batches.len(), q.num_streams() - 1);
+        for (sid, batch) in &batches {
+            assert_ne!(*sid, q.driving_stream);
+            let rate = truth.input_rate(*sid).unwrap();
+            // Poisson(rate * 2) stays within loose bounds.
+            assert!(
+                (batch.len() as f64) < rate * 2.0 * 2.0 + 30.0,
+                "stream {sid}: {} tuples at rate {rate}",
+                batch.len()
+            );
+            let mark_field = exec::partner_mark_field(&q, *sid);
+            for t in &batch.tuples {
+                let mark = t.value(mark_field).and_then(Value::as_f64).unwrap();
+                assert!((0.0..1.0).contains(&mark));
+            }
+        }
+    }
+
+    /// The end-to-end contract: pushing generated tuples through compiled
+    /// operators yields observed selectivities close to the ground truth.
+    #[test]
+    fn observed_selectivities_track_the_ground_truth() {
+        let q = Query::q1_stock_monitoring();
+        let w = StockWorkload::new(60.0, RatePattern::Constant(1.0));
+        let mut gen = DataplaneGenerator::new(&q, 99);
+        let mut cq = CompiledQuery::compile(&q, 99);
+        // Bullish regime truth at t = 0.
+        let truth = w.stats_at(0.0);
+        // Warm the windows with ~window-occupancy worth of partner tuples.
+        for tick in 0..60 {
+            let t = tick as f64;
+            for (sid, batch) in gen.partner_batches(t, 1.0, &truth) {
+                cq.observe_partner(sid, &batch, (t * 1000.0) as u64 + 999);
+            }
+        }
+        // Run 3000 driving tuples through each operator *independently* (not
+        // as a pipeline) so each operator's sample is the full batch.
+        let batch = gen.driving_batch(60.0, 1.0, 3000, &truth);
+        for op in q.operator_ids() {
+            let mut out = Batch::new();
+            cq.op_mut(op).unwrap().eval_batch(&batch, &mut out);
+        }
+        let observed = cq.observed_stats(&q);
+        for op in q.operator_ids() {
+            let want = truth.selectivity(op).unwrap();
+            let got = observed.selectivity(op).unwrap();
+            assert!(
+                (got - want).abs() < 0.15 * want.max(0.1),
+                "{op}: observed {got:.3} vs truth {want:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn regime_switch_shows_up_in_observed_selectivity() {
+        // The generator's whole point: when the ground truth flips regimes,
+        // the *data* changes and the fixed predicates observe the new truth.
+        let q = Query::q1_stock_monitoring();
+        let w = StockWorkload::new(60.0, RatePattern::Constant(1.0));
+        let op0 = OperatorId::new(0);
+        let mut observed = Vec::new();
+        for t in [0.0, 61.0] {
+            let truth = w.stats_at(t);
+            let mut gen = DataplaneGenerator::new(&q, 5);
+            let mut cq = CompiledQuery::compile(&q, 5);
+            let batch = gen.driving_batch(t, 1.0, 4000, &truth);
+            let mut out = Batch::new();
+            cq.op_mut(op0).unwrap().eval_batch(&batch, &mut out);
+            observed.push(cq.observed_stats(&q).selectivity(op0).unwrap());
+        }
+        // Bullish δ0 (0.48) well above bearish δ0 (0.16).
+        assert!(
+            observed[0] > observed[1] + 0.1,
+            "bullish {:.3} vs bearish {:.3}",
+            observed[0],
+            observed[1]
+        );
+    }
+
+    #[test]
+    fn for_workload_derives_distinct_seeds() {
+        let w = StockWorkload::default_config();
+        let mut a = DataplaneGenerator::for_workload(&w, 1);
+        let mut b = DataplaneGenerator::for_workload(&w, 2);
+        let truth = w.stats_at(0.0);
+        assert_ne!(
+            a.driving_batch(0.0, 1.0, 20, &truth),
+            b.driving_batch(0.0, 1.0, 20, &truth)
+        );
+    }
+}

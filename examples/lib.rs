@@ -13,6 +13,10 @@
 //! * `baseline_comparison` — RLD vs ROD vs DYN vs HYB on the same workload
 //!   via the scenario layer, the
 //!   §6.5 comparison in miniature.
+//! * `live_pipeline` — the same robust deployment on both execution
+//!   backends: modelled on the simulator, then live on the threaded
+//!   executor with real stock-tick tuples, wall-clock latencies and
+//!   observed selectivities.
 //!
 //! This library target is intentionally empty; it exists so the example
 //! files have a package to hang off and so shared helpers can be added here

@@ -1,0 +1,162 @@
+//! Cross-backend agreement: the threaded executor and the discrete-tick
+//! simulator share one runtime core, so for fault-free scenarios they must
+//! make **identical policy decisions** under the same seed — the same
+//! logical plan routed for every batch (same classifier outputs for
+//! RLD/HYB) and the same migration decisions (same counts for DYN/HYB) —
+//! even though one backend models work and the other executes real tuples
+//! on worker threads.
+
+use proptest::prelude::*;
+use rld_core::prelude::*;
+use std::sync::OnceLock;
+
+/// The RLD compile is the expensive part; share one deployment across all
+/// generated cases (the per-case variation is runtime-side: seed, duration,
+/// monitor smoothing).
+fn deployment() -> &'static Deployment {
+    static DEPLOYMENT: OnceLock<Deployment> = OnceLock::new();
+    DEPLOYMENT.get_or_init(|| {
+        let query = Query::q1_stock_monitoring();
+        let cluster = test_cluster(&query);
+        RldConfig::default()
+            .with_uncertainty(3)
+            .compiler(query)
+            .compile(&cluster)
+            .expect("q1 compiles on the comfortable cluster")
+    })
+}
+
+fn test_cluster(query: &Query) -> Cluster {
+    Cluster::homogeneous(4, runtime_capacity(query, 4, 3.0)).expect("valid cluster")
+}
+
+/// Build one strategy per short name, fresh for each backend run.
+fn build_strategy(name: &str, query: &Query, cluster: &Cluster) -> Box<dyn DistributionStrategy> {
+    match name {
+        "RLD" => Box::new(deployment().deploy()),
+        "HYB" => Box::new(deployment().deploy_hybrid(5.0)),
+        "DYN" => Box::new(deploy_dyn(query, &query.default_stats(), cluster, 5.0).unwrap()),
+        "ROD" => Box::new(deploy_rod(query, &query.default_stats(), cluster).unwrap()),
+        other => panic!("unknown strategy {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For every strategy, a fault-free run with the same seed produces the
+    /// same per-batch routing trace and the same migrations on both
+    /// backends.
+    #[test]
+    fn executor_and_simulator_route_identically(
+        seed in 1u64..u32::MAX as u64,
+        duration_ticks in 20u32..40,
+        alpha_pct in 30u32..100,
+    ) {
+        let query = Query::q1_stock_monitoring();
+        let cluster = test_cluster(&query);
+        let sim_config = SimConfig {
+            duration_secs: duration_ticks as f64,
+            monitor_alpha: alpha_pct as f64 / 100.0,
+            seed,
+            ..SimConfig::default()
+        };
+        // Regime switches well inside the horizon, so RLD/HYB genuinely
+        // re-classify and the traces are not trivially constant.
+        let workload = StockWorkload::new(10.0, RatePattern::Constant(1.0));
+
+        let simulator = Simulator::new(query.clone(), cluster.clone(), sim_config).unwrap();
+        let executor = ThreadedExecutor::new(
+            query.clone(),
+            cluster.clone(),
+            ExecConfig::from_sim(sim_config),
+        )
+        .unwrap();
+
+        for name in ["RLD", "HYB", "DYN"] {
+            let mut sim_strategy = build_strategy(name, &query, &cluster);
+            let (sim_metrics, sim_trace) = simulator
+                .run_traced(&workload, sim_strategy.as_mut())
+                .unwrap();
+            let mut exec_strategy = build_strategy(name, &query, &cluster);
+            let (exec_metrics, exec_trace) = executor
+                .run_traced(&workload, exec_strategy.as_mut())
+                .unwrap();
+
+            // Identical classifier outputs per batch...
+            prop_assert_eq!(
+                &sim_trace.routes, &exec_trace.routes,
+                "{}: routing traces diverged", name
+            );
+            // ...and identical migration decisions (counts and moves).
+            prop_assert_eq!(
+                &sim_trace.migrations, &exec_trace.migrations,
+                "{}: migration traces diverged", name
+            );
+            prop_assert_eq!(sim_metrics.migrations, exec_metrics.migrations);
+            prop_assert_eq!(sim_metrics.plan_switches, exec_metrics.plan_switches);
+            prop_assert_eq!(sim_metrics.tuples_arrived, exec_metrics.tuples_arrived);
+            prop_assert_eq!(sim_metrics.batches, exec_metrics.batches);
+            prop_assert_eq!(
+                sim_metrics.work_vector_recomputes,
+                exec_metrics.work_vector_recomputes
+            );
+            // Fault-free invariants on both backends.
+            prop_assert_eq!(sim_metrics.tuples_lost, 0u64);
+            prop_assert_eq!(exec_metrics.tuples_lost, 0u64);
+            prop_assert_eq!(exec_metrics.tuples_processed, exec_metrics.tuples_arrived);
+        }
+    }
+}
+
+/// The executor's own determinism: two runs with the same seed make the
+/// same policy decisions (wall-clock measurements may differ).
+#[test]
+fn executor_decisions_are_deterministic_per_seed() {
+    let query = Query::q1_stock_monitoring();
+    let cluster = test_cluster(&query);
+    let sim_config = SimConfig {
+        duration_secs: 30.0,
+        ..SimConfig::default()
+    };
+    let workload = StockWorkload::new(10.0, RatePattern::Constant(1.0));
+    let executor = ThreadedExecutor::new(
+        query.clone(),
+        cluster.clone(),
+        ExecConfig::from_sim(sim_config),
+    )
+    .unwrap();
+    let run = || {
+        let mut strategy = build_strategy("HYB", &query, &cluster);
+        executor.run_traced(&workload, strategy.as_mut()).unwrap()
+    };
+    let (a_metrics, a_trace) = run();
+    let (b_metrics, b_trace) = run();
+    assert_eq!(a_trace, b_trace);
+    assert_eq!(a_metrics.tuples_arrived, b_metrics.tuples_arrived);
+    assert_eq!(a_metrics.tuples_processed, b_metrics.tuples_processed);
+    assert_eq!(a_metrics.migrations, b_metrics.migrations);
+}
+
+/// Sanity for the oracle itself: different seeds produce different arrival
+/// sequences, so the agreement above is not vacuous.
+#[test]
+fn different_seeds_differ() {
+    let query = Query::q1_stock_monitoring();
+    let cluster = test_cluster(&query);
+    let workload = StockWorkload::default_config();
+    let arrivals = |seed: u64| {
+        let sim_config = SimConfig {
+            duration_secs: 30.0,
+            seed,
+            ..SimConfig::default()
+        };
+        let simulator = Simulator::new(query.clone(), cluster.clone(), sim_config).unwrap();
+        let mut strategy = build_strategy("ROD", &query, &cluster);
+        simulator
+            .run(&workload, strategy.as_mut())
+            .unwrap()
+            .tuples_arrived
+    };
+    assert_ne!(arrivals(1), arrivals(2));
+}
