@@ -1,120 +1,275 @@
-//! The dataplane sweep: all four strategies on the threaded executor.
+//! The dataplane sweep: all four strategies on both tuple-level backends.
 //!
 //! ```text
 //! cargo run -p rld-bench --release --bin dataplane            # full sweep
 //! cargo run -p rld-bench --release --bin dataplane -- --quick # CI smoke
+//! cargo run -p rld-bench --release --bin dataplane -- --quick --check
 //! ```
 //!
 //! Where every other runtime bench models execution on the discrete-tick
-//! simulator, this one pushes *real tuple batches* through the threaded
-//! executor (`rld-exec`) for ROD / DYN / RLD / HYB on the Q1 stock workload
-//! and reports what was actually measured: driving tuples per wall second,
-//! tuple-weighted wall-latency percentiles (p50/p95/p99), and the migration
-//! pause cost in wall milliseconds. Results land in `BENCH_dataplane.json`.
+//! simulator, this one pushes *real tuple batches* through both executors
+//! for ROD / DYN / RLD / HYB on the Q1 stock workload: the row dataplane
+//! (`ThreadedExecutor`, one worker thread per node, envelopes over
+//! channels) and the columnar dataplane (`ColumnarExecutor`,
+//! struct-of-arrays batches through fused operator chains over SPSC rings).
+//! Both replay identical policy decisions per seed, so the throughput
+//! ratio — reported per strategy as `speedup` — isolates the data-plane
+//! representation. Results land in `BENCH_dataplane.json`.
 //!
 //! `--quick` shortens the horizon and asserts the healthy-scenario
-//! invariants (every strategy processes tuples, none loses any), making the
-//! binary a CI smoke test for the whole tuple-level dataplane.
+//! invariants (every strategy processes every tuple on both backends),
+//! making the binary a CI smoke test for the whole tuple-level dataplane.
+//!
+//! `--check` is the perf regression gate: after the sweep it compares each
+//! strategy's tuples/s on both backends against the committed
+//! `BENCH_baseline.json` and exits non-zero if any fell more than 20%
+//! below the baseline. A missing or mode-mismatched baseline is a loud
+//! failure, not a skip.
 
 use rld_bench::json::{metrics_json, write_bench_json, BenchMeta, Json};
 use rld_bench::print_table;
 use rld_core::prelude::*;
 
+/// The committed reference numbers `--check` compares against.
+const BASELINE_PATH: &str = "BENCH_baseline.json";
+/// Largest tolerated relative tuples/s drop before `--check` fails.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let check = args.iter().any(|a| a == "--check");
     let duration = if quick { 45.0 } else { 300.0 };
 
     let query = Query::q1_stock_monitoring();
     let scenario = Scenario::builder("dataplane-q1", query)
-        .describe("Q1 stock workload on the threaded executor, all four strategies")
+        .describe("Q1 stock workload on the row and columnar executors, all four strategies")
         .homogeneous_cluster(4, 3.0)
-        .workload(StockWorkload::default_config())
+        // 5x the estimated stream rates: fat batches are the regime the
+        // columnar dataplane is built for, and the row executor must keep up
+        // with the identical arrival sequence.
+        .workload(StockWorkload::new(60.0, RatePattern::Constant(5.0)))
         .duration_secs(duration)
         .default_strategies(RldConfig::default().with_uncertainty(3))
         .build()
         .expect("scenario");
     println!(
-        "dataplane — {} on {} nodes, {:.0} s virtual, execute backend\n",
+        "dataplane — {} on {} nodes, {:.0} s virtual, row vs columnar backends\n",
         scenario.query().name,
         scenario.cluster().num_nodes(),
         duration,
     );
 
-    let exec = ThreadedExecutor::new(
+    let exec_config = ExecConfig::from_sim(*scenario.sim_config());
+    let row_exec = ThreadedExecutor::new(
         scenario.query().clone(),
         scenario.cluster().clone(),
-        ExecConfig::from_sim(*scenario.sim_config()),
+        exec_config,
     )
-    .expect("executor");
+    .expect("row executor");
+    let col_exec = ColumnarExecutor::new(
+        scenario.query().clone(),
+        scenario.cluster().clone(),
+        ColumnarConfig::from_exec(exec_config),
+    )
+    .expect("columnar executor");
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut docs: Vec<Json> = Vec::new();
     let mut names: Vec<String> = Vec::new();
+    let mut min_speedup = f64::INFINITY;
     for spec in scenario.strategies() {
-        let mut strategy = spec
-            .build(scenario.query(), scenario.cluster())
-            .expect("strategy deploys on the comfortable cluster");
-        let report = exec
+        let build = || {
+            spec.build(scenario.query(), scenario.cluster())
+                .expect("strategy deploys on the comfortable cluster")
+        };
+        let mut strategy = build();
+        let row = row_exec
             .run_report(scenario.workload(), strategy.as_mut(), false)
-            .expect("executor run");
-        let m = &report.metrics;
+            .expect("row executor run");
+        let mut strategy = build();
+        let col = col_exec
+            .run_report(scenario.workload(), strategy.as_mut(), false)
+            .expect("columnar executor run");
+
+        let name = row.metrics.system.clone();
+        // The backends share one policy core: same arrivals per seed, and a
+        // healthy run loses nothing anywhere.
+        assert_eq!(
+            row.metrics.tuples_arrived, col.metrics.tuples_arrived,
+            "{name}: backends disagree on arrivals"
+        );
         if quick {
-            assert!(
-                m.tuples_processed > 0,
-                "{}: the healthy dataplane must process tuples",
-                m.system
-            );
-            assert_eq!(
-                m.tuples_lost, 0,
-                "{}: the healthy dataplane must lose nothing",
-                m.system
-            );
+            for (backend, m) in [("row", &row.metrics), ("columnar", &col.metrics)] {
+                assert!(
+                    m.tuples_processed > 0,
+                    "{name}/{backend}: the healthy dataplane must process tuples"
+                );
+                assert_eq!(
+                    m.tuples_lost, 0,
+                    "{name}/{backend}: the healthy dataplane must lose nothing"
+                );
+            }
         }
-        let p = |i: usize| report.latency_percentiles_ms[i].1;
+
+        let speedup = col.tuples_per_sec / row.tuples_per_sec;
+        min_speedup = min_speedup.min(speedup);
+        let p = |r: &ExecReport, i: usize| r.latency_percentiles_ms[i].1;
         rows.push(vec![
-            m.system.clone(),
-            format!("{:.0}", report.tuples_per_sec),
-            format!("{:.2}", p(0)),
-            format!("{:.2}", p(1)),
-            format!("{:.2}", p(2)),
-            m.migrations.to_string(),
-            format!("{:.2}", report.migration_pause_ms),
-            m.plan_switches.to_string(),
+            name.clone(),
+            format!("{:.0}", row.tuples_per_sec),
+            format!("{:.0}", col.tuples_per_sec),
+            format!("{speedup:.1}x"),
+            format!("{:.2}", p(&row, 0)),
+            format!("{:.2}", p(&row, 2)),
+            row.metrics.migrations.to_string(),
+            row.metrics.plan_switches.to_string(),
         ]);
-        names.push(m.system.clone());
+        let backend_json = |r: &ExecReport| {
+            Json::obj([
+                ("tuples_per_sec", Json::Num(r.tuples_per_sec)),
+                ("wall_secs", Json::Num(r.wall_secs)),
+                ("p50_latency_ms", Json::Num(p(r, 0))),
+                ("p95_latency_ms", Json::Num(p(r, 1))),
+                ("p99_latency_ms", Json::Num(p(r, 2))),
+                ("migration_pause_ms", Json::Num(r.migration_pause_ms)),
+                ("metrics", metrics_json(&r.metrics)),
+            ])
+        };
+        names.push(name.clone());
         docs.push(Json::obj([
-            ("system", Json::str(&m.system)),
-            ("tuples_per_sec", Json::Num(report.tuples_per_sec)),
-            ("wall_secs", Json::Num(report.wall_secs)),
-            ("p50_latency_ms", Json::Num(p(0))),
-            ("p95_latency_ms", Json::Num(p(1))),
-            ("p99_latency_ms", Json::Num(p(2))),
-            ("migration_pause_ms", Json::Num(report.migration_pause_ms)),
-            ("metrics", metrics_json(m)),
+            ("system", Json::str(&name)),
+            ("row", backend_json(&row)),
+            ("columnar", backend_json(&col)),
+            ("speedup", Json::Num(speedup)),
         ]));
     }
 
     print_table(
-        "Dataplane — real tuples through the threaded executor",
+        "Dataplane — real tuples, row vs columnar executors",
         &[
-            "system", "tuples/s", "p50 ms", "p95 ms", "p99 ms", "migr", "pause ms", "switches",
+            "system", "row t/s", "col t/s", "speedup", "p50 ms", "p99 ms", "migr", "switches",
         ],
         &rows,
     );
+    println!("\nminimum columnar speedup over the row dataplane: {min_speedup:.1}x");
 
     let data = Json::obj([
         ("quick", Json::Bool(quick)),
         ("duration_secs", Json::Num(duration)),
+        ("min_speedup", Json::Num(min_speedup)),
         ("runs", Json::Arr(docs)),
     ]);
     let meta = BenchMeta::new()
         .seed(scenario.sim_config().seed)
         .scenario("dataplane-q1")
-        .backend(Backend::Execute.name())
+        .backend("execute-row+columnar")
         .strategies(names);
-    match write_bench_json("dataplane", &meta, data) {
-        Ok(path) => println!("\nwrote {}", path.display()),
-        Err(err) => eprintln!("\ncould not write JSON: {err}"),
+    match write_bench_json("dataplane", &meta, data.clone()) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write JSON: {err}"),
+    }
+
+    if check {
+        check_against_baseline(&data);
+    }
+}
+
+/// The regression gate: compare this run's tuples/s per strategy and
+/// backend against the committed baseline; tolerate up to
+/// [`REGRESSION_TOLERANCE`] relative slowdown, exit non-zero beyond it.
+fn check_against_baseline(current: &Json) {
+    let text = match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!(
+                "regression gate: cannot read {BASELINE_PATH}: {err}\n\
+                 Commit a baseline by copying a healthy run's BENCH_dataplane.json \
+                 (same --quick mode) to {BASELINE_PATH}."
+            );
+            std::process::exit(2);
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!("regression gate: {BASELINE_PATH} is not valid JSON: {err}");
+            std::process::exit(2);
+        }
+    };
+    let base_data = baseline.get("data").unwrap_or(&Json::Null);
+    if base_data.get("quick").and_then(Json::as_bool)
+        != current.get("quick").and_then(Json::as_bool)
+    {
+        eprintln!(
+            "regression gate: {BASELINE_PATH} was recorded in a different --quick mode \
+             than this run; regenerate it in the mode CI checks."
+        );
+        std::process::exit(2);
+    }
+
+    let runs_of = |doc: &Json| -> Vec<Json> {
+        doc.get("runs")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default()
+    };
+    let tuples_per_sec = |run: &Json, backend: &str| -> Option<f64> {
+        run.get(backend)?.get("tuples_per_sec")?.as_f64()
+    };
+
+    let current_runs = runs_of(current);
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for base_run in runs_of(base_data) {
+        let Some(system) = base_run.get("system").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(cur_run) = current_runs
+            .iter()
+            .find(|r| r.get("system").and_then(Json::as_str) == Some(system))
+        else {
+            regressions.push(format!("{system}: in the baseline but not in this run"));
+            continue;
+        };
+        for backend in ["row", "columnar"] {
+            let (Some(base), Some(cur)) = (
+                tuples_per_sec(&base_run, backend),
+                tuples_per_sec(cur_run, backend),
+            ) else {
+                regressions.push(format!("{system}/{backend}: missing tuples_per_sec"));
+                continue;
+            };
+            compared += 1;
+            let floor = base * (1.0 - REGRESSION_TOLERANCE);
+            let verdict = if cur < floor { "REGRESSION" } else { "ok" };
+            println!(
+                "check {system}/{backend}: {cur:.0} vs baseline {base:.0} tuples/s \
+                 (floor {floor:.0}) — {verdict}"
+            );
+            if cur < floor {
+                regressions.push(format!(
+                    "{system}/{backend}: {cur:.0} tuples/s is {:.0}% below the baseline {base:.0}",
+                    (1.0 - cur / base) * 100.0
+                ));
+            }
+        }
+    }
+
+    if compared == 0 {
+        eprintln!("regression gate: {BASELINE_PATH} contains no comparable runs");
+        std::process::exit(2);
+    }
+    if regressions.is_empty() {
+        println!(
+            "regression gate: all {compared} throughput numbers within {:.0}% of baseline",
+            REGRESSION_TOLERANCE * 100.0
+        );
+    } else {
+        eprintln!("regression gate FAILED:");
+        for r in &regressions {
+            eprintln!("  - {r}");
+        }
+        std::process::exit(1);
     }
 }

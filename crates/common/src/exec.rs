@@ -56,10 +56,11 @@ use crate::query::Query;
 use crate::rng::{derive_seed, rng_from_seed};
 use crate::stats::{StatKey, StatsSnapshot};
 use crate::tuple::{Batch, Tuple};
-use crate::value::Value;
+use crate::value::{Column, Value};
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Index of the match column carried by driving tuples for operator
 /// `op_index` (columns after the driving stream's application schema).
@@ -154,6 +155,23 @@ impl Predicate {
             Predicate::TextIn { field, allowed } => tuple
                 .value(*field)
                 .and_then(Value::as_str)
+                .is_some_and(|s| allowed.iter().any(|a| a == s)),
+            Predicate::True => true,
+        }
+    }
+
+    /// Evaluate the predicate against one row of a [`ColumnBatch`], with
+    /// semantics identical to [`Predicate::eval`] on the materialized tuple
+    /// (a field beyond the batch's arity fails Compare/TextIn) but without
+    /// cloning any value.
+    pub fn eval_columnar(&self, batch: &ColumnBatch, row: usize) -> bool {
+        match self {
+            Predicate::Compare { field, op, operand } => batch
+                .column(*field)
+                .is_some_and(|c| op.eval(c.cmp_value(row, operand))),
+            Predicate::TextIn { field, allowed } => batch
+                .column(*field)
+                .and_then(|c| c.as_str(row))
                 .is_some_and(|s| allowed.iter().any(|a| a == s)),
             Predicate::True => true,
         }
@@ -291,6 +309,35 @@ impl CompiledOp {
     /// The real input/output counts observed so far.
     pub fn observed(&self) -> OpObservation {
         self.observed
+    }
+
+    /// Fold externally measured input/output counts into this operator's
+    /// observation. The columnar backend evaluates fused chains against
+    /// read-only snapshots away from the operator state; the counts each
+    /// shard measured flow back through here, so
+    /// [`CompiledQuery::observed_stats`] works identically for both
+    /// execution styles.
+    pub fn note_observed(&mut self, inputs: u64, outputs: u64) {
+        self.observed.inputs += inputs;
+        self.observed.outputs += outputs;
+    }
+
+    /// A sorted snapshot of this operator's probe marks — the static lookup
+    /// table, or the *current* sliding-window contents (finite marks only,
+    /// mirroring the row path's `is_finite` guard) — for vectorized probing
+    /// via [`SortedMarks::count_matches`]. `None` for filters/projections.
+    pub fn probe_marks(&self) -> Option<SortedMarks> {
+        match &self.state {
+            OpState::Lookup { marks } => Some(SortedMarks::from_unsorted(marks.clone())),
+            OpState::Window { window, .. } => Some(SortedMarks::from_unsorted(
+                window
+                    .iter()
+                    .filter(|e| e.mark.is_finite())
+                    .map(|e| e.mark)
+                    .collect(),
+            )),
+            _ => None,
+        }
     }
 
     /// Insert one partner-stream batch into the sliding window (no-op for
@@ -498,6 +545,383 @@ impl CompiledQuery {
             op.fold_observed_into(&mut stats);
         }
         stats
+    }
+}
+
+/// A driving batch in struct-of-arrays layout: one timestamp vector plus one
+/// [`Column`] per field, instead of a `Vec` of heap-allocated [`Tuple`]s.
+///
+/// The columnar backend never materializes intermediate tuples: operators
+/// communicate through *selection vectors* (row indices into this batch,
+/// with duplicates encoding join fan-out), and only [`ColumnBatch::gather`]
+/// turns the surviving selection back into rows. Conversion from a row
+/// [`Batch`] is lossless and reversible for any uniform-arity batch:
+/// `from_batch(b).gather(identity)` reproduces `b` bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnBatch {
+    stream: StreamId,
+    timestamps: Vec<u64>,
+    columns: Vec<Column>,
+}
+
+impl ColumnBatch {
+    /// An empty batch of `arity` columns for one stream.
+    pub fn with_arity(stream: StreamId, arity: usize) -> Self {
+        Self {
+            stream,
+            timestamps: Vec::new(),
+            columns: (0..arity).map(|_| Column::new()).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Whether the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The stream every row belongs to.
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// The per-row timestamps (ms).
+    pub fn timestamps(&self) -> &[u64] {
+        &self.timestamps
+    }
+
+    /// One column by field index, `None` beyond the arity (the columnar
+    /// equivalent of a missing tuple field).
+    pub fn column(&self, field: usize) -> Option<&Column> {
+        self.columns.get(field)
+    }
+
+    /// Append one row. `values` must match the batch arity.
+    pub fn push_row(&mut self, timestamp: u64, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(RldError::InvalidArgument(format!(
+                "row arity {} does not match batch arity {}",
+                values.len(),
+                self.columns.len()
+            )));
+        }
+        self.timestamps.push(timestamp);
+        for (c, v) in self.columns.iter_mut().zip(values) {
+            c.push(v);
+        }
+        Ok(())
+    }
+
+    /// Append one row, drawing each field's value in column order from `f`
+    /// (index `0..arity`) — lets generators fill columns directly without a
+    /// per-row `Vec<Value>` allocation.
+    pub fn push_row_with(&mut self, timestamp: u64, mut f: impl FnMut(usize) -> Value) {
+        self.timestamps.push(timestamp);
+        for (i, c) in self.columns.iter_mut().enumerate() {
+            c.push_owned(f(i));
+        }
+    }
+
+    /// Convert a row batch. All tuples must share one stream and one arity
+    /// (ragged batches cannot preserve the row path's missing-field
+    /// semantics column-wise, so they are rejected rather than padded).
+    pub fn from_batch(batch: &Batch) -> Result<Self> {
+        let Some(first) = batch.tuples.first() else {
+            return Ok(Self::with_arity(StreamId::new(0), 0));
+        };
+        let mut out = Self::with_arity(first.stream, first.arity());
+        for t in &batch.tuples {
+            if t.stream != first.stream {
+                return Err(RldError::InvalidArgument(
+                    "column batch requires a single stream".into(),
+                ));
+            }
+            out.push_row(t.timestamp, &t.values)?;
+        }
+        Ok(out)
+    }
+
+    /// The numeric value at `(row, field)` exactly as the row path reads a
+    /// probe threshold: `tuple.value(field).and_then(as_f64).unwrap_or(0)`.
+    fn theta(&self, row: usize, field: usize) -> f64 {
+        self.columns
+            .get(field)
+            .and_then(|c| c.as_f64(row))
+            .unwrap_or(0.0)
+    }
+
+    /// The identity selection (every row once, in order).
+    pub fn identity_sel(&self) -> Vec<u32> {
+        (0..self.len() as u32).collect()
+    }
+
+    /// Materialize the selected rows (duplicates allowed, order preserved)
+    /// as a row [`Batch`].
+    pub fn gather(&self, sel: &[u32]) -> Batch {
+        let mut out = Batch::new();
+        out.tuples.reserve(sel.len());
+        for &r in sel {
+            let r = r as usize;
+            let values = self.columns.iter().map(|c| c.value(r)).collect();
+            out.push(Tuple::new(self.stream, self.timestamps[r], values));
+        }
+        out
+    }
+}
+
+/// A sorted ascending snapshot of probe marks, supporting an `O(log n)`
+/// match count that is **bit-identical** to the row path's linear scan
+/// `marks.iter().filter(|m| (m + rot) % 1.0 < theta).count()`.
+///
+/// Why binary search is sound here: all marks lie in `[0, 1)` and
+/// `rot ∈ [0, 1)`, so `m + rot ∈ [0, 2)` and `(m + rot) % 1.0` is piecewise
+/// monotone in `m` with a single wrap at the first mark where
+/// `m + rot ≥ 1.0`. IEEE `%` (fmod) is exact, and `fl(m + rot)` is monotone
+/// non-decreasing in `m`, so within each piece the *original* predicate is
+/// monotone and `partition_point` counts exactly the elements the linear
+/// scan would.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SortedMarks {
+    marks: Vec<f64>,
+}
+
+impl SortedMarks {
+    /// Build from arbitrary marks: non-finite entries are dropped (the row
+    /// path's window probe skips them and lookup tables never contain them),
+    /// the rest sorted. Marks must lie in `[0, 1)` — the invariant every
+    /// generator upholds — for the piecewise argument above to hold.
+    pub fn from_unsorted(mut marks: Vec<f64>) -> Self {
+        marks.retain(|m| m.is_finite());
+        debug_assert!(
+            marks.iter().all(|m| (0.0..1.0).contains(m)),
+            "probe marks must lie in [0, 1)"
+        );
+        marks.sort_unstable_by(f64::total_cmp);
+        Self { marks }
+    }
+
+    /// Number of (finite) marks.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Whether the snapshot holds no marks.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+
+    /// How many marks satisfy `(mark + rot) % 1.0 < theta` — the same count,
+    /// bit for bit, as the linear scan in [`CompiledOp::eval_tuple`].
+    pub fn count_matches(&self, theta: f64, rot: f64) -> usize {
+        let wrap = self.marks.partition_point(|m| m + rot < 1.0);
+        let lo = self.marks[..wrap].partition_point(|m| (m + rot) % 1.0 < theta);
+        let hi = self.marks[wrap..].partition_point(|m| (m + rot) % 1.0 < theta);
+        lo + hi
+    }
+}
+
+/// One epoch's read-only probe snapshots, indexed by operator: the lookup
+/// tables (static) and the sliding windows *as of the snapshot instant*.
+/// Cheap to clone (per-operator `Arc`s), so the columnar executor publishes
+/// one per tick and every shard probes the same frozen state — making shard
+/// results independent of worker timing.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeSet {
+    per_op: Vec<Option<Arc<SortedMarks>>>,
+}
+
+impl ProbeSet {
+    /// An empty set for `num_ops` operators.
+    pub fn new(num_ops: usize) -> Self {
+        Self {
+            per_op: vec![None; num_ops],
+        }
+    }
+
+    /// Snapshot every operator's current probe state.
+    pub fn snapshot(ops: &[CompiledOp]) -> Self {
+        Self {
+            per_op: ops
+                .iter()
+                .map(|op| op.probe_marks().map(Arc::new))
+                .collect(),
+        }
+    }
+
+    /// Replace one operator's snapshot (used for incremental refresh).
+    pub fn set(&mut self, op: OperatorId, marks: Option<Arc<SortedMarks>>) {
+        if op.index() >= self.per_op.len() {
+            self.per_op.resize(op.index() + 1, None);
+        }
+        self.per_op[op.index()] = marks;
+    }
+
+    /// The snapshot for one operator, if it has probe state.
+    pub fn get(&self, op: OperatorId) -> Option<&SortedMarks> {
+        self.per_op.get(op.index()).and_then(|m| m.as_deref())
+    }
+}
+
+/// Per-step dataplane counts measured by one fused-chain evaluation, to be
+/// folded back into the canonical [`CompiledOp`]s via
+/// [`CompiledOp::note_observed`]. Addition is order-independent, so folding
+/// shard results in any order yields deterministic observed stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounts {
+    /// The operator the counts belong to.
+    pub op: OperatorId,
+    /// Selection entries that entered the step.
+    pub inputs: u64,
+    /// Selection entries the step emitted.
+    pub outputs: u64,
+}
+
+/// The steps of a [`FusedChain`].
+#[derive(Debug, Clone)]
+enum FusedStep {
+    /// A filter evaluating its predicate per selected row.
+    Filter {
+        id: OperatorId,
+        predicate: Predicate,
+    },
+    /// An identity projection: passes the selection through unchanged (the
+    /// compiler only ever emits identity column lists; `width` pins the
+    /// arity so a mismatched batch is rejected instead of silently diverging
+    /// from the row path's truncating clone).
+    Passthrough { id: OperatorId, width: usize },
+    /// A lookup/window probe against the epoch's [`SortedMarks`] snapshot.
+    Probe { id: OperatorId, field: usize },
+}
+
+/// A whole logical plan compiled into one fused, vectorized operator chain.
+///
+/// Compiled once per (plan, placement) and evaluated per batch with
+/// selection vectors — no per-tuple dispatch, no intermediate tuple
+/// materialization, no operator locks. The chain itself is immutable and
+/// shareable across shards; all mutable state (windows) stays behind the
+/// coordinator and reaches the chain as a [`ProbeSet`] snapshot.
+#[derive(Debug, Clone)]
+pub struct FusedChain {
+    steps: Vec<FusedStep>,
+}
+
+impl FusedChain {
+    /// Fuse the operators in plan order. Fails on a non-identity projection
+    /// (nothing in the system produces one; refusing keeps the fused path
+    /// provably equivalent to the row path rather than silently wrong).
+    pub fn compile(ops: &[CompiledOp], ordering: &[OperatorId]) -> Result<Self> {
+        let mut steps = Vec::with_capacity(ordering.len());
+        for id in ordering {
+            let op = ops
+                .get(id.index())
+                .ok_or_else(|| RldError::NotFound(format!("compiled operator {id}")))?;
+            let step = match &op.state {
+                OpState::Filter { predicate } => FusedStep::Filter {
+                    id: *id,
+                    predicate: predicate.clone(),
+                },
+                OpState::Project { columns } => {
+                    if columns.iter().enumerate().any(|(i, c)| i != *c) {
+                        return Err(RldError::InvalidArgument(format!(
+                            "operator {id}: only identity projections can be fused"
+                        )));
+                    }
+                    FusedStep::Passthrough {
+                        id: *id,
+                        width: columns.len(),
+                    }
+                }
+                OpState::Lookup { .. } | OpState::Window { .. } => FusedStep::Probe {
+                    id: *id,
+                    field: op.match_field,
+                },
+            };
+            steps.push(step);
+        }
+        Ok(Self { steps })
+    }
+
+    /// Evaluate the chain over `sel` (row indices into `batch`), returning
+    /// the surviving selection. Appends one [`OpCounts`] per executed step
+    /// to `counts`; like the row path, steps after the selection empties are
+    /// skipped and record nothing.
+    pub fn eval(
+        &self,
+        batch: &ColumnBatch,
+        probes: &ProbeSet,
+        sel: Vec<u32>,
+        counts: &mut Vec<OpCounts>,
+    ) -> Result<Vec<u32>> {
+        let mut sel = sel;
+        let mut next: Vec<u32> = Vec::with_capacity(sel.len());
+        for step in &self.steps {
+            if sel.is_empty() {
+                break;
+            }
+            let inputs = sel.len() as u64;
+            let id = match step {
+                FusedStep::Filter { id, predicate } => {
+                    next.clear();
+                    next.extend(
+                        sel.iter()
+                            .copied()
+                            .filter(|&r| predicate.eval_columnar(batch, r as usize)),
+                    );
+                    std::mem::swap(&mut sel, &mut next);
+                    *id
+                }
+                FusedStep::Passthrough { id, width } => {
+                    if batch.arity() != *width {
+                        return Err(RldError::InvalidArgument(format!(
+                            "operator {id}: projection width {width} does not match batch arity {}",
+                            batch.arity()
+                        )));
+                    }
+                    *id
+                }
+                FusedStep::Probe { id, field } => {
+                    let marks = probes.get(*id).ok_or_else(|| {
+                        RldError::InvalidArgument(format!("operator {id}: missing probe snapshot"))
+                    })?;
+                    next.clear();
+                    for &r in &sel {
+                        let theta = batch.theta(r as usize, *field);
+                        let rot = probe_rotation(batch.timestamps[r as usize], *id);
+                        let n = marks.count_matches(theta, rot);
+                        for _ in 0..n {
+                            next.push(r);
+                        }
+                    }
+                    std::mem::swap(&mut sel, &mut next);
+                    *id
+                }
+            };
+            counts.push(OpCounts {
+                op: id,
+                inputs,
+                outputs: sel.len() as u64,
+            });
+        }
+        Ok(sel)
+    }
+
+    /// Evaluate the chain over every row of the batch.
+    pub fn eval_full(
+        &self,
+        batch: &ColumnBatch,
+        probes: &ProbeSet,
+        counts: &mut Vec<OpCounts>,
+    ) -> Result<Vec<u32>> {
+        self.eval(batch, probes, batch.identity_sel(), counts)
     }
 }
 
@@ -746,5 +1170,184 @@ mod tests {
             partner_mark_field(&q, StreamId::new(1)),
             q.streams[1].schema.len()
         );
+    }
+
+    #[test]
+    fn column_batch_round_trips_row_batches() {
+        let q = q1();
+        let batch: Batch = (0..7).map(|i| driving_tuple(&q, i * 13, 0.4)).collect();
+        let cb = ColumnBatch::from_batch(&batch).unwrap();
+        assert_eq!(cb.len(), 7);
+        assert_eq!(cb.arity(), driving_arity(&q));
+        assert_eq!(cb.stream(), q.driving_stream);
+        assert_eq!(cb.gather(&cb.identity_sel()), batch);
+        // Gather with duplicates and reordering.
+        let picked = cb.gather(&[2, 2, 0]);
+        assert_eq!(picked.len(), 3);
+        assert_eq!(picked.tuples[0], batch.tuples[2]);
+        assert_eq!(picked.tuples[2], batch.tuples[0]);
+        // Empty batches convert.
+        assert!(ColumnBatch::from_batch(&Batch::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn column_batch_rejects_ragged_and_mixed_stream_batches() {
+        let q = q1();
+        let mut ragged = Batch::new();
+        ragged.push(driving_tuple(&q, 0, 0.1));
+        ragged.push(Tuple::new(q.driving_stream, 1, vec![Value::Int(1)]));
+        assert!(ColumnBatch::from_batch(&ragged).is_err());
+
+        let mut mixed = Batch::new();
+        mixed.push(Tuple::new(StreamId::new(0), 0, vec![Value::Int(1)]));
+        mixed.push(Tuple::new(StreamId::new(1), 1, vec![Value::Int(2)]));
+        assert!(ColumnBatch::from_batch(&mixed).is_err());
+    }
+
+    #[test]
+    fn sorted_marks_count_matches_the_linear_scan_bit_for_bit() {
+        let mut rng = rng_from_seed(derive_seed(11, "sorted-marks"));
+        for n in [0usize, 1, 2, 3, 17, 500] {
+            let marks: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
+            let sorted = SortedMarks::from_unsorted(marks.clone());
+            assert_eq!(sorted.len(), n);
+            for _ in 0..40 {
+                let theta = match rng.random_range(0u32..4) {
+                    0 => 0.0,
+                    1 => 1.0,
+                    _ => rng.random_range(0.0..1.0),
+                };
+                let rot = rng.random_range(0.0..1.0);
+                let linear = marks.iter().filter(|m| (*m + rot) % 1.0 < theta).count();
+                assert_eq!(
+                    sorted.count_matches(theta, rot),
+                    linear,
+                    "n={n} theta={theta} rot={rot}"
+                );
+            }
+        }
+        // Duplicates and exact-boundary sums stay consistent too.
+        let dup = SortedMarks::from_unsorted(vec![0.25; 10]);
+        assert_eq!(dup.count_matches(0.5, 0.75), 10, "0.25+0.75 wraps to 0.0");
+        assert_eq!(dup.count_matches(0.0, 0.0), 0);
+        // Non-finite marks are dropped, matching the window probe's guard.
+        let inf = SortedMarks::from_unsorted(vec![f64::INFINITY, 0.1]);
+        assert_eq!(inf.len(), 1);
+        assert_eq!(inf.count_matches(1.0, 0.0), 1);
+    }
+
+    /// Warm two identical compiled queries with the same partner batches,
+    /// then compare `execute_plan` against the fused columnar chain: the
+    /// materialized outputs and the per-operator observed counts must agree
+    /// bit for bit.
+    #[test]
+    fn fused_chain_matches_row_execution_bit_for_bit() {
+        let q = q1();
+        for seed in [1u64, 7, 42, 1234] {
+            let mut row = CompiledQuery::compile(&q, seed);
+            let mut col = CompiledQuery::compile(&q, seed);
+            let mut rng = rng_from_seed(derive_seed(seed, "chain-oracle"));
+            // Warm every partner window (30 entries each keeps the join
+            // fan-out product finite).
+            for stream in 1..q.num_streams() {
+                let sid = StreamId::new(stream);
+                let batch: Batch = (0..30)
+                    .map(|i| partner_tuple(&q, sid, i as u64 * 17, rng.random_range(0.0..1.0)))
+                    .collect();
+                row.observe_partner(sid, &batch, 0);
+                col.observe_partner(sid, &batch, 0);
+            }
+            // Random driving batch: mostly small thetas, some zero rows.
+            let app = q.streams[0].schema.len();
+            let batch: Batch = (0..64)
+                .map(|i| {
+                    let ts: u64 = rng.random_range(0..200_000);
+                    let mut values = vec![Value::Null; app];
+                    values.extend((0..q.num_operators()).map(|_| {
+                        let u: f64 = rng.random_range(0.0..1.0);
+                        let theta = if i % 5 == 0 { 0.0 } else { u * 0.12 };
+                        Value::Float(theta)
+                    }));
+                    Tuple::new(q.driving_stream, ts, values)
+                })
+                .collect();
+
+            for ordering in [q.operator_ids(), {
+                let mut rev = q.operator_ids();
+                rev.reverse();
+                rev
+            }] {
+                let expected = row.execute_plan(&ordering, &batch).unwrap();
+                let cb = ColumnBatch::from_batch(&batch).unwrap();
+                let chain = FusedChain::compile(col.ops(), &ordering).unwrap();
+                let probes = ProbeSet::snapshot(col.ops());
+                let mut counts = Vec::new();
+                let sel = chain.eval_full(&cb, &probes, &mut counts).unwrap();
+                assert_eq!(cb.gather(&sel), expected, "seed {seed}");
+                for c in &counts {
+                    col.op_mut(c.op).unwrap().note_observed(c.inputs, c.outputs);
+                }
+            }
+            for (r, c) in row.ops().iter().zip(col.ops()) {
+                assert_eq!(r.observed(), c.observed(), "seed {seed}");
+            }
+            assert_eq!(row.observed_stats(&q), col.observed_stats(&q));
+        }
+    }
+
+    #[test]
+    fn fused_chain_covers_filters_and_missing_fields() {
+        let q = q1();
+        let filter = OperatorSpec::filter(OperatorId::new(0), "f", 1.0, 0.4);
+        let mut row_op = CompiledOp::compile(&q, &filter, 7);
+        let col_op = row_op.clone();
+        let batch: Batch = [0.39, 0.41, 0.4, 0.0]
+            .iter()
+            .enumerate()
+            .map(|(i, th)| driving_tuple(&q, i as u64, *th))
+            .collect();
+        let mut expected = Batch::new();
+        row_op.eval_batch(&batch, &mut expected);
+
+        let cb = ColumnBatch::from_batch(&batch).unwrap();
+        let ops = [col_op];
+        let chain = FusedChain::compile(&ops, &[OperatorId::new(0)]).unwrap();
+        let mut counts = Vec::new();
+        let sel = chain
+            .eval_full(&cb, &ProbeSet::new(1), &mut counts)
+            .unwrap();
+        assert_eq!(cb.gather(&sel), expected);
+        assert_eq!(
+            counts,
+            vec![OpCounts {
+                op: OperatorId::new(0),
+                inputs: 4,
+                outputs: 2
+            }]
+        );
+
+        // A predicate on a field beyond the arity fails every row, exactly
+        // like the row path's missing-field rule.
+        assert!(!Predicate::less_than(cb.arity() + 3, 1e9).eval_columnar(&cb, 0));
+        // An unknown operator in the ordering is an error.
+        assert!(FusedChain::compile(&ops, &[OperatorId::new(9)]).is_err());
+    }
+
+    #[test]
+    fn fused_chain_short_circuits_on_empty_selection() {
+        let q = q1();
+        let col = CompiledQuery::compile(&q, 7);
+        // θ = 0 on the first (lookup) operator empties the selection; later
+        // steps record no counts — same as the row path's early break.
+        let batch: Batch = (0..5).map(|i| driving_tuple(&q, i, 0.0)).collect();
+        let cb = ColumnBatch::from_batch(&batch).unwrap();
+        let chain = FusedChain::compile(col.ops(), &q.operator_ids()).unwrap();
+        let probes = ProbeSet::snapshot(col.ops());
+        let mut counts = Vec::new();
+        let sel = chain.eval_full(&cb, &probes, &mut counts).unwrap();
+        assert!(sel.is_empty());
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[0].op, OperatorId::new(0));
+        assert_eq!((counts[0].inputs, counts[0].outputs), (5, 0));
     }
 }

@@ -38,7 +38,10 @@ pub mod tuple;
 pub mod value;
 
 pub use error::{Result, RldError};
-pub use exec::{CmpOp, CompiledOp, CompiledQuery, Predicate};
+pub use exec::{
+    CmpOp, ColumnBatch, CompiledOp, CompiledQuery, FusedChain, OpCounts, Predicate, ProbeSet,
+    SortedMarks,
+};
 pub use ids::{NodeId, OperatorId, PlanId, StreamId};
 pub use operator::{OperatorKind, OperatorSpec};
 pub use query::{Query, QueryBuilder};
@@ -46,4 +49,4 @@ pub use schema::{DataType, Field, Schema};
 pub use stats::{StatKey, StatisticEstimate, StatsSnapshot, UncertaintyLevel};
 pub use stream::StreamSpec;
 pub use tuple::{Batch, Tuple};
-pub use value::Value;
+pub use value::{Column, ColumnData, Value};

@@ -108,6 +108,204 @@ impl Value {
     }
 }
 
+/// The typed storage behind one [`Column`]: a per-type vector, or a
+/// [`Value`] vector when the column holds mixed types.
+///
+/// Slots whose validity bit is unset hold an arbitrary placeholder of the
+/// column's type; readers must consult the mask first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit signed integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// UTF-8 text.
+    Text(Vec<String>),
+    /// Boolean flags.
+    Bool(Vec<bool>),
+    /// Millisecond timestamps.
+    Timestamp(Vec<u64>),
+    /// Fallback for heterogeneous columns, so conversion from row batches is
+    /// lossless for any tuple shape.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnData {
+    fn push_default(&mut self) {
+        match self {
+            ColumnData::Int(v) => v.push(0),
+            ColumnData::Float(v) => v.push(0.0),
+            ColumnData::Text(v) => v.push(String::new()),
+            ColumnData::Bool(v) => v.push(false),
+            ColumnData::Timestamp(v) => v.push(0),
+            ColumnData::Mixed(v) => v.push(Value::Null),
+        }
+    }
+}
+
+/// One column of a struct-of-arrays batch: a typed vector plus a validity
+/// mask (`false` marks a [`Value::Null`] slot).
+///
+/// Columns start typed after the first non-null push; pushing a value of a
+/// different type promotes the storage to [`ColumnData::Mixed`], so any row
+/// batch converts losslessly. Readers reproduce the exact [`Value`]
+/// semantics — [`Column::as_f64`] matches [`Value::as_f64`] and
+/// [`Column::cmp_value`] matches [`Value::total_cmp`] — without cloning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    validity: Vec<bool>,
+}
+
+impl Default for Column {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Column {
+    /// An empty column (typed by the first non-null push).
+    pub fn new() -> Self {
+        Self {
+            // Placeholder variant; retyped on the first non-null push while
+            // every slot so far is null.
+            data: ColumnData::Float(Vec::new()),
+            validity: Vec::new(),
+        }
+    }
+
+    /// Number of slots (valid or null).
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    /// Whether the column has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.validity.is_empty()
+    }
+
+    /// Whether slot `i` holds a non-null value.
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.get(i).copied().unwrap_or(false)
+    }
+
+    /// Append one value, promoting the storage type if needed.
+    pub fn push(&mut self, value: &Value) {
+        self.push_owned(value.clone());
+    }
+
+    /// Append one owned value (no clone of text payloads), promoting the
+    /// storage type if needed.
+    pub fn push_owned(&mut self, value: Value) {
+        if matches!(value, Value::Null) {
+            self.data.push_default();
+            self.validity.push(false);
+            return;
+        }
+        let matches_type = matches!(
+            (&self.data, &value),
+            (ColumnData::Int(_), Value::Int(_))
+                | (ColumnData::Float(_), Value::Float(_))
+                | (ColumnData::Text(_), Value::Text(_))
+                | (ColumnData::Bool(_), Value::Bool(_))
+                | (ColumnData::Timestamp(_), Value::Timestamp(_))
+                | (ColumnData::Mixed(_), _)
+        );
+        if !matches_type {
+            if self.validity.iter().all(|v| !v) {
+                // Only null placeholders so far: retype in place.
+                let n = self.validity.len();
+                self.data = match &value {
+                    Value::Int(_) => ColumnData::Int(vec![0; n]),
+                    Value::Float(_) => ColumnData::Float(vec![0.0; n]),
+                    Value::Text(_) => ColumnData::Text(vec![String::new(); n]),
+                    Value::Bool(_) => ColumnData::Bool(vec![false; n]),
+                    Value::Timestamp(_) => ColumnData::Timestamp(vec![0; n]),
+                    Value::Null => unreachable!("null handled above"),
+                };
+            } else {
+                // Genuinely mixed column: fall back to value storage.
+                let values: Vec<Value> = (0..self.validity.len()).map(|i| self.value(i)).collect();
+                self.data = ColumnData::Mixed(values);
+            }
+        }
+        match (&mut self.data, value) {
+            (ColumnData::Int(v), Value::Int(x)) => v.push(x),
+            (ColumnData::Float(v), Value::Float(x)) => v.push(x),
+            (ColumnData::Text(v), Value::Text(x)) => v.push(x),
+            (ColumnData::Bool(v), Value::Bool(x)) => v.push(x),
+            (ColumnData::Timestamp(v), Value::Timestamp(x)) => v.push(x),
+            (ColumnData::Mixed(v), x) => v.push(x),
+            _ => unreachable!("storage retyped to match above"),
+        }
+        self.validity.push(true);
+    }
+
+    /// Materialize slot `i` as an owned [`Value`] (null when invalid).
+    pub fn value(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Text(v) => Value::Text(v[i].clone()),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Timestamp(v) => Value::Timestamp(v[i]),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Numeric view of slot `i`, matching [`Value::as_f64`] exactly.
+    pub fn as_f64(&self, i: usize) -> Option<f64> {
+        if !self.is_valid(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[i] as f64),
+            ColumnData::Float(v) => Some(v[i]),
+            ColumnData::Bool(v) => Some(if v[i] { 1.0 } else { 0.0 }),
+            ColumnData::Timestamp(v) => Some(v[i] as f64),
+            ColumnData::Text(_) => None,
+            ColumnData::Mixed(v) => v[i].as_f64(),
+        }
+    }
+
+    /// Text view of slot `i`, matching [`Value::as_str`] exactly.
+    pub fn as_str(&self, i: usize) -> Option<&str> {
+        if !self.is_valid(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Text(v) => Some(&v[i]),
+            ColumnData::Mixed(v) => v[i].as_str(),
+            _ => None,
+        }
+    }
+
+    /// Compare slot `i` against a constant with the total order of
+    /// [`Value::total_cmp`], without materializing the slot. The hot cases
+    /// (float/int columns against numeric operands) never allocate.
+    pub fn cmp_value(&self, i: usize, operand: &Value) -> Ordering {
+        if !self.is_valid(i) {
+            return Value::Null.total_cmp(operand);
+        }
+        match (&self.data, operand) {
+            (ColumnData::Float(v), Value::Float(b)) => v[i].total_cmp(b),
+            (ColumnData::Int(v), Value::Int(b)) => v[i].cmp(b),
+            (ColumnData::Int(v), Value::Float(b)) => (v[i] as f64).total_cmp(b),
+            (ColumnData::Float(v), Value::Int(b)) => v[i].total_cmp(&(*b as f64)),
+            (ColumnData::Text(v), Value::Text(b)) => v[i].cmp(b),
+            (ColumnData::Bool(v), Value::Bool(b)) => v[i].cmp(b),
+            (ColumnData::Timestamp(v), Value::Timestamp(b)) => v[i].cmp(b),
+            (ColumnData::Mixed(v), _) => v[i].total_cmp(operand),
+            // Cross-type comparisons order by type rank; delegate to the
+            // canonical implementation (cold path).
+            _ => self.value(i).total_cmp(operand),
+        }
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -208,5 +406,98 @@ mod tests {
         // total_cmp is consistent: nan vs nan is Equal, and ordering is total.
         assert_eq!(nan.total_cmp(&Value::Float(f64::NAN)), Ordering::Equal);
         assert_eq!(Value::Float(1.0).total_cmp(&nan), Ordering::Less);
+    }
+
+    #[test]
+    fn column_round_trips_homogeneous_values() {
+        let vals = [Value::Float(1.5), Value::Null, Value::Float(-2.0)];
+        let mut c = Column::new();
+        for v in &vals {
+            c.push(v);
+        }
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(c.is_valid(0) && !c.is_valid(1) && c.is_valid(2));
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(&c.value(i), v);
+            assert_eq!(c.as_f64(i), v.as_f64());
+        }
+        assert_eq!(c.value(1), Value::Null);
+    }
+
+    #[test]
+    fn column_retypes_after_leading_nulls() {
+        let mut c = Column::new();
+        c.push(&Value::Null);
+        c.push(&Value::Int(7));
+        assert_eq!(c.value(0), Value::Null);
+        assert_eq!(c.value(1), Value::Int(7));
+        assert_eq!(c.as_f64(1), Some(7.0));
+    }
+
+    #[test]
+    fn column_promotes_to_mixed_on_type_clash() {
+        let vals = [
+            Value::Int(3),
+            Value::Text("x".into()),
+            Value::Bool(true),
+            Value::Timestamp(9),
+            Value::Null,
+        ];
+        let mut c = Column::new();
+        for v in &vals {
+            c.push(v);
+        }
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(&c.value(i), v, "slot {i}");
+            assert_eq!(c.as_f64(i), v.as_f64(), "slot {i}");
+            assert_eq!(c.as_str(i), v.as_str(), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn column_cmp_matches_value_total_cmp() {
+        let slots = [
+            Value::Int(2),
+            Value::Float(2.5),
+            Value::Text("AAPL".into()),
+            Value::Bool(false),
+            Value::Timestamp(4),
+            Value::Null,
+            Value::Float(f64::NAN),
+        ];
+        let operands = [
+            Value::Int(2),
+            Value::Float(2.5),
+            Value::Float(f64::NAN),
+            Value::Text("AAPL".into()),
+            Value::Text("MSFT".into()),
+            Value::Bool(true),
+            Value::Timestamp(4),
+            Value::Null,
+        ];
+        // Exercise both a mixed column and per-type columns.
+        let mut mixed = Column::new();
+        for v in &slots {
+            mixed.push(v);
+        }
+        for (i, v) in slots.iter().enumerate() {
+            let mut typed = Column::new();
+            typed.push(v);
+            for op in &operands {
+                assert_eq!(mixed.cmp_value(i, op), v.total_cmp(op), "{v} vs {op}");
+                assert_eq!(typed.cmp_value(0, op), v.total_cmp(op), "{v} vs {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_text_accessor_avoids_clones() {
+        let mut c = Column::new();
+        c.push(&Value::Text("IBM".into()));
+        c.push(&Value::Null);
+        assert_eq!(c.as_str(0), Some("IBM"));
+        assert_eq!(c.as_str(1), None);
+        assert_eq!(c.as_str(99), None, "out of range is null");
     }
 }

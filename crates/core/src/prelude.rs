@@ -31,7 +31,9 @@ pub use rld_engine::{
     RecoverySemantic, RldStrategy, RodStrategy, RunMetrics, RunTrace, RuntimeContext, RuntimeCore,
     SimConfig, Simulator,
 };
-pub use rld_exec::{ExecConfig, ExecReport, MonitorSource, ThreadedExecutor};
+pub use rld_exec::{
+    ColumnarConfig, ColumnarExecutor, ExecConfig, ExecReport, MonitorSource, ThreadedExecutor,
+};
 pub use rld_logical::{
     CoverageEvaluator, EarlyTerminatedRobustPartitioning, ErpConfig, ExhaustiveSearch,
     LogicalPlanGenerator, RandomSearch, RobustLogicalSolution, SearchStats,

@@ -25,7 +25,7 @@ use rld_common::{NodeId, Query, Result, RldError};
 use rld_engine::{
     DistributionStrategy, FaultPlan, RecoverySemantic, RunMetrics, SimConfig, Simulator,
 };
-use rld_exec::{ExecConfig, ThreadedExecutor};
+use rld_exec::{ColumnarConfig, ColumnarExecutor, ExecConfig, ThreadedExecutor};
 use rld_physical::Cluster;
 use rld_query::{CostModel, JoinOrderOptimizer, Optimizer};
 use rld_workloads::{RatePattern, SelectivityPattern, StockWorkload, SyntheticWorkload, Workload};
@@ -49,14 +49,20 @@ pub enum Backend {
     /// The threaded executor (`rld-exec`): real tuples through real operator
     /// state on one worker thread per node; latencies are wall-clock.
     Execute,
+    /// The columnar executor (`rld-exec`): the same policy loop over a
+    /// vectorized dataplane — struct-of-arrays batches, fused operator
+    /// chains, SPSC-ring shard workers.
+    ExecuteColumnar,
 }
 
 impl Backend {
-    /// The backend's short name (`"simulate"` / `"execute"`).
+    /// The backend's short name (`"simulate"` / `"execute"` /
+    /// `"execute-columnar"`).
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Simulate => "simulate",
             Backend::Execute => "execute",
+            Backend::ExecuteColumnar => "execute-columnar",
         }
     }
 
@@ -65,8 +71,9 @@ impl Backend {
         match name {
             "simulate" | "sim" => Ok(Backend::Simulate),
             "execute" | "exec" => Ok(Backend::Execute),
+            "execute-columnar" | "columnar" | "col" => Ok(Backend::ExecuteColumnar),
             other => Err(RldError::NotFound(format!(
-                "backend '{other}' (known: simulate, execute)"
+                "backend '{other}' (known: simulate, execute, execute-columnar)"
             ))),
         }
     }
@@ -295,6 +302,7 @@ impl Scenario {
         enum Runner {
             Sim(Simulator),
             Exec(ThreadedExecutor),
+            Columnar(ColumnarExecutor),
         }
         let runner = match backend {
             Backend::Simulate => Runner::Sim(
@@ -306,6 +314,14 @@ impl Scenario {
                     self.query.clone(),
                     self.cluster.clone(),
                     ExecConfig::from_sim(self.sim),
+                )?
+                .with_faults(self.faults.clone())?,
+            ),
+            Backend::ExecuteColumnar => Runner::Columnar(
+                ColumnarExecutor::new(
+                    self.query.clone(),
+                    self.cluster.clone(),
+                    ColumnarConfig::from_sim(self.sim),
                 )?
                 .with_faults(self.faults.clone())?,
             ),
@@ -339,6 +355,9 @@ impl Scenario {
                     let metrics = match &runner {
                         Runner::Sim(sim) => sim.run(self.workload.as_ref(), strategy.as_mut())?,
                         Runner::Exec(exec) => {
+                            exec.run(self.workload.as_ref(), strategy.as_mut())?
+                        }
+                        Runner::Columnar(exec) => {
                             exec.run(self.workload.as_ref(), strategy.as_mut())?
                         }
                     };
@@ -834,9 +853,43 @@ mod tests {
         assert_eq!(Backend::by_name("sim").unwrap(), Backend::Simulate);
         assert_eq!(Backend::by_name("execute").unwrap(), Backend::Execute);
         assert_eq!(Backend::by_name("exec").unwrap(), Backend::Execute);
+        assert_eq!(
+            Backend::by_name("execute-columnar").unwrap(),
+            Backend::ExecuteColumnar
+        );
+        assert_eq!(
+            Backend::by_name("columnar").unwrap(),
+            Backend::ExecuteColumnar
+        );
+        assert_eq!(Backend::by_name("col").unwrap(), Backend::ExecuteColumnar);
         assert!(Backend::by_name("quantum").is_err());
         assert_eq!(Backend::default(), Backend::Simulate);
         assert_eq!(Backend::Execute.name(), "execute");
+        assert_eq!(Backend::ExecuteColumnar.name(), "execute-columnar");
+    }
+
+    #[test]
+    fn scenarios_run_unchanged_on_the_columnar_backend() {
+        let q = Query::q1_stock_monitoring();
+        let scenario = Scenario::builder("columnar-smoke", q)
+            .homogeneous_cluster(4, 3.0)
+            .workload(StockWorkload::default_config())
+            .duration_secs(20.0)
+            .strategy(StrategySpec::Rod)
+            .build()
+            .unwrap();
+        let report = scenario.run_on(Backend::ExecuteColumnar).unwrap();
+        assert_eq!(report.backend, "execute-columnar");
+        let rod = report.metrics_for("ROD").expect("ROD ran columnar");
+        assert!(rod.tuples_arrived > 0);
+        assert_eq!(rod.tuples_processed, rod.tuples_arrived);
+        assert_eq!(rod.tuples_lost, 0);
+        // Same arrival process as the simulator per seed.
+        let sim_report = scenario.run().unwrap();
+        assert_eq!(
+            sim_report.metrics_for("ROD").unwrap().tuples_arrived,
+            rod.tuples_arrived
+        );
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod strategy;
 pub use classifier::OnlineClassifier;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoverySemantic};
 pub use index::ClassifierIndex;
-pub use metrics::RunMetrics;
+pub use metrics::{MetricsAccumulator, RunMetrics};
 pub use monitor::StatisticsMonitor;
 pub use node::SimNode;
 pub use runtime::{BackendTotals, MigrationRecord, RouteRecord, RunTrace, RuntimeCore};

@@ -222,11 +222,17 @@ impl MetricsAccumulator {
         });
         ps.iter()
             .map(|p| {
-                let target = (p.clamp(0.0, 100.0) / 100.0) * self.total_weight as f64;
-                let mut cumulative = 0.0;
+                // Exact integer accumulation: "reaches p%" is decided by
+                // `100 · cumulative ≥ p · total`, with the only rounding in
+                // the one `p · total` product. The previous float cumulative
+                // sum with an absolute 1e-9 epsilon went one sample off at
+                // large total weights (the epsilon vanishes next to the
+                // representation error of ~1e12-tuple cumulative sums).
+                let target = p.clamp(0.0, 100.0) * self.total_weight as f64;
+                let mut cumulative: u64 = 0;
                 for &i in &order {
-                    cumulative += self.samples[i].1 as f64;
-                    if cumulative + 1e-9 >= target {
+                    cumulative += self.samples[i].1;
+                    if cumulative as f64 * 100.0 >= target {
                         return self.samples[i].0;
                     }
                 }
@@ -354,6 +360,45 @@ mod tests {
             assert_eq!(acc.percentile_latency_ms(*p), *v);
         }
         assert!(many.windows(2).all(|w| w[0] <= w[1]), "{many:?}");
+    }
+
+    #[test]
+    fn percentile_boundaries_are_exact_at_large_weights() {
+        // Regression for the float-cumulative off-by-one: with two batches
+        // of a trillion tuples each, p50 must stop at the *first* sample
+        // (its cumulative weight is exactly 50%), but a float cumulative
+        // with an absolute 1e-9 epsilon overshoots to the second — at this
+        // magnitude the epsilon is far below the f64 representation error
+        // of the (p/100)·total target.
+        let mut acc = MetricsAccumulator::new();
+        let w = 1_000_000_000_000u64;
+        acc.record_batch(w, 10.0, 0, 1.0);
+        acc.record_batch(w, 20.0, 0, 2.0);
+        assert_eq!(acc.percentile_latency_ms(50.0), 10.0);
+        assert_eq!(acc.percentile_latency_ms(50.1), 20.0);
+        // And at 95% of a 10^12-tuple run split 95 / 5.
+        let mut acc = MetricsAccumulator::new();
+        acc.record_batch(95 * (w / 100), 1.0, 0, 1.0);
+        acc.record_batch(5 * (w / 100), 2.0, 0, 2.0);
+        assert_eq!(acc.percentile_latency_ms(95.0), 1.0);
+    }
+
+    #[test]
+    fn degenerate_sample_counts() {
+        // Zero samples → all zeros (covered in empty_accumulator); one and
+        // two samples must hit the exact-rank boundaries.
+        let mut one = MetricsAccumulator::new();
+        one.record_batch(1, 7.0, 0, 1.0);
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(one.percentile_latency_ms(p), 7.0);
+        }
+        let mut two = MetricsAccumulator::new();
+        two.record_batch(1, 3.0, 0, 1.0);
+        two.record_batch(1, 9.0, 0, 2.0);
+        assert_eq!(two.percentile_latency_ms(0.0), 3.0);
+        assert_eq!(two.percentile_latency_ms(50.0), 3.0);
+        assert_eq!(two.percentile_latency_ms(50.0 + 1e-9), 9.0);
+        assert_eq!(two.percentile_latency_ms(100.0), 9.0);
     }
 
     #[test]

@@ -1,0 +1,832 @@
+//! The columnar execution backend: a batch-at-a-time dataplane driven by the
+//! exact same [`RuntimeCore`] policy loop as the simulator and the row
+//! executor.
+//!
+//! ## Design
+//!
+//! The row executor ships every driving batch through per-node worker
+//! threads that lock each operator's state, clone tuples per join match, and
+//! hop batches over `sync_channel`s. This backend keeps the *policy* loop
+//! bit-identical (same `RuntimeCore` call order, same RNG draws, same
+//! `RunTrace`) but replaces the dataplane under it:
+//!
+//! * Driving arrivals are generated straight into a [`ColumnBatch`]
+//!   (struct-of-arrays columns, no per-tuple `Vec<Value>`).
+//! * Each routed logical plan is compiled **once** into a [`FusedChain`] —
+//!   filter → passthrough-project → join-probe steps evaluated over
+//!   selection vectors, with join probes answered by binary search over
+//!   [`rld_common::exec::SortedMarks`] snapshots instead of `O(window)`
+//!   scans.
+//! * All mutable operator state (sliding windows, observed counters) stays
+//!   with the coordinator. Workers only ever see immutable
+//!   [`ProbeSet`]/[`FusedChain`]/[`ColumnBatch`] snapshots behind `Arc`s, so
+//!   there are **no operator locks** on the hot path.
+//! * Batches fan out across shard workers by partition key (the first text
+//!   column of the driving schema, else the tuple timestamp), and travel
+//!   over lock-free SPSC [`ring`]s — one task ring and one result ring per
+//!   shard — instead of `sync_channel`s.
+//!
+//! ## Determinism
+//!
+//! The coordinator dispatches a batch's shards and folds **all** their
+//! results back before advancing the virtual clock (tick-synchronous
+//! dataplane). Combined with snapshot probing — every row of a batch probes
+//! the window contents *as of its ingest tick* — this makes arrived /
+//! processed / lost / produced counts and observed per-operator
+//! selectivities bit-deterministic per seed, even under faults and even
+//! with [`MonitorSource::Observed`]; only wall-clock-derived fields
+//! (latencies, busy/overhead milliseconds, utilization) vary run to run.
+//! The row executor can't promise that much: its workers race the virtual
+//! clock, so its `produced` counts depend on when a worker happens to lock
+//! a window. The differential oracle in `tests/tests/columnar_oracle.rs`
+//! pins down exactly the shared deterministic surface.
+//!
+//! Fault semantics under this model: a crash under `Lost` recovery clears
+//! the window state of operators placed on the crashed node (same as the
+//! row path), and tuples are lost **at ingest** — a batch routed through a
+//! down node is dropped by the coordinator before dispatch. There are no
+//! in-flight envelopes to bounce or park, so `arrived == processed + lost`
+//! holds exactly, and `Replay` differs from `Lost` only in preserving
+//! window state across the outage. A degraded node affects routing and
+//! capacity accounting; shard workers are not artificially slowed (they are
+//! compute shards, not the logical nodes the fault plane models).
+
+mod ring;
+
+pub use ring::{ring, Consumer, Producer};
+
+use crate::executor::{ExecConfig, ExecReport, MonitorSource};
+use rld_common::exec::CompiledOp;
+use rld_common::rng::derive_seed;
+use rld_common::{
+    ColumnBatch, DataType, FusedChain, NodeId, OpCounts, OperatorId, ProbeSet, Query, Result,
+    RldError, StatsSnapshot,
+};
+use rld_engine::{
+    BackendTotals, DistributionStrategy, FaultKind, FaultPlan, RecoverySemantic, RunMetrics,
+    RunTrace, RuntimeCore,
+};
+use rld_physical::{Cluster, ClusterView};
+use rld_query::LogicalPlan;
+use rld_workloads::{DataplaneGenerator, Workload};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of the columnar executor: the row executor's [`ExecConfig`]
+/// (shared experiment parameters, migration pause model, monitor source)
+/// plus the columnar dataplane's own knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnarConfig {
+    /// The shared executor parameters. `channel_capacity` and
+    /// `drain_timeout_secs` are row-dataplane knobs and are ignored here
+    /// (the columnar dataplane is tick-synchronous and has nothing to
+    /// drain).
+    pub exec: ExecConfig,
+    /// Shard worker threads one batch fans out across. `0` = one per
+    /// available CPU core (capped at 8).
+    pub shards: usize,
+    /// Capacity of each SPSC task/result ring, in batches.
+    pub ring_capacity: usize,
+}
+
+impl ColumnarConfig {
+    /// Columnar defaults around a row-executor configuration.
+    pub fn from_exec(exec: ExecConfig) -> Self {
+        Self {
+            exec,
+            shards: 0,
+            ring_capacity: 4,
+        }
+    }
+
+    /// Columnar defaults around the shared experiment parameters.
+    pub fn from_sim(sim: rld_engine::SimConfig) -> Self {
+        Self::from_exec(ExecConfig::from_sim(sim))
+    }
+
+    /// The shard count after resolving `0 = auto`.
+    pub fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 8)
+        }
+    }
+
+    /// Validate the columnar-specific parameters.
+    pub fn validate(&self) -> Result<()> {
+        self.exec.validate()?;
+        if self.ring_capacity == 0 {
+            return Err(RldError::InvalidArgument(
+                "ring capacity must be positive".into(),
+            ));
+        }
+        if self.shards > 256 {
+            return Err(RldError::InvalidArgument(format!(
+                "{} shards is past any plausible core count",
+                self.shards
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ColumnarConfig {
+    fn default() -> Self {
+        Self::from_exec(ExecConfig::default())
+    }
+}
+
+/// One shard's slice of a driving batch, plus everything needed to evaluate
+/// it without touching shared mutable state.
+struct ShardTask {
+    batch: Arc<ColumnBatch>,
+    sel: Vec<u32>,
+    chain: Arc<FusedChain>,
+    probes: Arc<ProbeSet>,
+}
+
+/// What one shard reports back per task.
+struct ShardResult {
+    produced: u64,
+    counts: Vec<OpCounts>,
+    busy: Duration,
+    error: Option<String>,
+}
+
+/// The shard worker loop: pop a task, evaluate the fused chain over the
+/// shard's selection, push the result. Exits when the task ring closes.
+fn run_shard(tasks: Consumer<ShardTask>, results: Producer<ShardResult>) {
+    let mut idle_polls = 0u32;
+    loop {
+        match tasks.try_pop() {
+            Some(task) => {
+                idle_polls = 0;
+                let started = Instant::now();
+                let mut counts = Vec::new();
+                let (produced, error) =
+                    match task
+                        .chain
+                        .eval(&task.batch, &task.probes, task.sel, &mut counts)
+                    {
+                        Ok(sel) => (sel.len() as u64, None),
+                        Err(e) => (0, Some(e.to_string())),
+                    };
+                let result = ShardResult {
+                    produced,
+                    counts,
+                    busy: started.elapsed(),
+                    error,
+                };
+                if results.push_blocking(result).is_err() {
+                    return;
+                }
+            }
+            None => {
+                if tasks.is_closed() {
+                    return;
+                }
+                idle_polls += 1;
+                if idle_polls > 256 {
+                    std::thread::sleep(Duration::from_micros(50));
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over a byte string — the per-key shard hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer — the shard hash for keyless (timestamp) sharding.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Partition a batch's rows across `shards` selection vectors by key hash.
+/// Every partition of the identity selection yields the same evaluation
+/// results (rows are independent given the probe snapshots), so sharding
+/// never affects counts — only which core does the work.
+fn shard_selection(batch: &ColumnBatch, key_field: Option<usize>, shards: usize) -> Vec<Vec<u32>> {
+    let mut sels: Vec<Vec<u32>> = vec![Vec::new(); shards];
+    if shards == 1 {
+        sels[0] = batch.identity_sel();
+        return sels;
+    }
+    let key_column = key_field.and_then(|f| batch.column(f));
+    for r in 0..batch.len() {
+        let hash = match key_column.and_then(|c| c.as_str(r)) {
+            Some(key) => fnv1a(key.as_bytes()),
+            None => mix64(batch.timestamps()[r]),
+        };
+        sels[(hash % shards as u64) as usize].push(r as u32);
+    }
+    sels
+}
+
+/// The columnar execution backend: shard worker threads over SPSC rings,
+/// driven by the same [`RuntimeCore`] as the simulator and row executor.
+pub struct ColumnarExecutor {
+    query: Query,
+    cluster: Cluster,
+    config: ColumnarConfig,
+    faults: FaultPlan,
+}
+
+impl ColumnarExecutor {
+    /// Create a columnar executor for a query on a cluster (fault-free).
+    pub fn new(query: Query, cluster: Cluster, config: ColumnarConfig) -> Result<Self> {
+        config.validate()?;
+        config.exec.sim.validate()?;
+        query.validate()?;
+        Ok(Self {
+            query,
+            cluster,
+            config,
+            faults: FaultPlan::none(),
+        })
+    }
+
+    /// Attach a fault plan; its events are applied at virtual-tick
+    /// granularity, exactly as the simulator applies them.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Result<Self> {
+        faults.validate_for(self.cluster.num_nodes())?;
+        self.faults = faults;
+        Ok(self)
+    }
+
+    /// The executor configuration.
+    pub fn config(&self) -> &ColumnarConfig {
+        &self.config
+    }
+
+    /// Run one strategy against a workload on the columnar dataplane.
+    pub fn run(
+        &self,
+        workload: &dyn Workload,
+        strategy: &mut dyn DistributionStrategy,
+    ) -> Result<RunMetrics> {
+        self.run_report(workload, strategy, false)
+            .map(|report| report.metrics)
+    }
+
+    /// Like [`Self::run`], additionally recording every routing and
+    /// migration decision for cross-backend comparison.
+    pub fn run_traced(
+        &self,
+        workload: &dyn Workload,
+        strategy: &mut dyn DistributionStrategy,
+    ) -> Result<(RunMetrics, RunTrace)> {
+        self.run_report(workload, strategy, true).map(|report| {
+            let trace = report.trace.expect("trace was enabled");
+            (report.metrics, trace)
+        })
+    }
+
+    /// The index of the driving schema's partition-key column (its first
+    /// text field), if it has one.
+    fn key_field(&self) -> Option<usize> {
+        self.query.streams[self.query.driving_stream.index()]
+            .schema
+            .fields()
+            .iter()
+            .position(|f| f.data_type == DataType::Text)
+    }
+
+    /// The modelled wall-millisecond pause of a migration set — same model
+    /// as the row executor's `apply_migrations`, but charged as overhead
+    /// instead of sleeping a worker (there is no per-node worker to pause).
+    fn modelled_pause_ms(&self, decisions: &[rld_physical::MigrationDecision]) -> Result<f64> {
+        let mut total = 0.0;
+        for d in decisions {
+            if d.from.index() >= self.cluster.num_nodes()
+                || d.to.index() >= self.cluster.num_nodes()
+            {
+                return Err(RldError::Runtime(format!(
+                    "migration of {} names a node outside the {}-node cluster ({} -> {})",
+                    d.operator,
+                    self.cluster.num_nodes(),
+                    d.from,
+                    d.to
+                )));
+            }
+            total += self.config.exec.pause_fixed_ms
+                + self.config.exec.pause_ms_per_kb * (d.state_bytes as f64 / 1024.0);
+        }
+        Ok(total)
+    }
+
+    /// Run one strategy and report everything measured.
+    ///
+    /// The coordinator loop mirrors `ThreadedExecutor::run_report`'s
+    /// `RuntimeCore` call order *exactly* — fault events, observation,
+    /// strategy dispatch, partner delivery, arrival sampling, routing,
+    /// ingest-drop accounting, batch recording, node accounting — so per
+    /// seed the two backends replay identical `RunTrace`s.
+    pub fn run_report(
+        &self,
+        workload: &dyn Workload,
+        strategy: &mut dyn DistributionStrategy,
+        traced: bool,
+    ) -> Result<ExecReport> {
+        let num_nodes = self.cluster.num_nodes();
+        let mut core = RuntimeCore::new(
+            self.query.clone(),
+            num_nodes,
+            self.config.exec.sim,
+            self.faults.clone(),
+            strategy.name(),
+        )?;
+        if traced {
+            core = core.with_trace();
+        }
+
+        // Canonical dataplane state, all coordinator-owned: compiled
+        // operators (windows, observed counters) and the generator.
+        let mut ops: Vec<CompiledOp> = self
+            .query
+            .operators
+            .iter()
+            .map(|spec| CompiledOp::compile(&self.query, spec, self.config.exec.sim.seed))
+            .collect();
+        let mut gen = DataplaneGenerator::new(
+            &self.query,
+            derive_seed(self.config.exec.sim.seed, strategy.name()),
+        );
+        let key_field = self.key_field();
+        let shards = self.config.effective_shards();
+        let replay = self.faults.recovery == RecoverySemantic::Replay;
+
+        // One task ring and one result ring per shard.
+        let mut task_txs = Vec::with_capacity(shards);
+        let mut task_rxs = Vec::with_capacity(shards);
+        let mut result_txs = Vec::with_capacity(shards);
+        let mut result_rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = ring::<ShardTask>(self.config.ring_capacity);
+            task_txs.push(tx);
+            task_rxs.push(rx);
+            let (tx, rx) = ring::<ShardResult>(self.config.ring_capacity);
+            result_txs.push(tx);
+            result_rxs.push(rx);
+        }
+
+        let wall_start = Instant::now();
+        std::thread::scope(|scope| -> Result<ExecReport> {
+            let mut workers = Vec::with_capacity(shards);
+            for (tasks, results) in task_rxs.drain(..).zip(result_txs.drain(..)) {
+                workers.push(scope.spawn(move || run_shard(tasks, results)));
+            }
+
+            let dt = self.config.exec.sim.tick_secs;
+            let duration = self.config.exec.sim.duration_secs;
+            let mut view = ClusterView::all_up(&self.cluster);
+            let mut placement = Arc::new(strategy.physical().clone());
+            let mut up = vec![true; num_nodes];
+            let mut factor = vec![1.0f64; num_nodes];
+            let mut tuples_processed: u64 = 0;
+            let mut overhead_route_ms = 0.0f64;
+            let mut pause_ms_total = 0.0f64;
+            let mut busy_total = Duration::ZERO;
+            let mut max_backlog = 0u64;
+            let mut ticks = 0u64;
+            let mut t = 0.0f64;
+            // The probe snapshot the next dispatch ships, refreshed
+            // incrementally: only operators whose window state changed
+            // since the last dispatch are re-sorted.
+            let mut probes = Arc::new(ProbeSet::snapshot(&ops));
+            let mut dirty_ops = vec![false; ops.len()];
+            // Fused chains are compiled once per routed logical plan.
+            let mut chain_cache: Option<(Arc<LogicalPlan>, Arc<FusedChain>)> = None;
+
+            while t < duration {
+                // Fault plane, applied on the virtual timeline exactly as
+                // in the simulator and the row executor.
+                let mut cluster_changed = false;
+                while let Some(event) = core.next_fault_due(t) {
+                    match event.kind {
+                        FaultKind::Crash => {
+                            up[event.node.index()] = false;
+                            if !replay {
+                                // Lost semantics: the node's window state
+                                // dies with it.
+                                for op in self.query.operator_ids() {
+                                    if placement.node_of(op) == Some(event.node) {
+                                        ops[op.index()].clear_state();
+                                        dirty_ops[op.index()] = true;
+                                    }
+                                }
+                            }
+                            core.note_crash(t, 0.0);
+                        }
+                        FaultKind::Recover => up[event.node.index()] = true,
+                        FaultKind::Degrade { factor: f } => factor[event.node.index()] = f,
+                        FaultKind::Restore => factor[event.node.index()] = 1.0,
+                    }
+                    cluster_changed = true;
+                }
+                if cluster_changed {
+                    for i in 0..num_nodes {
+                        view.set_up(NodeId::new(i), up[i]);
+                        view.set_capacity_factor(NodeId::new(i), factor[i]);
+                    }
+                }
+
+                let truth = workload.stats_at(t);
+                match self.config.exec.monitor {
+                    MonitorSource::Truth => core.observe(t, &truth),
+                    MonitorSource::Observed => {
+                        let observed = observed_snapshot(&ops, &truth);
+                        core.observe(t, &observed);
+                    }
+                }
+
+                // Strategy dispatch, in the simulator's exact order. The
+                // migration pause is charged as modelled overhead.
+                if cluster_changed {
+                    let decisions = {
+                        let ctx = core.context(t, &self.cluster);
+                        strategy.on_cluster_change(&ctx, &view, core.monitored())?
+                    };
+                    pause_ms_total += self.modelled_pause_ms(&decisions)?;
+                    core.note_migrations(t, &decisions);
+                    if !decisions.is_empty() {
+                        placement = Arc::new(strategy.physical().clone());
+                    }
+                }
+                let decisions = {
+                    let ctx = core.context(t, &self.cluster);
+                    strategy.maybe_migrate(&ctx, core.monitored())?
+                };
+                pause_ms_total += self.modelled_pause_ms(&decisions)?;
+                core.note_migrations(t, &decisions);
+                if !decisions.is_empty() {
+                    placement = Arc::new(strategy.physical().clone());
+                }
+
+                // Partner-stream deliveries into the canonical windows.
+                let now_ms = (t * 1000.0) as u64;
+                for (stream, batch) in gen.partner_batches(t, dt, &truth) {
+                    for (i, op) in ops.iter_mut().enumerate() {
+                        if op.deliver_partner(stream, &batch, now_ms) {
+                            dirty_ops[i] = true;
+                        }
+                    }
+                }
+
+                // Driving arrivals → route → dispatch across the shards
+                // (or drop at ingest when the route crosses a down node).
+                let n_tuples = core.sample_arrivals(&truth);
+                if n_tuples > 0 {
+                    let route_started = Instant::now();
+                    let (has_first, plan, down) = {
+                        let routed = core.route(&mut *strategy, &truth, num_nodes, t)?;
+                        let down = routed.pipeline_nodes.iter().any(|node| !view.is_up(*node));
+                        (
+                            !routed.pipeline_nodes.is_empty(),
+                            core.current_plan().cloned(),
+                            down,
+                        )
+                    };
+                    overhead_route_ms += route_started.elapsed().as_secs_f64() * 1000.0;
+                    if down {
+                        core.note_dropped_batch(n_tuples);
+                    } else if let (true, Some(plan)) = (has_first, plan) {
+                        let chain = match &chain_cache {
+                            Some((cached, chain)) if Arc::ptr_eq(cached, &plan) => {
+                                Arc::clone(chain)
+                            }
+                            _ => {
+                                let chain = Arc::new(FusedChain::compile(&ops, plan.ordering())?);
+                                chain_cache = Some((Arc::clone(&plan), Arc::clone(&chain)));
+                                chain
+                            }
+                        };
+                        if dirty_ops.iter().any(|d| *d) {
+                            let mut next = (*probes).clone();
+                            for (i, dirty) in dirty_ops.iter_mut().enumerate() {
+                                if *dirty {
+                                    next.set(
+                                        OperatorId::new(i),
+                                        ops[i].probe_marks().map(Arc::new),
+                                    );
+                                    *dirty = false;
+                                }
+                            }
+                            probes = Arc::new(next);
+                        }
+                        let batch = Arc::new(gen.driving_column_batch(t, dt, n_tuples, &truth));
+                        let ingest = Instant::now();
+                        let mut dispatched = 0u64;
+                        for (shard, sel) in shard_selection(&batch, key_field, shards)
+                            .into_iter()
+                            .enumerate()
+                        {
+                            if sel.is_empty() {
+                                continue;
+                            }
+                            dispatched += 1;
+                            let task = ShardTask {
+                                batch: Arc::clone(&batch),
+                                sel,
+                                chain: Arc::clone(&chain),
+                                probes: Arc::clone(&probes),
+                            };
+                            task_txs[shard].push_blocking(task).map_err(|_| {
+                                RldError::Runtime("shard worker hung up during dispatch".into())
+                            })?;
+                        }
+                        max_backlog = max_backlog.max(dispatched);
+                        // Tick-synchronous completion: fold every shard of
+                        // this batch back before the clock advances.
+                        let mut produced = 0u64;
+                        let mut remaining = dispatched;
+                        while remaining > 0 {
+                            let mut idle = true;
+                            for rx in &result_rxs {
+                                while let Some(res) = rx.try_pop() {
+                                    remaining -= 1;
+                                    idle = false;
+                                    if let Some(msg) = res.error {
+                                        return Err(RldError::Runtime(msg));
+                                    }
+                                    produced += res.produced;
+                                    busy_total += res.busy;
+                                    for c in &res.counts {
+                                        ops[c.op.index()].note_observed(c.inputs, c.outputs);
+                                    }
+                                }
+                            }
+                            if idle {
+                                if workers.iter().any(|w| w.is_finished()) {
+                                    return Err(RldError::Runtime(
+                                        "shard worker exited mid-run".into(),
+                                    ));
+                                }
+                                std::hint::spin_loop();
+                                std::thread::yield_now();
+                            }
+                        }
+                        tuples_processed += n_tuples;
+                        core.record_batch(
+                            n_tuples,
+                            ingest.elapsed().as_secs_f64() * 1000.0,
+                            produced,
+                            t,
+                        );
+                    }
+                }
+
+                for i in 0..num_nodes {
+                    let effective = if up[i] {
+                        self.cluster.capacity(NodeId::new(i)) * factor[i]
+                    } else {
+                        0.0
+                    };
+                    core.account_node(dt, up[i], effective);
+                }
+                ticks += 1;
+                t += dt;
+            }
+
+            // Shutdown: nothing is in flight (tick-synchronous), so closing
+            // the task rings is the whole drain.
+            for tx in &task_txs {
+                tx.close();
+            }
+            for worker in workers {
+                let _ = worker.join();
+            }
+
+            // Assemble the measured totals.
+            let wall_secs = wall_start.elapsed().as_secs_f64();
+            let busy_ms = busy_total.as_secs_f64() * 1000.0;
+            let mean_utilization = if wall_secs > 0.0 && shards > 0 {
+                (busy_total.as_secs_f64() / (wall_secs * shards as f64)).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let capacity_total = self.cluster.total_capacity() * dt * ticks as f64;
+            let percentiles = core.latency_percentiles(&[50.0, 95.0, 99.0]);
+            let observed_stats = observed_snapshot(&ops, &workload.stats_at(duration));
+            let (metrics, trace) = core.finish(
+                &*strategy,
+                BackendTotals {
+                    tuples_processed,
+                    query_work: busy_ms,
+                    overhead_work: pause_ms_total + overhead_route_ms,
+                    mean_utilization,
+                    max_backlog: max_backlog as f64,
+                    capacity_total,
+                },
+            );
+            let tuples_per_sec = if wall_secs > 0.0 {
+                metrics.tuples_processed as f64 / wall_secs
+            } else {
+                0.0
+            };
+            Ok(ExecReport {
+                metrics,
+                trace,
+                wall_secs,
+                tuples_per_sec,
+                latency_percentiles_ms: vec![
+                    (50.0, percentiles[0]),
+                    (95.0, percentiles[1]),
+                    (99.0, percentiles[2]),
+                ],
+                migration_pause_ms: pause_ms_total,
+                observed_stats,
+            })
+        })
+    }
+}
+
+/// Snapshot of what the dataplane observed: the truth's rates with every
+/// executed operator's selectivity replaced by its real output/input ratio.
+fn observed_snapshot(ops: &[CompiledOp], truth: &StatsSnapshot) -> StatsSnapshot {
+    let mut snap = truth.clone();
+    for op in ops {
+        op.fold_observed_into(&mut snap);
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ThreadedExecutor;
+    use rld_engine::{RodStrategy, SimConfig};
+    use rld_physical::RodPlanner;
+    use rld_query::{CostModel, JoinOrderOptimizer, Optimizer};
+    use rld_workloads::{RatePattern, StockWorkload};
+
+    fn capacity_for(query: &Query, slack: f64) -> f64 {
+        let cm = CostModel::new(query.clone());
+        let opt = JoinOrderOptimizer::new(query.clone());
+        let lp = opt.optimize(&query.default_stats()).unwrap();
+        let loads = cm.operator_loads(&lp, &query.default_stats()).unwrap();
+        loads.iter().cloned().fold(0.0f64, f64::max) * slack
+    }
+
+    fn rod_strategy(query: &Query, cluster: &Cluster) -> RodStrategy {
+        let plan = RodPlanner::new()
+            .plan(query, &query.default_stats(), cluster, 1.0)
+            .unwrap();
+        RodStrategy::new(plan.logical, plan.physical)
+    }
+
+    fn columnar_config(duration_secs: f64, shards: usize) -> ColumnarConfig {
+        ColumnarConfig {
+            shards,
+            ..ColumnarConfig::from_sim(SimConfig {
+                duration_secs,
+                ..SimConfig::default()
+            })
+        }
+    }
+
+    #[test]
+    fn columnar_executor_processes_real_tuples_end_to_end() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(4, capacity_for(&q, 3.0)).unwrap();
+        let exec =
+            ColumnarExecutor::new(q.clone(), cluster.clone(), columnar_config(30.0, 2)).unwrap();
+        let workload = StockWorkload::new(20.0, RatePattern::Constant(1.0));
+        let mut rod = rod_strategy(&q, &cluster);
+        let report = exec.run_report(&workload, &mut rod, false).unwrap();
+        let m = &report.metrics;
+        assert!(m.tuples_arrived > 0);
+        assert_eq!(
+            m.tuples_processed, m.tuples_arrived,
+            "healthy run processes everything: {m:?}"
+        );
+        assert_eq!(m.tuples_lost, 0);
+        assert!(report.wall_secs > 0.0);
+        assert!(report.tuples_per_sec > 0.0);
+        assert_eq!(report.latency_percentiles_ms.len(), 3);
+        let op0 = OperatorId::new(0);
+        let s = report.observed_stats.selectivity(op0).unwrap();
+        assert!(s > 0.1 && s < 1.5, "op0 observed selectivity {s}");
+    }
+
+    #[test]
+    fn columnar_and_row_backends_replay_identical_run_traces() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(4, capacity_for(&q, 3.0)).unwrap();
+        let sim = SimConfig {
+            duration_secs: 45.0,
+            ..SimConfig::default()
+        };
+        let workload = StockWorkload::default_config();
+
+        let row =
+            ThreadedExecutor::new(q.clone(), cluster.clone(), ExecConfig::from_sim(sim)).unwrap();
+        let mut rod_row = rod_strategy(&q, &cluster);
+        let (row_metrics, row_trace) = row.run_traced(&workload, &mut rod_row).unwrap();
+
+        let col = ColumnarExecutor::new(q.clone(), cluster.clone(), ColumnarConfig::from_sim(sim))
+            .unwrap();
+        let mut rod_col = rod_strategy(&q, &cluster);
+        let (col_metrics, col_trace) = col.run_traced(&workload, &mut rod_col).unwrap();
+
+        assert_eq!(row_trace, col_trace, "identical routing per batch");
+        assert_eq!(row_metrics.tuples_arrived, col_metrics.tuples_arrived);
+        assert_eq!(row_metrics.batches, col_metrics.batches);
+        assert_eq!(row_metrics.migrations, col_metrics.migrations);
+        assert_eq!(row_metrics.plan_switches, col_metrics.plan_switches);
+        assert_eq!(row_metrics.tuples_processed, col_metrics.tuples_processed);
+        assert_eq!(col_metrics.tuples_lost, 0);
+    }
+
+    #[test]
+    fn sharding_does_not_change_any_deterministic_count() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(4, capacity_for(&q, 3.0)).unwrap();
+        let workload = StockWorkload::default_config();
+        let mut reports = Vec::new();
+        for shards in [1usize, 3] {
+            let exec =
+                ColumnarExecutor::new(q.clone(), cluster.clone(), columnar_config(30.0, shards))
+                    .unwrap();
+            let mut rod = rod_strategy(&q, &cluster);
+            reports.push(exec.run_report(&workload, &mut rod, true).unwrap());
+        }
+        let (a, b) = (&reports[0], &reports[1]);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.metrics.tuples_arrived, b.metrics.tuples_arrived);
+        assert_eq!(a.metrics.tuples_processed, b.metrics.tuples_processed);
+        assert_eq!(a.metrics.tuples_produced, b.metrics.tuples_produced);
+        assert_eq!(a.metrics.tuples_lost, b.metrics.tuples_lost);
+        assert_eq!(
+            a.observed_stats, b.observed_stats,
+            "observed selectivities are shard-count-invariant"
+        );
+    }
+
+    #[test]
+    fn crashed_node_loses_tuples_at_ingest_and_accounting_balances() {
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(4, capacity_for(&q, 3.0)).unwrap();
+        let workload = StockWorkload::new(20.0, RatePattern::Constant(1.0));
+        let mut rod = rod_strategy(&q, &cluster);
+        let victim = (0..4)
+            .map(NodeId::new)
+            .find(|n| !rod.physical().operators_on(*n).is_empty())
+            .unwrap();
+        let exec = ColumnarExecutor::new(q.clone(), cluster.clone(), columnar_config(40.0, 2))
+            .unwrap()
+            .with_faults(FaultPlan::node_crash(victim, 10.0, 30.0, RecoverySemantic::Lost).unwrap())
+            .unwrap();
+        let m = exec.run(&workload, &mut rod).unwrap();
+        assert_eq!(m.fault_events, 2);
+        assert!(m.tuples_lost > 0, "{m:?}");
+        assert!(m.reroutes > 0, "{m:?}");
+        assert!(m.downtime_node_secs > 0.0);
+        assert_eq!(
+            m.tuples_processed + m.tuples_lost,
+            m.tuples_arrived,
+            "columnar ingest-loss accounting balances exactly: {m:?}"
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ColumnarConfig::default().validate().is_ok());
+        let bad = ColumnarConfig {
+            ring_capacity: 0,
+            ..ColumnarConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ColumnarConfig {
+            shards: 1000,
+            ..ColumnarConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ColumnarConfig {
+            exec: ExecConfig {
+                pause_fixed_ms: -1.0,
+                ..ExecConfig::default()
+            },
+            ..ColumnarConfig::default()
+        };
+        let q = Query::q1_stock_monitoring();
+        let cluster = Cluster::homogeneous(2, 100.0).unwrap();
+        assert!(ColumnarExecutor::new(q, cluster, bad).is_err());
+    }
+}

@@ -34,11 +34,21 @@
 //! in wall time. The coordinator runs the virtual timeline as fast as the
 //! workers can drain it; the bounded ingest channel paces it to the real
 //! processing speed.
+//!
+//! A second, vectorized dataplane lives in [`columnar`]:
+//! [`columnar::ColumnarExecutor`] drives the identical `RuntimeCore` policy
+//! loop but executes batches as struct-of-arrays
+//! [`rld_common::ColumnBatch`]es through fused operator chains over
+//! selection vectors, sharded across cores via lock-free SPSC rings. Same
+//! decisions, same `RunTrace`s — roughly an order of magnitude more tuples
+//! per second.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod columnar;
 pub mod executor;
 mod worker;
 
+pub use columnar::{ColumnarConfig, ColumnarExecutor};
 pub use executor::{ExecConfig, ExecReport, MonitorSource, ThreadedExecutor};

@@ -13,9 +13,21 @@
 //!   strategies via the scenario layer: determinism per seed, RLD's
 //!   no-migration guarantee, migration-count bounds for DYN/HYB, and
 //!   monotone produced-tuple timelines for every strategy.
+//! * `dataplane.rs` — cross-backend policy agreement between the simulator
+//!   and the threaded (row) executor.
+//! * `columnar_oracle.rs` — the differential-testing oracle pitting the
+//!   columnar backend against the row executor and the simulator.
+//! * `fault_plane.rs` — fault-plane invariants on the simulator *and* the
+//!   executors' crash/replay/degrade semantics.
+//! * `percentiles.rs` — the `ExecReport` percentile math against a naive
+//!   sort-and-expand oracle.
 //! * `logical_physical_properties.rs` — property-based invariants of the
 //!   cost model, logical-solution generators and physical planners under
 //!   randomized queries.
 //!
-//! This library target is intentionally empty; it exists so the test files
-//! have a package to hang off and so shared helpers can be added here later.
+//! The [`fixtures`] module is the shared seed-corpus vocabulary: one Q1
+//! cluster/deployment/strategy builder and scenario presets, so every suite
+//! states *what* it runs in the same terms instead of re-assembling ad-hoc
+//! setups.
+
+pub mod fixtures;

@@ -1,0 +1,237 @@
+//! The columnar differential-testing oracle: the discrete-tick simulator,
+//! the row (threaded) executor and the columnar executor all drive the same
+//! `RuntimeCore`, so per seed the three backends must replay **identical
+//! policy decisions** — the same routed plan for every batch, the same
+//! migrations — and agree on every virtually-accounted counter, fault-free
+//! and faulted.
+//!
+//! What is deliberately *not* asserted: wall-clock measurements (latency,
+//! busy time) and the row path's produced/processed split under faults —
+//! both depend on thread scheduling. The deterministic surface is the
+//! policy trace plus the virtual counters; the columnar dataplane is
+//! tick-synchronous, so for it even `tuples_processed` and
+//! `tuples_produced` are exact per seed.
+
+use proptest::prelude::*;
+use rld_core::prelude::*;
+use rld_tests::fixtures::{build_strategy, q1, sim_config, test_cluster};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Fault-free: all three backends make identical policy decisions and
+    /// agree on every virtual counter; nothing is lost anywhere.
+    #[test]
+    fn fault_free_backends_agree_on_the_whole_policy_surface(
+        seed in 1u64..u32::MAX as u64,
+        duration_ticks in 20u32..40,
+    ) {
+        let query = q1();
+        let cluster = test_cluster(&query);
+        let config = sim_config(seed, duration_ticks as f64);
+        let workload = StockWorkload::new(10.0, RatePattern::Constant(1.0));
+
+        let simulator = Simulator::new(query.clone(), cluster.clone(), config).unwrap();
+        let row = ThreadedExecutor::new(
+            query.clone(),
+            cluster.clone(),
+            ExecConfig::from_sim(config),
+        )
+        .unwrap();
+        let columnar = ColumnarExecutor::new(
+            query.clone(),
+            cluster.clone(),
+            ColumnarConfig::from_sim(config),
+        )
+        .unwrap();
+
+        for name in ["RLD", "HYB", "DYN"] {
+            let mut s = build_strategy(name, &query, &cluster);
+            let (sim_m, sim_t) = simulator.run_traced(&workload, s.as_mut()).unwrap();
+            let mut s = build_strategy(name, &query, &cluster);
+            let (row_m, row_t) = row.run_traced(&workload, s.as_mut()).unwrap();
+            let mut s = build_strategy(name, &query, &cluster);
+            let (col_m, col_t) = columnar.run_traced(&workload, s.as_mut()).unwrap();
+
+            // One policy trace, three dataplanes.
+            prop_assert_eq!(&sim_t.routes, &row_t.routes, "{}: sim vs row routes", name);
+            prop_assert_eq!(&sim_t.routes, &col_t.routes, "{}: sim vs columnar routes", name);
+            prop_assert_eq!(&sim_t.migrations, &row_t.migrations, "{}: sim vs row migrations", name);
+            prop_assert_eq!(&sim_t.migrations, &col_t.migrations, "{}: sim vs columnar migrations", name);
+
+            for (backend, m) in [("row", &row_m), ("columnar", &col_m)] {
+                prop_assert_eq!(sim_m.tuples_arrived, m.tuples_arrived, "{} {}", name, backend);
+                prop_assert_eq!(sim_m.batches, m.batches, "{} {}", name, backend);
+                prop_assert_eq!(sim_m.migrations, m.migrations, "{} {}", name, backend);
+                prop_assert_eq!(sim_m.plan_switches, m.plan_switches, "{} {}", name, backend);
+                prop_assert_eq!(
+                    sim_m.work_vector_recomputes,
+                    m.work_vector_recomputes,
+                    "{} {}", name, backend
+                );
+                prop_assert_eq!(m.tuples_lost, 0u64, "{} {}", name, backend);
+                prop_assert_eq!(m.tuples_processed, m.tuples_arrived, "{} {}", name, backend);
+            }
+        }
+    }
+
+    /// Faulted: the policy surface (routes, migrations, reroutes, fault
+    /// events, downtime) stays identical across all three backends, and the
+    /// virtually-accounted loss (batches routed into a down pipeline) is
+    /// identical between the simulator and the tick-synchronous columnar
+    /// dataplane. The row path may additionally lose envelopes that were in
+    /// flight at the crash instant — a wall-clock race by design — so for it
+    /// only conservation is asserted.
+    #[test]
+    fn faulted_backends_share_the_policy_surface(
+        seed in 1u64..u32::MAX as u64,
+        victim in 0usize..4,
+    ) {
+        let query = q1();
+        let cluster = test_cluster(&query);
+        let config = sim_config(seed, 40.0);
+        let workload = StockWorkload::new(10.0, RatePattern::Constant(1.0));
+        let faults = || {
+            FaultPlan::node_crash(NodeId::new(victim), 10.0, 25.0, RecoverySemantic::Lost)
+                .unwrap()
+        };
+
+        let simulator = Simulator::new(query.clone(), cluster.clone(), config)
+            .unwrap()
+            .with_faults(faults())
+            .unwrap();
+        let row = ThreadedExecutor::new(
+            query.clone(),
+            cluster.clone(),
+            ExecConfig::from_sim(config),
+        )
+        .unwrap()
+        .with_faults(faults())
+        .unwrap();
+        let columnar = ColumnarExecutor::new(
+            query.clone(),
+            cluster.clone(),
+            ColumnarConfig::from_sim(config),
+        )
+        .unwrap()
+        .with_faults(faults())
+        .unwrap();
+
+        for name in ["RLD", "HYB"] {
+            let mut s = build_strategy(name, &query, &cluster);
+            let (sim_m, sim_t) = simulator.run_traced(&workload, s.as_mut()).unwrap();
+            let mut s = build_strategy(name, &query, &cluster);
+            let (row_m, row_t) = row.run_traced(&workload, s.as_mut()).unwrap();
+            let mut s = build_strategy(name, &query, &cluster);
+            let (col_m, col_t) = columnar.run_traced(&workload, s.as_mut()).unwrap();
+
+            prop_assert_eq!(&sim_t.routes, &row_t.routes, "{}: sim vs row routes", name);
+            prop_assert_eq!(&sim_t.routes, &col_t.routes, "{}: sim vs columnar routes", name);
+            prop_assert_eq!(&sim_t.migrations, &row_t.migrations, "{}: sim vs row migrations", name);
+            prop_assert_eq!(&sim_t.migrations, &col_t.migrations, "{}: sim vs columnar migrations", name);
+
+            for (backend, m) in [("row", &row_m), ("columnar", &col_m)] {
+                prop_assert_eq!(sim_m.tuples_arrived, m.tuples_arrived, "{} {}", name, backend);
+                prop_assert_eq!(sim_m.fault_events, m.fault_events, "{} {}", name, backend);
+                prop_assert_eq!(sim_m.reroutes, m.reroutes, "{} {}", name, backend);
+                prop_assert!(
+                    (sim_m.downtime_node_secs - m.downtime_node_secs).abs() < 1e-9,
+                    "{} {}: downtime {} vs {}",
+                    name, backend, sim_m.downtime_node_secs, m.downtime_node_secs
+                );
+            }
+
+            // Ingest-level loss is virtual, hence identical for the
+            // tick-synchronous backends; the row path can only lose *more*.
+            prop_assert_eq!(sim_m.tuples_lost, col_m.tuples_lost, "{}", name);
+            prop_assert!(
+                row_m.tuples_lost >= col_m.tuples_lost,
+                "{}: row lost {} below the ingest-level floor {}",
+                name, row_m.tuples_lost, col_m.tuples_lost
+            );
+
+            // Conservation holds on every backend, faulted or not.
+            prop_assert_eq!(
+                col_m.tuples_processed + col_m.tuples_lost,
+                col_m.tuples_arrived,
+                "columnar conservation ({})", name
+            );
+            prop_assert_eq!(
+                row_m.tuples_processed + row_m.tuples_lost,
+                row_m.tuples_arrived,
+                "row conservation ({})", name
+            );
+        }
+    }
+}
+
+/// The columnar dataplane is tick-synchronous, so *everything* virtual —
+/// including the produced-tuple count and timeline, which on the row path
+/// depend on thread scheduling — is bit-identical across repeated runs.
+#[test]
+fn columnar_results_are_bit_deterministic_per_seed() {
+    let query = q1();
+    let cluster = test_cluster(&query);
+    let config = sim_config(42, 60.0);
+    let workload = StockWorkload::new(10.0, RatePattern::Constant(2.0));
+    let columnar = ColumnarExecutor::new(
+        query.clone(),
+        cluster.clone(),
+        ColumnarConfig::from_sim(config),
+    )
+    .unwrap();
+
+    let run = || {
+        let mut s = build_strategy("HYB", &query, &cluster);
+        columnar.run_traced(&workload, s.as_mut()).unwrap()
+    };
+    let (a, a_trace) = run();
+    let (b, b_trace) = run();
+    assert_eq!(a_trace, b_trace);
+    assert_eq!(a.tuples_arrived, b.tuples_arrived);
+    assert_eq!(a.tuples_processed, b.tuples_processed);
+    assert_eq!(a.tuples_lost, b.tuples_lost);
+    assert_eq!(a.tuples_produced, b.tuples_produced);
+    assert_eq!(a.produced_timeline, b.produced_timeline);
+    assert_eq!(a.batches, b.batches);
+    assert_eq!(a.migrations, b.migrations);
+    assert!(a.tuples_produced > 0, "{a:?}");
+}
+
+/// Under `Replay` the columnar crash preserves window state, under `Lost`
+/// it clears it — mirroring the row executor's semantics — while the
+/// ingest-level loss floor stays identical between the two semantics
+/// (routing is policy-deterministic and ignores the semantic).
+#[test]
+fn columnar_recovery_semantics_only_differ_in_window_state() {
+    let query = q1();
+    let cluster = test_cluster(&query);
+    let config = sim_config(7, 120.0);
+    let workload = StockWorkload::new(10.0, RatePattern::Constant(2.0));
+    let run = |semantic: RecoverySemantic| {
+        let columnar = ColumnarExecutor::new(
+            query.clone(),
+            cluster.clone(),
+            ColumnarConfig::from_sim(config),
+        )
+        .unwrap()
+        .with_faults(FaultPlan::node_crash(NodeId::new(0), 30.0, 60.0, semantic).unwrap())
+        .unwrap();
+        let mut s = build_strategy("ROD", &query, &cluster);
+        columnar.run(&workload, s.as_mut()).unwrap()
+    };
+    let lost = run(RecoverySemantic::Lost);
+    let replay = run(RecoverySemantic::Replay);
+    assert_eq!(lost.tuples_arrived, replay.tuples_arrived);
+    assert_eq!(lost.tuples_lost, replay.tuples_lost);
+    assert_eq!(
+        lost.tuples_processed, replay.tuples_processed,
+        "processing is ingest-gated, not state-gated"
+    );
+    assert!(
+        replay.tuples_produced >= lost.tuples_produced,
+        "a preserved window can only produce more: replay {} vs lost {}",
+        replay.tuples_produced,
+        lost.tuples_produced
+    );
+}

@@ -8,38 +8,7 @@
 
 use proptest::prelude::*;
 use rld_core::prelude::*;
-use std::sync::OnceLock;
-
-/// The RLD compile is the expensive part; share one deployment across all
-/// generated cases (the per-case variation is runtime-side: seed, duration,
-/// monitor smoothing).
-fn deployment() -> &'static Deployment {
-    static DEPLOYMENT: OnceLock<Deployment> = OnceLock::new();
-    DEPLOYMENT.get_or_init(|| {
-        let query = Query::q1_stock_monitoring();
-        let cluster = test_cluster(&query);
-        RldConfig::default()
-            .with_uncertainty(3)
-            .compiler(query)
-            .compile(&cluster)
-            .expect("q1 compiles on the comfortable cluster")
-    })
-}
-
-fn test_cluster(query: &Query) -> Cluster {
-    Cluster::homogeneous(4, runtime_capacity(query, 4, 3.0)).expect("valid cluster")
-}
-
-/// Build one strategy per short name, fresh for each backend run.
-fn build_strategy(name: &str, query: &Query, cluster: &Cluster) -> Box<dyn DistributionStrategy> {
-    match name {
-        "RLD" => Box::new(deployment().deploy()),
-        "HYB" => Box::new(deployment().deploy_hybrid(5.0)),
-        "DYN" => Box::new(deploy_dyn(query, &query.default_stats(), cluster, 5.0).unwrap()),
-        "ROD" => Box::new(deploy_rod(query, &query.default_stats(), cluster).unwrap()),
-        other => panic!("unknown strategy {other}"),
-    }
-}
+use rld_tests::fixtures::{build_strategy, q1, test_cluster};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
@@ -53,7 +22,7 @@ proptest! {
         duration_ticks in 20u32..40,
         alpha_pct in 30u32..100,
     ) {
-        let query = Query::q1_stock_monitoring();
+        let query = q1();
         let cluster = test_cluster(&query);
         let sim_config = SimConfig {
             duration_secs: duration_ticks as f64,
@@ -113,7 +82,7 @@ proptest! {
 /// same policy decisions (wall-clock measurements may differ).
 #[test]
 fn executor_decisions_are_deterministic_per_seed() {
-    let query = Query::q1_stock_monitoring();
+    let query = q1();
     let cluster = test_cluster(&query);
     let sim_config = SimConfig {
         duration_secs: 30.0,
@@ -142,7 +111,7 @@ fn executor_decisions_are_deterministic_per_seed() {
 /// sequences, so the agreement above is not vacuous.
 #[test]
 fn different_seeds_differ() {
-    let query = Query::q1_stock_monitoring();
+    let query = q1();
     let cluster = test_cluster(&query);
     let workload = StockWorkload::default_config();
     let arrivals = |seed: u64| {

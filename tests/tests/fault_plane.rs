@@ -1,19 +1,14 @@
-//! Invariants of the fault plane, exercised through the scenario layer:
-//! bit-determinism of faulted runs, the failover asymmetry between the
-//! adaptive (DYN, HYB) and static (RLD, ROD) strategies, and the
-//! available-capacity bound on utilization under arbitrary fault plans.
+//! Invariants of the fault plane: bit-determinism of faulted runs, the
+//! failover asymmetry between the adaptive (DYN, HYB) and static (RLD, ROD)
+//! strategies, and the available-capacity bound on utilization under
+//! arbitrary fault plans — all through the scenario layer — plus the
+//! threaded executor's recovery semantics (Lost clears window state,
+//! Replay parks and re-delivers, Degrade slows without dropping).
 
 use proptest::prelude::*;
 use rld_core::prelude::*;
 use rld_core::scenario;
-
-/// The full q1-node-crash comparison, compiled and simulated once and
-/// shared by the assertions below (the RLD compile is the expensive part);
-/// the determinism test runs its own second, fresh copy.
-fn node_crash_report() -> &'static ScenarioReport {
-    static REPORT: std::sync::OnceLock<ScenarioReport> = std::sync::OnceLock::new();
-    REPORT.get_or_init(|| scenario::builtin("q1-node-crash").unwrap().run().unwrap())
-}
+use rld_tests::fixtures::{node_crash_report, q1, test_cluster, PiecewiseWorkload};
 
 #[test]
 fn fault_runs_are_bit_deterministic_per_seed() {
@@ -115,6 +110,248 @@ fn straggler_scenario_degrades_without_crashing() {
     assert_eq!(rod.reroutes, 0);
     assert_eq!(rod.downtime_node_secs, 0.0);
     assert!(rod.capacity_available_fraction < 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Executor-side recovery semantics: the same FaultPlan vocabulary the
+// simulator models must hold on the threaded dataplane, where windows,
+// channels and parked envelopes are real.
+// ---------------------------------------------------------------------------
+
+/// A minimal window-join query whose production collapses to zero exactly
+/// when its partner window is empty: one cheap filter feeding one
+/// high-selectivity window join.
+fn window_probe_query() -> Query {
+    let schema = Schema::from_pairs(&[("key", DataType::Text), ("ts", DataType::Timestamp)]);
+    Query::builder("WPROBE")
+        .window_secs(60.0)
+        .stream("Driver", schema.clone(), 100.0)
+        .stream("Partner", schema, 50.0)
+        .filter("pass", 1.0, 0.9)
+        .window_join("probe_partner", 1, 1.0, 0.01, 0.5, 32 * 1024)
+        .build()
+        .unwrap()
+}
+
+/// Lost vs Replay on the threaded executor, isolated to window state: the
+/// partner stream fills the join window *before* the crash and goes silent;
+/// the driving stream only speaks *after* recovery. Under `Lost` the crash
+/// wipes the window, so the late driving tuples find nothing to join —
+/// under `Replay` the window survives and they produce results.
+#[test]
+fn executor_lost_clears_window_state_and_replay_preserves_it() {
+    let query = window_probe_query();
+    let cluster = Cluster::homogeneous(1, runtime_capacity(&query, 1, 3.0)).unwrap();
+    let workload = PiecewiseWorkload::new("pre-crash-partner", query.clone())
+        // Partner traffic only before the crash...
+        .rate_steps(StreamId::new(1), vec![(0.0, 50.0), (20.0, 0.0)])
+        // ...driving traffic only after recovery.
+        .rate_steps(StreamId::new(0), vec![(0.0, 0.0), (28.0, 300.0)]);
+
+    let run = |semantic: RecoverySemantic| {
+        let config = ExecConfig::from_sim(SimConfig {
+            duration_secs: 40.0,
+            ..SimConfig::default()
+        });
+        let exec = ThreadedExecutor::new(query.clone(), cluster.clone(), config)
+            .unwrap()
+            .with_faults(FaultPlan::node_crash(NodeId::new(0), 20.0, 25.0, semantic).unwrap())
+            .unwrap();
+        let mut rod = deploy_rod(&query, &query.default_stats(), &cluster).unwrap();
+        exec.run(&workload, &mut rod).unwrap()
+    };
+
+    let lost = run(RecoverySemantic::Lost);
+    let replay = run(RecoverySemantic::Replay);
+
+    // Same arrivals either way (the crash window sees zero driving traffic,
+    // so nothing is dropped at ingest under either semantic)...
+    assert_eq!(lost.tuples_arrived, replay.tuples_arrived);
+    assert!(lost.tuples_arrived > 1000, "{lost:?}");
+    assert_eq!(lost.tuples_lost, 0, "{lost:?}");
+    assert_eq!(replay.tuples_lost, 0, "{replay:?}");
+    assert_eq!(lost.fault_events, 2);
+    // ...but only the preserved window can still answer the late probes.
+    assert_eq!(
+        lost.tuples_produced, 0,
+        "Lost must wipe the partner window: {lost:?}"
+    );
+    assert!(
+        replay.tuples_produced > 0,
+        "Replay must keep the partner window: {replay:?}"
+    );
+}
+
+/// The node hosting the plan's *first* operator — the one every ingested
+/// envelope must pass through, making it the right victim for straggler
+/// and backlog experiments.
+fn entry_node(query: &Query, cluster: &Cluster) -> NodeId {
+    let mut rod = deploy_rod(query, &query.default_stats(), cluster).unwrap();
+    let plan = rod.plan_for_batch(&query.default_stats()).unwrap();
+    rod.physical().node_of(plan.ordering()[0]).unwrap()
+}
+
+/// Replay vs Lost for in-flight envelopes. The construction pins a backlog
+/// in the victim's inbox at the crash instant: the node is degraded so
+/// hard that each envelope takes ~1 s of stretched wall time, and the
+/// driving stream speaks for exactly eight ticks right before the crash —
+/// so the worker is still busy with the early envelopes when the crash
+/// lands, with the rest queued behind them. `Lost` drops the queued
+/// backlog; `Replay` parks it and re-delivers it after recovery, so
+/// everything completes and nothing is lost.
+#[test]
+fn executor_replay_parks_and_redelivers_the_victims_backlog() {
+    let query = window_probe_query();
+    let cluster = Cluster::homogeneous(1, runtime_capacity(&query, 1, 3.0)).unwrap();
+    let victim = entry_node(&query, &cluster);
+    let workload = PiecewiseWorkload::new("pre-crash-burst", query.clone())
+        // Eight ticks of driving traffic immediately before the crash —
+        // everything else is partner traffic that keeps the join window
+        // (and hence the per-envelope eval cost) non-trivial without making
+        // the post-recovery drain exceed the executor's drain timeout.
+        .rate_steps(
+            StreamId::new(0),
+            vec![(0.0, 0.0), (6.0, 4000.0), (14.0, 0.0)],
+        )
+        .rate_steps(StreamId::new(1), vec![(0.0, 500.0)]);
+
+    let run = |semantic: RecoverySemantic| {
+        let events = vec![
+            FaultEvent {
+                at_secs: 1.0,
+                node: victim,
+                kind: FaultKind::Degrade { factor: 0.001 },
+            },
+            // The outage must be long in *wall* terms: only an envelope
+            // *received while the node is down* exercises the park-vs-drop
+            // branch, and the degraded worker sleeps through its stretch
+            // (clamped at 1 s) before its next receive. While the worker
+            // sleeps the coordinator sprints — an idle tick costs well under
+            // a millisecond — so the outage spans thousands of virtual
+            // seconds to guarantee a wall length that dwarfs one stretch.
+            FaultEvent {
+                at_secs: 14.0,
+                node: victim,
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                at_secs: 30014.0,
+                node: victim,
+                kind: FaultKind::Recover,
+            },
+            // Full speed again right after recovery so parked envelopes
+            // drain quickly (a node recovers at whatever degradation
+            // factor it last had).
+            FaultEvent {
+                at_secs: 30015.0,
+                node: victim,
+                kind: FaultKind::Restore,
+            },
+        ];
+        let config = ExecConfig::from_sim(SimConfig {
+            duration_secs: 30030.0,
+            ..SimConfig::default()
+        });
+        let exec = ThreadedExecutor::new(query.clone(), cluster.clone(), config)
+            .unwrap()
+            .with_faults(FaultPlan::new(events, semantic).unwrap())
+            .unwrap();
+        let mut rod = deploy_rod(&query, &query.default_stats(), &cluster).unwrap();
+        exec.run(&workload, &mut rod).unwrap()
+    };
+
+    let lost = run(RecoverySemantic::Lost);
+    let replay = run(RecoverySemantic::Replay);
+
+    // Policy decisions are seed-deterministic, so both runs ingest the same
+    // eight envelopes (no driving traffic overlaps the outage, so nothing
+    // is dropped at ingest) — the only difference is the fate of the
+    // backlog queued at the victim when it died.
+    assert_eq!(lost.tuples_arrived, replay.tuples_arrived);
+    assert!(lost.tuples_arrived > 3000, "{lost:?}");
+    assert_eq!(lost.batches, 8, "{lost:?}");
+    assert_eq!(lost.fault_events, 4, "{lost:?}");
+    assert!(
+        lost.tuples_lost > 0,
+        "Lost must drop the envelope queued at the dead node: {lost:?}"
+    );
+    assert_eq!(
+        replay.tuples_lost, 0,
+        "Replay must park and re-deliver it: {replay:?}"
+    );
+    assert_eq!(replay.tuples_processed, replay.tuples_arrived, "{replay:?}");
+    assert_eq!(
+        lost.tuples_processed + lost.tuples_lost,
+        lost.tuples_arrived,
+        "{lost:?}"
+    );
+    assert!(
+        replay.tuples_processed > lost.tuples_processed,
+        "re-delivered envelopes must complete: replay {} vs lost {}",
+        replay.tuples_processed,
+        lost.tuples_processed
+    );
+}
+
+/// A degraded worker is a straggler, not a failure: every tuple still
+/// completes (nothing lost, nothing rerouted, no downtime) — the cost is
+/// latency, which the degradation stretch makes visibly worse than the
+/// fault-free run.
+#[test]
+fn executor_degraded_workers_slow_down_but_drop_nothing() {
+    let query = q1();
+    let cluster = test_cluster(&query);
+    let workload = StockWorkload::new(20.0, RatePattern::Constant(4.0));
+    let victim = entry_node(&query, &cluster);
+
+    let run = |faults: Option<FaultPlan>| {
+        let config = ExecConfig::from_sim(SimConfig {
+            duration_secs: 35.0,
+            ..SimConfig::default()
+        });
+        let mut exec = ThreadedExecutor::new(query.clone(), cluster.clone(), config).unwrap();
+        if let Some(plan) = faults {
+            exec = exec.with_faults(plan).unwrap();
+        }
+        let mut rod = deploy_rod(&query, &query.default_stats(), &cluster).unwrap();
+        exec.run(&workload, &mut rod).unwrap()
+    };
+
+    let healthy = run(None);
+    let events = vec![
+        FaultEvent {
+            at_secs: 5.0,
+            node: victim,
+            kind: FaultKind::Degrade { factor: 0.005 },
+        },
+        FaultEvent {
+            at_secs: 25.0,
+            node: victim,
+            kind: FaultKind::Restore,
+        },
+    ];
+    let degraded = run(Some(
+        FaultPlan::new(events, RecoverySemantic::Lost).unwrap(),
+    ));
+
+    assert_eq!(degraded.fault_events, 2, "{degraded:?}");
+    assert_eq!(degraded.tuples_arrived, healthy.tuples_arrived);
+    // Nothing is dropped: a straggler is not a crash.
+    assert_eq!(degraded.tuples_lost, 0, "{degraded:?}");
+    assert_eq!(
+        degraded.tuples_processed, degraded.tuples_arrived,
+        "{degraded:?}"
+    );
+    assert_eq!(degraded.reroutes, 0, "{degraded:?}");
+    assert_eq!(degraded.downtime_node_secs, 0.0, "{degraded:?}");
+    assert!(degraded.capacity_available_fraction < 1.0, "{degraded:?}");
+    // The 20× stretch on one pipeline node dominates the mean latency.
+    assert!(
+        degraded.avg_tuple_processing_ms > healthy.avg_tuple_processing_ms * 1.5,
+        "degraded {} ms vs healthy {} ms",
+        degraded.avg_tuple_processing_ms,
+        healthy.avg_tuple_processing_ms
+    );
 }
 
 proptest! {

@@ -1,0 +1,117 @@
+//! The tuple-weighted percentile math of [`MetricsAccumulator`], checked
+//! against the naive oracle that expands every `(latency, weight)` sample
+//! into `weight` individual observations, sorts them, and indexes: the p-th
+//! percentile is the smallest observation whose rank `k` (1-based) satisfies
+//! `100·k ≥ p·W` over `W` total observations. The accumulator answers the
+//! same question from the weighted representation without expanding — so on
+//! any input the two must agree exactly.
+
+use proptest::prelude::*;
+use rld_core::engine::MetricsAccumulator;
+
+/// The expand-sort-index oracle.
+fn naive_percentile(samples: &[(f64, u64)], p: f64) -> f64 {
+    let mut expanded: Vec<f64> = samples
+        .iter()
+        .flat_map(|&(latency, weight)| std::iter::repeat_n(latency, weight as usize))
+        .collect();
+    assert!(!expanded.is_empty());
+    expanded.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let w = expanded.len() as f64;
+    let p = p.clamp(0.0, 100.0);
+    for (i, &latency) in expanded.iter().enumerate() {
+        if (i + 1) as f64 * 100.0 >= p * w {
+            return latency;
+        }
+    }
+    *expanded.last().unwrap()
+}
+
+fn accumulate(samples: &[(f64, u64)]) -> MetricsAccumulator {
+    let mut acc = MetricsAccumulator::new();
+    for &(latency, weight) in samples {
+        acc.record_batch(weight, latency, 0, 0.0);
+    }
+    acc
+}
+
+proptest! {
+    /// On arbitrary weighted samples the accumulator and the naive oracle
+    /// agree for every percentile, including the boundary ones.
+    #[test]
+    fn weighted_percentiles_match_the_expand_sort_index_oracle(
+        samples in prop::collection::vec((0.0f64..1e4, 1u64..100), 1..40),
+        p in 0.0f64..=100.0,
+    ) {
+        let acc = accumulate(&samples);
+        for q in [p, 0.0, 50.0, 95.0, 99.0, 100.0] {
+            prop_assert_eq!(
+                acc.percentile_latency_ms(q),
+                naive_percentile(&samples, q),
+                "p={} over {:?}", q, &samples
+            );
+        }
+    }
+
+    /// Percentiles are monotone in `p` and bracketed by the extreme samples.
+    #[test]
+    fn percentiles_are_monotone_and_bracketed(
+        samples in prop::collection::vec((0.0f64..1e4, 1u64..100), 1..40),
+    ) {
+        let acc = accumulate(&samples);
+        let ps: Vec<f64> = (0..=20).map(|i| i as f64 * 5.0).collect();
+        let values = acc.percentiles_latency_ms(&ps);
+        prop_assert!(values.windows(2).all(|w| w[0] <= w[1]), "{:?}", values);
+        let min = samples.iter().map(|(l, _)| *l).fold(f64::INFINITY, f64::min);
+        let max = samples.iter().map(|(l, _)| *l).fold(0.0, f64::max);
+        prop_assert_eq!(values[0], min, "p=0 is the smallest observation");
+        prop_assert_eq!(*values.last().unwrap(), max, "p=100 is the largest");
+    }
+
+    /// Huge tuple weights (the regime where a float cumulative sum loses
+    /// integer resolution) still index exactly one sample per rank: with two
+    /// equal-weight samples the p=50 percentile is the *lower* latency —
+    /// rank `W/2` reaches 50% exactly — and p just above 50 is the upper.
+    #[test]
+    fn large_weights_do_not_shift_the_rank(weight in 1u64..=u32::MAX as u64) {
+        let mut acc = MetricsAccumulator::new();
+        acc.record_batch(weight, 1.0, 0, 0.0);
+        acc.record_batch(weight, 2.0, 0, 0.0);
+        prop_assert_eq!(acc.percentile_latency_ms(50.0), 1.0);
+        prop_assert_eq!(acc.percentile_latency_ms(50.0001), 2.0);
+        prop_assert_eq!(acc.percentile_latency_ms(100.0), 2.0);
+    }
+}
+
+#[test]
+fn zero_samples_answer_zero() {
+    let acc = MetricsAccumulator::new();
+    assert_eq!(acc.percentile_latency_ms(50.0), 0.0);
+    assert_eq!(
+        acc.percentiles_latency_ms(&[0.0, 99.0, 100.0]),
+        vec![0.0; 3]
+    );
+    assert_eq!(acc.total_weight(), 0);
+}
+
+#[test]
+fn one_sample_answers_itself_at_every_percentile() {
+    let mut acc = MetricsAccumulator::new();
+    acc.record_batch(7, 3.25, 0, 0.0);
+    for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+        assert_eq!(acc.percentile_latency_ms(p), 3.25, "p={p}");
+    }
+}
+
+#[test]
+fn two_samples_split_at_the_weighted_median() {
+    let mut acc = MetricsAccumulator::new();
+    // 1 tuple at 10 ms, 99 tuples at 20 ms: every percentile above 1% must
+    // answer 20 ms — the tuple-weighted view, not the per-batch one.
+    acc.record_batch(1, 10.0, 0, 0.0);
+    acc.record_batch(99, 20.0, 0, 0.0);
+    assert_eq!(acc.percentile_latency_ms(1.0), 10.0);
+    assert_eq!(acc.percentile_latency_ms(1.1), 20.0);
+    assert_eq!(acc.percentile_latency_ms(50.0), 20.0);
+    assert_eq!(acc.percentile_latency_ms(99.0), 20.0);
+}

@@ -6,17 +6,7 @@
 use proptest::prelude::*;
 use rld_core::prelude::*;
 use rld_core::scenario;
-
-fn quick_q1_scenario(seed: u64, duration_secs: f64) -> Scenario {
-    Scenario::builder("strategy-invariants", Query::q1_stock_monitoring())
-        .homogeneous_cluster(4, 3.0)
-        .workload(StockWorkload::default_config())
-        .duration_secs(duration_secs)
-        .seed(seed)
-        .default_strategies(RldConfig::default().with_uncertainty(3))
-        .build()
-        .unwrap()
-}
+use rld_tests::fixtures::quick_q1_scenario;
 
 #[test]
 fn every_strategy_is_deterministic_per_seed() {
