@@ -4,6 +4,7 @@
 //! cargo run -p rld-bench --release --bin dataplane            # full sweep
 //! cargo run -p rld-bench --release --bin dataplane -- --quick # CI smoke
 //! cargo run -p rld-bench --release --bin dataplane -- --quick --check
+//! cargo run -p rld-bench --release --bin dataplane -- --shards 1
 //! ```
 //!
 //! Where every other runtime bench models execution on the discrete-tick
@@ -20,11 +21,22 @@
 //! invariants (every strategy processes every tuple on both backends),
 //! making the binary a CI smoke test for the whole tuple-level dataplane.
 //!
+//! `--shards N` pins the columnar executor's shard count (`0` or absent =
+//! one shard per available core). An explicit shard count writes its JSON
+//! to `BENCH_dataplane-shardsN.json` so side-by-side runs don't clobber
+//! each other. The per-run JSON includes the columnar backend's stage
+//! timing breakdown (generate / route / dispatch / evaluate / fold /
+//! window milliseconds).
+//!
 //! `--check` is the perf regression gate: after the sweep it compares each
-//! strategy's tuples/s on both backends against the committed
-//! `BENCH_baseline.json` and exits non-zero if any fell more than 20%
-//! below the baseline. A missing or mode-mismatched baseline is a loud
-//! failure, not a skip.
+//! strategy's tuples/s on both backends *and* the sweep's minimum columnar
+//! speedup against the committed `BENCH_baseline.json`, and exits non-zero
+//! if any throughput fell more than 20% (the speedup ratio: 35%, see
+//! [`SPEEDUP_TOLERANCE`]) below the baseline. A missing or
+//! mode-mismatched baseline is a loud failure, not a skip — but a baseline
+//! recorded at a *different effective shard count* skips the throughput
+//! comparison (the numbers are not comparable; the quick-mode invariants
+//! still gate correctness).
 
 use rld_bench::json::{metrics_json, write_bench_json, BenchMeta, Json};
 use rld_bench::print_table;
@@ -34,12 +46,31 @@ use rld_core::prelude::*;
 const BASELINE_PATH: &str = "BENCH_baseline.json";
 /// Largest tolerated relative tuples/s drop before `--check` fails.
 const REGRESSION_TOLERANCE: f64 = 0.20;
+/// Tolerance for the minimum columnar-over-row speedup. A speedup is a
+/// ratio of two independently noisy throughputs, so its run-to-run spread
+/// compounds: both ends at their 20% tolerance edges shift the ratio by
+/// `1 - 0.8/1.2 ≈ 33%`. Anything past that is a structural regression
+/// (e.g. a kernel falling back to the row path), not noise.
+const SPEEDUP_TOLERANCE: f64 = 0.35;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let check = args.iter().any(|a| a == "--check");
     let duration = if quick { 45.0 } else { 300.0 };
+    let mut shards: Option<usize> = None;
+    for (i, arg) in args.iter().enumerate() {
+        let value = if let Some(v) = arg.strip_prefix("--shards=") {
+            Some(v)
+        } else if arg == "--shards" {
+            Some(args.get(i + 1).expect("--shards needs a value").as_str())
+        } else {
+            None
+        };
+        if let Some(v) = value {
+            shards = Some(v.parse().expect("--shards takes a non-negative integer"));
+        }
+    }
 
     let query = Query::q1_stock_monitoring();
     let scenario = Scenario::builder("dataplane-q1", query)
@@ -67,10 +98,20 @@ fn main() {
         exec_config,
     )
     .expect("row executor");
+    let col_config = ColumnarConfig {
+        shards: shards.unwrap_or(0),
+        ..ColumnarConfig::from_exec(exec_config)
+    };
+    let shards_effective = col_config.effective_shards();
+    println!(
+        "columnar shards: {} ({})\n",
+        shards_effective,
+        if shards.is_some() { "pinned" } else { "auto" },
+    );
     let col_exec = ColumnarExecutor::new(
         scenario.query().clone(),
         scenario.cluster().clone(),
-        ColumnarConfig::from_exec(exec_config),
+        col_config,
     )
     .expect("columnar executor");
 
@@ -126,6 +167,19 @@ fn main() {
             row.metrics.plan_switches.to_string(),
         ]);
         let backend_json = |r: &ExecReport| {
+            let stages = r
+                .stage_timings
+                .map(|s| {
+                    Json::obj([
+                        ("generate_ms", Json::Num(s.generate_ms)),
+                        ("route_ms", Json::Num(s.route_ms)),
+                        ("dispatch_ms", Json::Num(s.dispatch_ms)),
+                        ("evaluate_ms", Json::Num(s.evaluate_ms)),
+                        ("fold_ms", Json::Num(s.fold_ms)),
+                        ("window_ms", Json::Num(s.window_ms)),
+                    ])
+                })
+                .unwrap_or(Json::Null);
             Json::obj([
                 ("tuples_per_sec", Json::Num(r.tuples_per_sec)),
                 ("wall_secs", Json::Num(r.wall_secs)),
@@ -133,6 +187,7 @@ fn main() {
                 ("p95_latency_ms", Json::Num(p(r, 1))),
                 ("p99_latency_ms", Json::Num(p(r, 2))),
                 ("migration_pause_ms", Json::Num(r.migration_pause_ms)),
+                ("stage_timings", stages),
                 ("metrics", metrics_json(&r.metrics)),
             ])
         };
@@ -157,6 +212,8 @@ fn main() {
     let data = Json::obj([
         ("quick", Json::Bool(quick)),
         ("duration_secs", Json::Num(duration)),
+        ("shards_requested", Json::uint(shards.unwrap_or(0) as u64)),
+        ("shards_effective", Json::uint(shards_effective as u64)),
         ("min_speedup", Json::Num(min_speedup)),
         ("runs", Json::Arr(docs)),
     ]);
@@ -165,7 +222,11 @@ fn main() {
         .scenario("dataplane-q1")
         .backend("execute-row+columnar")
         .strategies(names);
-    match write_bench_json("dataplane", &meta, data.clone()) {
+    let artifact = match shards {
+        Some(n) => format!("dataplane-shards{n}"),
+        None => "dataplane".to_string(),
+    };
+    match write_bench_json(&artifact, &meta, data.clone()) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(err) => eprintln!("could not write JSON: {err}"),
     }
@@ -176,8 +237,11 @@ fn main() {
 }
 
 /// The regression gate: compare this run's tuples/s per strategy and
-/// backend against the committed baseline; tolerate up to
-/// [`REGRESSION_TOLERANCE`] relative slowdown, exit non-zero beyond it.
+/// backend — plus the sweep's minimum columnar speedup — against the
+/// committed baseline; tolerate up to [`REGRESSION_TOLERANCE`] relative
+/// slowdown, exit non-zero beyond it. When the baseline was recorded at a
+/// different effective shard count the throughput numbers are not
+/// comparable and the gate reports a skip instead.
 fn check_against_baseline(current: &Json) {
     let text = match std::fs::read_to_string(BASELINE_PATH) {
         Ok(text) => text,
@@ -206,6 +270,19 @@ fn check_against_baseline(current: &Json) {
              than this run; regenerate it in the mode CI checks."
         );
         std::process::exit(2);
+    }
+    // Throughput at 1 shard and at 8 shards are different experiments; only
+    // gate against a baseline recorded at the same effective shard count.
+    // (A baseline predating the field is compared unconditionally.)
+    let shards_of = |doc: &Json| doc.get("shards_effective").and_then(Json::as_f64);
+    if let (Some(base_shards), Some(cur_shards)) = (shards_of(base_data), shards_of(current)) {
+        if base_shards != cur_shards {
+            println!(
+                "regression gate: baseline recorded at {base_shards:.0} effective shards, \
+                 this run used {cur_shards:.0} — throughput comparison skipped"
+            );
+            return;
+        }
     }
 
     let runs_of = |doc: &Json| -> Vec<Json> {
@@ -259,6 +336,30 @@ fn check_against_baseline(current: &Json) {
     if compared == 0 {
         eprintln!("regression gate: {BASELINE_PATH} contains no comparable runs");
         std::process::exit(2);
+    }
+
+    // The columnar dataplane must also keep its *relative* advantage: gate
+    // the sweep's minimum columnar-over-row speedup with the same tolerance.
+    let min_of = |doc: &Json| doc.get("min_speedup").and_then(Json::as_f64);
+    match (min_of(base_data), min_of(current)) {
+        (Some(base), Some(cur)) => {
+            compared += 1;
+            let floor = base * (1.0 - SPEEDUP_TOLERANCE);
+            let verdict = if cur < floor { "REGRESSION" } else { "ok" };
+            println!(
+                "check min_speedup: {cur:.2}x vs baseline {base:.2}x (floor {floor:.2}x) \
+                 — {verdict}"
+            );
+            if cur < floor {
+                regressions.push(format!(
+                    "min_speedup: {cur:.2}x is below the {floor:.2}x floor \
+                     (baseline {base:.2}x)"
+                ));
+            }
+        }
+        _ => {
+            regressions.push("min_speedup: missing from the baseline or this run".to_string());
+        }
     }
     if regressions.is_empty() {
         println!(

@@ -631,6 +631,16 @@ impl ColumnBatch {
         }
     }
 
+    /// Drop every row while keeping the stream, arity, and each column's
+    /// storage type and allocated capacity — the batch-arena reuse that lets
+    /// shards regenerate into the same buffers tick after tick.
+    pub fn clear(&mut self) {
+        self.timestamps.clear();
+        for c in &mut self.columns {
+            c.clear();
+        }
+    }
+
     /// Convert a row batch. All tuples must share one stream and one arity
     /// (ragged batches cannot preserve the row path's missing-field
     /// semantics column-wise, so they are rejected rather than padded).
@@ -709,6 +719,28 @@ impl SortedMarks {
         Self { marks }
     }
 
+    /// Build from marks already sorted ascending by [`f64::total_cmp`] with
+    /// non-finite entries removed — the contract incremental maintenance
+    /// ([`WindowPartition`]) upholds, skipping the `O(n log n)` re-sort.
+    pub fn from_sorted(marks: Vec<f64>) -> Self {
+        debug_assert!(
+            marks
+                .windows(2)
+                .all(|w| w[0].total_cmp(&w[1]) != std::cmp::Ordering::Greater),
+            "marks must be sorted ascending"
+        );
+        debug_assert!(
+            marks.iter().all(|m| (0.0..1.0).contains(m)),
+            "probe marks must lie in [0, 1)"
+        );
+        Self { marks }
+    }
+
+    /// The sorted marks.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.marks
+    }
+
     /// Number of (finite) marks.
     pub fn len(&self) -> usize {
         self.marks.len()
@@ -729,45 +761,209 @@ impl SortedMarks {
     }
 }
 
-/// One epoch's read-only probe snapshots, indexed by operator: the lookup
-/// tables (static) and the sliding windows *as of the snapshot instant*.
-/// Cheap to clone (per-operator `Arc`s), so the columnar executor publishes
-/// one per tick and every shard probes the same frozen state — making shard
-/// results independent of worker timing.
-#[derive(Debug, Clone, Default)]
-pub struct ProbeSet {
-    per_op: Vec<Option<Arc<SortedMarks>>>,
+/// Merge two ascending (by [`f64::total_cmp`]) mark slices into one — the
+/// `O(n)` insert half of incremental window maintenance.
+fn merge_sorted(old: &[f64], add: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(old.len() + add.len());
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() && j < add.len() {
+        if old[i].total_cmp(&add[j]) != std::cmp::Ordering::Greater {
+            out.push(old[i]);
+            i += 1;
+        } else {
+            out.push(add[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&old[i..]);
+    out.extend_from_slice(&add[j..]);
+    out
 }
 
-impl ProbeSet {
-    /// An empty set for `num_ops` operators.
-    pub fn new(num_ops: usize) -> Self {
+/// Remove the multiset `del` (ascending, every element bit-present in `old`)
+/// from the ascending `old` — the `O(n)` expiry half of incremental window
+/// maintenance.
+fn subtract_sorted(old: &[f64], del: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(old.len().saturating_sub(del.len()));
+    let mut d = 0;
+    for &m in old {
+        if d < del.len() && del[d].total_cmp(&m) == std::cmp::Ordering::Equal {
+            d += 1;
+            continue;
+        }
+        out.push(m);
+    }
+    debug_assert_eq!(d, del.len(), "expired marks must come from the window");
+    out
+}
+
+/// One partition of a window-join operator's sliding-window state: the
+/// resident partner tuples of *one shard's share* of the partner stream
+/// (partitioned by key hash), plus an incrementally maintained
+/// [`SortedMarks`] snapshot of their finite marks.
+///
+/// Maintenance is `O(window)` per tick (one merge for inserts, one
+/// subtraction for expiry) instead of the `O(window log window)` full
+/// re-sort of snapshotting from scratch — the dominant coordinator cost the
+/// partitioned design removes. Because [`SortedMarks::count_matches`] is an
+/// exact integer count, summing it over disjoint partitions equals the
+/// count over their union bit for bit, so *how* the stream is partitioned
+/// (including not at all) can never change a probe result.
+#[derive(Debug, Clone)]
+pub struct WindowPartition {
+    window_ms: u64,
+    entries: VecDeque<WindowEntry>,
+    sorted: Arc<SortedMarks>,
+}
+
+impl WindowPartition {
+    /// An empty partition of a sliding window of `window_ms` milliseconds.
+    pub fn new(window_ms: u64) -> Self {
         Self {
-            per_op: vec![None; num_ops],
+            window_ms,
+            entries: VecDeque::new(),
+            sorted: Arc::new(SortedMarks::default()),
         }
     }
 
-    /// Snapshot every operator's current probe state.
+    /// Number of resident partner tuples (finite-marked or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the partition holds no partner tuples.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The current probe snapshot (cheap `Arc` clone).
+    pub fn snapshot(&self) -> Arc<SortedMarks> {
+        Arc::clone(&self.sorted)
+    }
+
+    /// One tick of window maintenance: insert this partition's share of the
+    /// tick's partner arrivals (`ts_ms`/`marks`, parallel slices in
+    /// timestamp order), then evict entries older than the window at
+    /// `now_ms` — the same insert-then-expire order as
+    /// [`CompiledOp::deliver_partner`]. Returns whether the contents (and
+    /// hence the snapshot) changed. Non-finite marks are kept as resident
+    /// never-matching entries, mirroring the row path.
+    pub fn advance(&mut self, now_ms: u64, ts_ms: &[u64], marks: &[f64]) -> bool {
+        debug_assert_eq!(ts_ms.len(), marks.len());
+        let mut added: Vec<f64> = Vec::new();
+        for (&ts, &mark) in ts_ms.iter().zip(marks) {
+            self.entries.push_back(WindowEntry { ts_ms: ts, mark });
+            if mark.is_finite() {
+                added.push(mark);
+            }
+        }
+        if !added.is_empty() {
+            added.sort_unstable_by(f64::total_cmp);
+            self.sorted = Arc::new(SortedMarks::from_sorted(merge_sorted(
+                self.sorted.as_slice(),
+                &added,
+            )));
+        }
+
+        let cutoff = now_ms.saturating_sub(self.window_ms);
+        let mut expired: Vec<f64> = Vec::new();
+        while let Some(e) = self.entries.front() {
+            if e.ts_ms >= cutoff {
+                break;
+            }
+            if e.mark.is_finite() {
+                expired.push(e.mark);
+            }
+            self.entries.pop_front();
+        }
+        if !expired.is_empty() {
+            expired.sort_unstable_by(f64::total_cmp);
+            self.sorted = Arc::new(SortedMarks::from_sorted(subtract_sorted(
+                self.sorted.as_slice(),
+                &expired,
+            )));
+        }
+        ts_ms.len() + expired.len() > 0
+    }
+
+    /// Drop all resident tuples — a node crash under `Lost` recovery
+    /// semantics. The snapshot becomes empty immediately.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.sorted = Arc::new(SortedMarks::default());
+    }
+}
+
+/// One epoch's read-only probe snapshots, indexed by operator: for each
+/// operator with probe state, one or more [`SortedMarks`] partitions whose
+/// *union* is the operator's probe state. Lookup tables are a single static
+/// partition; sliding windows carry one partition per shard, published
+/// tick-synchronously by the shard that owns it. Probing sums
+/// [`SortedMarks::count_matches`] over the partitions — an exact integer
+/// count, so the partitioning never changes a result.
+///
+/// Cheap to clone (per-partition `Arc`s), so the columnar executor
+/// publishes one per tick and every shard probes the same frozen state —
+/// making shard results independent of worker timing.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeSet {
+    per_op: Vec<Vec<Arc<SortedMarks>>>,
+}
+
+impl ProbeSet {
+    /// An empty set for `num_ops` operators (no probe state anywhere).
+    pub fn new(num_ops: usize) -> Self {
+        Self {
+            per_op: vec![Vec::new(); num_ops],
+        }
+    }
+
+    /// Snapshot every operator's current probe state as one partition each.
     pub fn snapshot(ops: &[CompiledOp]) -> Self {
         Self {
             per_op: ops
                 .iter()
-                .map(|op| op.probe_marks().map(Arc::new))
+                .map(|op| op.probe_marks().map(Arc::new).into_iter().collect())
                 .collect(),
         }
     }
 
-    /// Replace one operator's snapshot (used for incremental refresh).
+    /// Replace one operator's whole probe state with a single partition
+    /// (`None` removes the state entirely).
     pub fn set(&mut self, op: OperatorId, marks: Option<Arc<SortedMarks>>) {
         if op.index() >= self.per_op.len() {
-            self.per_op.resize(op.index() + 1, None);
+            self.per_op.resize(op.index() + 1, Vec::new());
         }
-        self.per_op[op.index()] = marks;
+        self.per_op[op.index()] = marks.into_iter().collect();
     }
 
-    /// The snapshot for one operator, if it has probe state.
-    pub fn get(&self, op: OperatorId) -> Option<&SortedMarks> {
-        self.per_op.get(op.index()).and_then(|m| m.as_deref())
+    /// Replace one partition of one operator's probe state, growing the
+    /// partition list with empty snapshots as needed.
+    pub fn set_partition(&mut self, op: OperatorId, partition: usize, marks: Arc<SortedMarks>) {
+        if op.index() >= self.per_op.len() {
+            self.per_op.resize(op.index() + 1, Vec::new());
+        }
+        let parts = &mut self.per_op[op.index()];
+        while parts.len() <= partition {
+            parts.push(Arc::new(SortedMarks::default()));
+        }
+        parts[partition] = marks;
+    }
+
+    /// The partitions of one operator's probe state (empty slice = the
+    /// operator has no probe state).
+    pub fn partitions(&self, op: OperatorId) -> &[Arc<SortedMarks>] {
+        self.per_op.get(op.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// How many marks across all of `op`'s partitions satisfy
+    /// `(mark + rot) % 1.0 < theta` — exactly the count a single unpartitioned
+    /// snapshot of the union would give.
+    pub fn count_matches(&self, op: OperatorId, theta: f64, rot: f64) -> usize {
+        self.partitions(op)
+            .iter()
+            .map(|p| p.count_matches(theta, rot))
+            .sum()
     }
 }
 
@@ -800,6 +996,70 @@ enum FusedStep {
     Passthrough { id: OperatorId, width: usize },
     /// A lookup/window probe against the epoch's [`SortedMarks`] snapshot.
     Probe { id: OperatorId, field: usize },
+}
+
+/// Branch-free compaction of a selection vector: `out[k] = r` is written
+/// unconditionally and the cursor advances by `keep(r) as usize` — no
+/// data-dependent branch in the loop body, so the predicate load + compare
+/// autovectorizes over dense column slices.
+fn compact_by(sel: &[u32], out: &mut Vec<u32>, mut keep: impl FnMut(u32) -> bool) {
+    out.clear();
+    out.resize(sel.len(), 0);
+    let mut k = 0usize;
+    for &r in sel {
+        out[k] = r;
+        k += keep(r) as usize;
+    }
+    out.truncate(k);
+}
+
+/// The vectorized fast path of a filter step: when the predicate is a
+/// numeric `Compare` over a dense (homogeneous, null-free) column, run a
+/// branch-free kernel over the raw slice and return `true`; otherwise return
+/// `false` and let the caller fall back to the per-row
+/// [`Predicate::eval_columnar`] dispatch. Each arm reproduces the matching
+/// [`Column::cmp_value`] arm exactly (`total_cmp` for floats, `cmp` for
+/// ints), so the kernel is bit-identical to the fallback.
+fn filter_select(
+    batch: &ColumnBatch,
+    predicate: &Predicate,
+    sel: &[u32],
+    out: &mut Vec<u32>,
+) -> bool {
+    let Predicate::Compare { field, op, operand } = predicate else {
+        return false;
+    };
+    let Some(col) = batch.column(*field) else {
+        return false;
+    };
+    let op = *op;
+    if let Some(vals) = col.dense_floats() {
+        let b = match operand {
+            Value::Float(b) => *b,
+            Value::Int(b) => *b as f64,
+            _ => return false,
+        };
+        compact_by(sel, out, |r| op.eval(vals[r as usize].total_cmp(&b)));
+        return true;
+    }
+    if let Some(vals) = col.dense_ints() {
+        return match operand {
+            Value::Int(b) => {
+                let b = *b;
+                compact_by(sel, out, |r| op.eval(vals[r as usize].cmp(&b)));
+                true
+            }
+            Value::Float(b) => {
+                let b = *b;
+                compact_by(sel, out, |r| {
+                    op.eval((vals[r as usize] as f64).total_cmp(&b))
+                });
+                true
+            }
+            _ => false,
+        };
+    }
+    false
 }
 
 /// A whole logical plan compiled into one fused, vectorized operator chain.
@@ -862,7 +1122,24 @@ impl FusedChain {
         counts: &mut Vec<OpCounts>,
     ) -> Result<Vec<u32>> {
         let mut sel = sel;
-        let mut next: Vec<u32> = Vec::with_capacity(sel.len());
+        let mut scratch = Vec::new();
+        self.eval_in_place(batch, probes, &mut sel, &mut scratch, counts)?;
+        Ok(sel)
+    }
+
+    /// [`FusedChain::eval`] without owning the buffers: `sel` is consumed and
+    /// left holding the surviving selection; `scratch` is a second buffer the
+    /// steps ping-pong against. Both keep their allocations, so a shard that
+    /// reuses them across ticks evaluates with zero selection-vector
+    /// allocations in steady state.
+    pub fn eval_in_place(
+        &self,
+        batch: &ColumnBatch,
+        probes: &ProbeSet,
+        sel: &mut Vec<u32>,
+        scratch: &mut Vec<u32>,
+        counts: &mut Vec<OpCounts>,
+    ) -> Result<()> {
         for step in &self.steps {
             if sel.is_empty() {
                 break;
@@ -870,13 +1147,15 @@ impl FusedChain {
             let inputs = sel.len() as u64;
             let id = match step {
                 FusedStep::Filter { id, predicate } => {
-                    next.clear();
-                    next.extend(
-                        sel.iter()
-                            .copied()
-                            .filter(|&r| predicate.eval_columnar(batch, r as usize)),
-                    );
-                    std::mem::swap(&mut sel, &mut next);
+                    if !filter_select(batch, predicate, sel, scratch) {
+                        scratch.clear();
+                        scratch.extend(
+                            sel.iter()
+                                .copied()
+                                .filter(|&r| predicate.eval_columnar(batch, r as usize)),
+                        );
+                    }
+                    std::mem::swap(sel, scratch);
                     *id
                 }
                 FusedStep::Passthrough { id, width } => {
@@ -889,19 +1168,30 @@ impl FusedChain {
                     *id
                 }
                 FusedStep::Probe { id, field } => {
-                    let marks = probes.get(*id).ok_or_else(|| {
-                        RldError::InvalidArgument(format!("operator {id}: missing probe snapshot"))
-                    })?;
-                    next.clear();
-                    for &r in &sel {
-                        let theta = batch.theta(r as usize, *field);
-                        let rot = probe_rotation(batch.timestamps[r as usize], *id);
-                        let n = marks.count_matches(theta, rot);
+                    let parts = probes.partitions(*id);
+                    if parts.is_empty() {
+                        return Err(RldError::InvalidArgument(format!(
+                            "operator {id}: missing probe snapshot"
+                        )));
+                    }
+                    // Hot path: a dense float theta column reads straight
+                    // from the slice; otherwise fall back to the per-row
+                    // Value conversion (bit-identical result either way).
+                    let dense_theta = batch.column(*field).and_then(Column::dense_floats);
+                    scratch.clear();
+                    for &r in sel.iter() {
+                        let row = r as usize;
+                        let theta = match dense_theta {
+                            Some(t) => t[row],
+                            None => batch.theta(row, *field),
+                        };
+                        let rot = probe_rotation(batch.timestamps[row], *id);
+                        let n: usize = parts.iter().map(|p| p.count_matches(theta, rot)).sum();
                         for _ in 0..n {
-                            next.push(r);
+                            scratch.push(r);
                         }
                     }
-                    std::mem::swap(&mut sel, &mut next);
+                    std::mem::swap(sel, scratch);
                     *id
                 }
             };
@@ -911,7 +1201,7 @@ impl FusedChain {
                 outputs: sel.len() as u64,
             });
         }
-        Ok(sel)
+        Ok(())
     }
 
     /// Evaluate the chain over every row of the batch.
@@ -1331,6 +1621,173 @@ mod tests {
         assert!(!Predicate::less_than(cb.arity() + 3, 1e9).eval_columnar(&cb, 0));
         // An unknown operator in the ordering is an error.
         assert!(FusedChain::compile(&ops, &[OperatorId::new(9)]).is_err());
+    }
+
+    /// Drive a [`WindowPartition`] and a plain [`CompiledOp`] window with
+    /// the same insert/expire schedule: the incremental snapshot must equal
+    /// the from-scratch `probe_marks` re-sort at every tick, including
+    /// non-finite marks and crash-clears.
+    #[test]
+    fn window_partition_matches_from_scratch_recompute() {
+        let q = q1();
+        let spec = q.operators[1].clone(); // windows the News stream
+        let mut op = CompiledOp::compile(&q, &spec, 7);
+        let window_ms = (q.window_secs * 1000.0) as u64;
+        let mut part = WindowPartition::new(window_ms);
+        let mut rng = rng_from_seed(derive_seed(7, "window-partition"));
+        let sid = StreamId::new(1);
+        for tick in 0..200u64 {
+            let now_ms = tick * 1000;
+            if tick == 120 {
+                op.clear_state();
+                part.clear();
+                assert!(part.is_empty() && part.snapshot().is_empty());
+            }
+            let n = rng.random_range(0usize..12);
+            let mut ts = Vec::new();
+            let mut marks = Vec::new();
+            let batch: Batch = (0..n)
+                .map(|i| {
+                    let t = now_ms.saturating_sub(500) + i as u64;
+                    let m = if rng.random_range(0u32..10) == 0 {
+                        f64::INFINITY
+                    } else {
+                        rng.random_range(0.0..1.0)
+                    };
+                    ts.push(t);
+                    marks.push(m);
+                    let mut tup = partner_tuple(&q, sid, t, 0.0);
+                    let mf = partner_mark_field(&q, sid);
+                    tup.values[mf] = if m.is_finite() {
+                        Value::Float(m)
+                    } else {
+                        Value::Null
+                    };
+                    tup
+                })
+                .collect();
+            op.deliver_partner(sid, &batch, now_ms);
+            part.advance(now_ms, &ts, &marks);
+            assert_eq!(part.len(), op.window_len(), "tick {tick}");
+            assert_eq!(
+                part.snapshot().as_slice(),
+                op.probe_marks().unwrap().as_slice(),
+                "tick {tick}"
+            );
+        }
+    }
+
+    /// Splitting one mark population across partitions must give the exact
+    /// same probe counts as the unpartitioned whole, for any split.
+    #[test]
+    fn partitioned_probe_counts_equal_the_unpartitioned_whole() {
+        let mut rng = rng_from_seed(derive_seed(13, "partition-sum"));
+        let marks: Vec<f64> = (0..700).map(|_| rng.random_range(0.0..1.0)).collect();
+        let whole = SortedMarks::from_unsorted(marks.clone());
+        let op = OperatorId::new(0);
+        for shards in [1usize, 2, 3, 8] {
+            let mut probes = ProbeSet::new(1);
+            for s in 0..shards {
+                let share: Vec<f64> = marks
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % shards == s)
+                    .map(|(_, m)| *m)
+                    .collect();
+                probes.set_partition(op, s, Arc::new(SortedMarks::from_unsorted(share)));
+            }
+            assert_eq!(probes.partitions(op).len(), shards);
+            for _ in 0..60 {
+                let theta = rng.random_range(0.0..1.0);
+                let rot = rng.random_range(0.0..1.0);
+                assert_eq!(
+                    probes.count_matches(op, theta, rot),
+                    whole.count_matches(theta, rot),
+                    "shards={shards}"
+                );
+            }
+        }
+    }
+
+    /// The branch-free filter kernel must agree with the per-row fallback on
+    /// dense float and int columns, for every comparison operator.
+    #[test]
+    fn filter_kernel_matches_the_row_fallback() {
+        let mut rng = rng_from_seed(derive_seed(17, "filter-kernel"));
+        let mut floats = ColumnBatch::with_arity(StreamId::new(0), 2);
+        for i in 0..200u64 {
+            let f: f64 = rng.random_range(-2.0..2.0);
+            let n: i64 = rng.random_range(-50..50);
+            floats.push_row_with(i, |c| {
+                if c == 0 {
+                    Value::Float(f)
+                } else {
+                    Value::Int(n)
+                }
+            });
+        }
+        let ops = [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ];
+        let operands = [Value::Float(0.25), Value::Int(3), Value::Float(-0.0)];
+        let sel = floats.identity_sel();
+        let mut out = Vec::new();
+        for field in 0..2usize {
+            for op in ops {
+                for operand in &operands {
+                    let pred = Predicate::Compare {
+                        field,
+                        op,
+                        operand: operand.clone(),
+                    };
+                    assert!(filter_select(&floats, &pred, &sel, &mut out));
+                    let expect: Vec<u32> = sel
+                        .iter()
+                        .copied()
+                        .filter(|&r| pred.eval_columnar(&floats, r as usize))
+                        .collect();
+                    assert_eq!(out, expect, "field={field} op={op:?} operand={operand:?}");
+                }
+            }
+        }
+        // Non-dense columns and non-numeric operands decline the kernel.
+        let mut nullable = ColumnBatch::with_arity(StreamId::new(0), 1);
+        nullable.push_row_with(0, |_| Value::Float(1.0));
+        nullable.push_row_with(1, |_| Value::Null);
+        let pred = Predicate::less_than(0, 0.5);
+        assert!(!filter_select(&nullable, &pred, &[0, 1], &mut out));
+        let text_op = Predicate::Compare {
+            field: 0,
+            op: CmpOp::Eq,
+            operand: Value::from("x"),
+        };
+        assert!(!filter_select(&floats, &text_op, &sel, &mut out));
+        assert!(!filter_select(&floats, &Predicate::True, &sel, &mut out));
+        assert!(!filter_select(
+            &floats,
+            &Predicate::less_than(9, 1.0),
+            &sel,
+            &mut out
+        ));
+    }
+
+    #[test]
+    fn column_batch_clear_keeps_arity_and_reuses_storage() {
+        let q = q1();
+        let batch: Batch = (0..4).map(|i| driving_tuple(&q, i, 0.4)).collect();
+        let mut cb = ColumnBatch::from_batch(&batch).unwrap();
+        cb.clear();
+        assert!(cb.is_empty());
+        assert_eq!(cb.arity(), driving_arity(&q));
+        for t in &batch.tuples {
+            cb.push_row(t.timestamp, &t.values).unwrap();
+        }
+        assert_eq!(cb.gather(&cb.identity_sel()), batch);
     }
 
     #[test]

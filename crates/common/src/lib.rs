@@ -40,7 +40,7 @@ pub mod value;
 pub use error::{Result, RldError};
 pub use exec::{
     CmpOp, ColumnBatch, CompiledOp, CompiledQuery, FusedChain, OpCounts, Predicate, ProbeSet,
-    SortedMarks,
+    SortedMarks, WindowPartition,
 };
 pub use ids::{NodeId, OperatorId, PlanId, StreamId};
 pub use operator::{OperatorKind, OperatorSpec};

@@ -29,6 +29,30 @@ pub fn derive_seed(parent: u64, label: &str) -> u64 {
     hash ^ parent.rotate_left(17)
 }
 
+/// The splitmix64 finalizer: a cheap, high-quality 64-bit bijective mixer.
+/// Used wherever a *stateless* hash must stand in for a random draw — the
+/// keyless shard hash, and per-row generator substream seeds (every (seed,
+/// tick, row) triple maps to an independent-looking RNG state without any
+/// sequential draw dependency).
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string — the per-key partition hash shared by the
+/// columnar fan-out and the partner-stream generators (both sides must
+/// agree on which shard owns a key).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Draw a sample from an exponential distribution with the given mean.
 ///
 /// Used for Poisson arrival processes (Table 2: Poisson arrivals with a

@@ -155,6 +155,7 @@ impl ColumnData {
 pub struct Column {
     data: ColumnData,
     validity: Vec<bool>,
+    null_count: usize,
 }
 
 impl Default for Column {
@@ -171,6 +172,41 @@ impl Column {
             // every slot so far is null.
             data: ColumnData::Float(Vec::new()),
             validity: Vec::new(),
+            null_count: 0,
+        }
+    }
+
+    /// Drop every slot while keeping the storage type and its allocated
+    /// capacity — the building block of batch-arena reuse on hot paths.
+    pub fn clear(&mut self) {
+        match &mut self.data {
+            ColumnData::Int(v) => v.clear(),
+            ColumnData::Float(v) => v.clear(),
+            ColumnData::Text(v) => v.clear(),
+            ColumnData::Bool(v) => v.clear(),
+            ColumnData::Timestamp(v) => v.clear(),
+            ColumnData::Mixed(v) => v.clear(),
+        }
+        self.validity.clear();
+        self.null_count = 0;
+    }
+
+    /// The float storage as a dense slice, available exactly when every slot
+    /// is a valid `Float` — the precondition for branch-free predicate
+    /// kernels that skip the per-row validity/type dispatch. `None` for any
+    /// other storage or when the column holds nulls.
+    pub fn dense_floats(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float(v) if self.null_count == 0 => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The integer storage as a dense slice (see [`Column::dense_floats`]).
+    pub fn dense_ints(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) if self.null_count == 0 => Some(v),
+            _ => None,
         }
     }
 
@@ -200,6 +236,7 @@ impl Column {
         if matches!(value, Value::Null) {
             self.data.push_default();
             self.validity.push(false);
+            self.null_count += 1;
             return;
         }
         let matches_type = matches!(
@@ -212,7 +249,7 @@ impl Column {
                 | (ColumnData::Mixed(_), _)
         );
         if !matches_type {
-            if self.validity.iter().all(|v| !v) {
+            if self.null_count == self.validity.len() {
                 // Only null placeholders so far: retype in place.
                 let n = self.validity.len();
                 self.data = match &value {
@@ -489,6 +526,44 @@ mod tests {
                 assert_eq!(typed.cmp_value(0, op), v.total_cmp(op), "{v} vs {op}");
             }
         }
+    }
+
+    #[test]
+    fn dense_views_require_homogeneous_non_null_storage() {
+        let mut c = Column::new();
+        c.push(&Value::Float(1.0));
+        c.push(&Value::Float(2.5));
+        assert_eq!(c.dense_floats(), Some(&[1.0, 2.5][..]));
+        assert_eq!(c.dense_ints(), None);
+        c.push(&Value::Null);
+        assert_eq!(c.dense_floats(), None, "a null slot disables the view");
+
+        let mut ints = Column::new();
+        ints.push(&Value::Int(7));
+        assert_eq!(ints.dense_ints(), Some(&[7i64][..]));
+        assert_eq!(ints.dense_floats(), None);
+
+        // The untyped empty column claims no dense view once it holds nulls.
+        let mut nulls = Column::new();
+        nulls.push(&Value::Null);
+        assert_eq!(nulls.dense_floats(), None);
+    }
+
+    #[test]
+    fn clear_keeps_type_and_resets_validity() {
+        let mut c = Column::new();
+        c.push(&Value::Float(1.0));
+        c.push(&Value::Null);
+        c.clear();
+        assert!(c.is_empty());
+        c.push(&Value::Float(3.0));
+        assert_eq!(c.dense_floats(), Some(&[3.0][..]));
+        // A cleared column retypes like a fresh one.
+        let mut t = Column::new();
+        t.push(&Value::Float(1.0));
+        t.clear();
+        t.push(&Value::Text("x".into()));
+        assert_eq!(t.as_str(0), Some("x"));
     }
 
     #[test]

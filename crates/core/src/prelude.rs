@@ -32,7 +32,8 @@ pub use rld_engine::{
     SimConfig, Simulator,
 };
 pub use rld_exec::{
-    ColumnarConfig, ColumnarExecutor, ExecConfig, ExecReport, MonitorSource, ThreadedExecutor,
+    ColumnarConfig, ColumnarExecutor, ExecConfig, ExecReport, MonitorSource, StageTimings,
+    ThreadedExecutor,
 };
 pub use rld_logical::{
     CoverageEvaluator, EarlyTerminatedRobustPartitioning, ErpConfig, ExhaustiveSearch,

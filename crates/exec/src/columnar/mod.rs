@@ -8,59 +8,72 @@
 //! threads that lock each operator's state, clone tuples per join match, and
 //! hop batches over `sync_channel`s. This backend keeps the *policy* loop
 //! bit-identical (same `RuntimeCore` call order, same RNG draws, same
-//! `RunTrace`) but replaces the dataplane under it:
+//! `RunTrace`) but replaces the dataplane under it with a shard-parallel
+//! pipeline in which the coordinator only routes, dispatches, and folds
+//! counters — it never touches a tuple:
 //!
-//! * Driving arrivals are generated straight into a [`ColumnBatch`]
-//!   (struct-of-arrays columns, no per-tuple `Vec<Value>`).
+//! * **Generation-in-shards.** Driving arrivals are generated *inside* the
+//!   shard workers from [`ShardedDrivingGen`]'s per-(tick, row) splitmix64
+//!   substreams: the coordinator ships `(tick, n, lo, hi)` plus a per-tick
+//!   [`MatchColumn`] plan, and each shard fills its contiguous row range of
+//!   the tick's batch into a reusable [`ColumnBatch`] arena. Because every
+//!   row's RNG depends only on its coordinates, the concatenation over any
+//!   sharding is bit-identical to single-threaded generation.
+//! * **Partitioned window state.** Each window-join operator's sliding
+//!   window is split across shards by partner-tuple key hash
+//!   ([`WindowPartition`], fed from [`DataplaneGenerator::partner_columns`]).
+//!   Inserts and expiry run inside shard workers with incremental `O(window)`
+//!   sorted-mark maintenance; each tick the shards publish refreshed
+//!   [`SortedMarks`] snapshots which the coordinator folds into one
+//!   [`ProbeSet`]. Probing sums exact integer match counts over the
+//!   partitions, so the partitioning can never change a result.
 //! * Each routed logical plan is compiled **once** into a [`FusedChain`] —
-//!   filter → passthrough-project → join-probe steps evaluated over
-//!   selection vectors, with join probes answered by binary search over
-//!   [`rld_common::exec::SortedMarks`] snapshots instead of `O(window)`
-//!   scans.
-//! * All mutable operator state (sliding windows, observed counters) stays
-//!   with the coordinator. Workers only ever see immutable
-//!   [`ProbeSet`]/[`FusedChain`]/[`ColumnBatch`] snapshots behind `Arc`s, so
-//!   there are **no operator locks** on the hot path.
-//! * Batches fan out across shard workers by partition key (the first text
-//!   column of the driving schema, else the tuple timestamp), and travel
-//!   over lock-free SPSC [`ring`]s — one task ring and one result ring per
-//!   shard — instead of `sync_channel`s.
+//!   filter → passthrough-project → join-probe steps evaluated over reusable
+//!   selection vectors, with branch-free predicate kernels on dense columns
+//!   and binary-search probes instead of `O(window)` scans.
+//! * Tasks and replies travel over lock-free SPSC [`ring`]s — one task ring
+//!   and one reply ring per shard. With a single shard the executor skips
+//!   threads and rings entirely and runs the shard core inline in the
+//!   coordinator.
 //!
 //! ## Determinism
 //!
-//! The coordinator dispatches a batch's shards and folds **all** their
-//! results back before advancing the virtual clock (tick-synchronous
-//! dataplane). Combined with snapshot probing — every row of a batch probes
-//! the window contents *as of its ingest tick* — this makes arrived /
-//! processed / lost / produced counts and observed per-operator
-//! selectivities bit-deterministic per seed, even under faults and even
-//! with [`MonitorSource::Observed`]; only wall-clock-derived fields
-//! (latencies, busy/overhead milliseconds, utilization) vary run to run.
-//! The row executor can't promise that much: its workers race the virtual
-//! clock, so its `produced` counts depend on when a worker happens to lock
-//! a window. The differential oracle in `tests/tests/columnar_oracle.rs`
-//! pins down exactly the shared deterministic surface.
+//! The coordinator dispatches a tick's work and folds **all** shard replies
+//! back before advancing the virtual clock (tick-synchronous dataplane).
+//! Combined with snapshot probing — every row of a batch probes the window
+//! contents *as of its ingest tick* — this makes arrived / processed / lost
+//! / produced counts and observed per-operator selectivities
+//! bit-deterministic per seed **and per shard count**, even under faults and
+//! even with [`MonitorSource::Observed`]; only wall-clock-derived fields
+//! (latencies, busy/overhead milliseconds, utilization, stage timings) vary
+//! run to run. The row executor can't promise that much: its workers race
+//! the virtual clock, so its `produced` counts depend on when a worker
+//! happens to lock a window. The differential oracle in
+//! `tests/tests/columnar_oracle.rs` pins down exactly the shared
+//! deterministic surface.
 //!
 //! Fault semantics under this model: a crash under `Lost` recovery clears
-//! the window state of operators placed on the crashed node (same as the
-//! row path), and tuples are lost **at ingest** — a batch routed through a
-//! down node is dropped by the coordinator before dispatch. There are no
-//! in-flight envelopes to bounce or park, so `arrived == processed + lost`
-//! holds exactly, and `Replay` differs from `Lost` only in preserving
-//! window state across the outage. A degraded node affects routing and
-//! capacity accounting; shard workers are not artificially slowed (they are
-//! compute shards, not the logical nodes the fault plane models).
+//! the window partitions of operators placed on the crashed node — every
+//! shard drops exactly the victim's partitions at the top of the tick, same
+//! observable effect as the row path — and tuples are lost **at ingest**: a
+//! batch routed through a down node is dropped by the coordinator before
+//! dispatch. There are no in-flight envelopes to bounce or park, so
+//! `arrived == processed + lost` holds exactly, and `Replay` differs from
+//! `Lost` only in preserving window state across the outage. A degraded
+//! node affects routing and capacity accounting; shard workers are not
+//! artificially slowed (they are compute shards, not the logical nodes the
+//! fault plane models).
 
 mod ring;
 
 pub use ring::{ring, Consumer, Producer};
 
-use crate::executor::{ExecConfig, ExecReport, MonitorSource};
+use crate::executor::{ExecConfig, ExecReport, MonitorSource, StageTimings};
 use rld_common::exec::CompiledOp;
 use rld_common::rng::derive_seed;
 use rld_common::{
-    ColumnBatch, DataType, FusedChain, NodeId, OpCounts, OperatorId, ProbeSet, Query, Result,
-    RldError, StatsSnapshot,
+    ColumnBatch, FusedChain, NodeId, OpCounts, OperatorId, OperatorKind, ProbeSet, Query, Result,
+    RldError, SortedMarks, StatsSnapshot, StreamId, WindowPartition,
 };
 use rld_engine::{
     BackendTotals, DistributionStrategy, FaultKind, FaultPlan, RecoverySemantic, RunMetrics,
@@ -68,7 +81,7 @@ use rld_engine::{
 };
 use rld_physical::{Cluster, ClusterView};
 use rld_query::LogicalPlan;
-use rld_workloads::{DataplaneGenerator, Workload};
+use rld_workloads::{DataplaneGenerator, MatchColumn, PartnerColumns, ShardedDrivingGen, Workload};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -82,10 +95,11 @@ pub struct ColumnarConfig {
     /// (the columnar dataplane is tick-synchronous and has nothing to
     /// drain).
     pub exec: ExecConfig,
-    /// Shard worker threads one batch fans out across. `0` = one per
-    /// available CPU core (capped at 8).
+    /// Shard workers a tick's work fans out across. `0` = one per available
+    /// CPU core (sanity ceiling 256). With one shard the executor runs the
+    /// shard core inline — no threads, no rings.
     pub shards: usize,
-    /// Capacity of each SPSC task/result ring, in batches.
+    /// Capacity of each SPSC task/reply ring, in tasks.
     pub ring_capacity: usize,
 }
 
@@ -104,7 +118,8 @@ impl ColumnarConfig {
         Self::from_exec(ExecConfig::from_sim(sim))
     }
 
-    /// The shard count after resolving `0 = auto`.
+    /// The shard count after resolving `0 = auto` (the machine's available
+    /// parallelism, clamped to the 256 sanity ceiling).
     pub fn effective_shards(&self) -> usize {
         if self.shards > 0 {
             self.shards
@@ -112,7 +127,7 @@ impl ColumnarConfig {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
-                .clamp(1, 8)
+                .clamp(1, 256)
         }
     }
 
@@ -140,48 +155,251 @@ impl Default for ColumnarConfig {
     }
 }
 
-/// One shard's slice of a driving batch, plus everything needed to evaluate
-/// it without touching shared mutable state.
-struct ShardTask {
-    batch: Arc<ColumnBatch>,
-    sel: Vec<u32>,
-    chain: Arc<FusedChain>,
-    probes: Arc<ProbeSet>,
+/// One shard's share of a tick's arrivals on one partner stream (parallel
+/// timestamp/mark vectors, in arrival order).
+struct PartnerSlice {
+    stream: StreamId,
+    ts_ms: Vec<u64>,
+    marks: Vec<f64>,
 }
 
-/// What one shard reports back per task.
-struct ShardResult {
+/// Partition one tick's partner arrivals across `shards` by key hash,
+/// preserving arrival (timestamp) order within each partition. Which shard
+/// owns a tuple affects only where the work happens — probe counts sum
+/// exactly over partitions.
+fn partition_partners(cols: Vec<PartnerColumns>, shards: usize) -> Vec<Vec<PartnerSlice>> {
+    let mut out: Vec<Vec<PartnerSlice>> = (0..shards).map(|_| Vec::new()).collect();
+    for c in cols {
+        if shards == 1 {
+            out[0].push(PartnerSlice {
+                stream: c.stream,
+                ts_ms: c.ts_ms,
+                marks: c.marks,
+            });
+            continue;
+        }
+        let mut slices: Vec<PartnerSlice> = (0..shards)
+            .map(|_| PartnerSlice {
+                stream: c.stream,
+                ts_ms: Vec::new(),
+                marks: Vec::new(),
+            })
+            .collect();
+        for i in 0..c.ts_ms.len() {
+            let s = (c.keys[i] % shards as u64) as usize;
+            slices[s].ts_ms.push(c.ts_ms[i]);
+            slices[s].marks.push(c.marks[i]);
+        }
+        for (s, slice) in slices.into_iter().enumerate() {
+            out[s].push(slice);
+        }
+    }
+    out
+}
+
+/// What the coordinator asks of a shard. Every tick sends one `Tick` to
+/// every shard; ticks with dispatchable arrivals follow up with one `Eval`
+/// per shard that owns a non-empty row range.
+enum ShardTask {
+    /// Advance the shard's window partitions to `now_ms`: crash-clears
+    /// first, then this shard's partner arrivals, then expiry.
+    Tick {
+        now_ms: u64,
+        clear_ops: Arc<Vec<OperatorId>>,
+        partners: Vec<PartnerSlice>,
+    },
+    /// Generate rows `[lo, hi)` of the tick's `n`-row driving batch and
+    /// evaluate the fused chain over them against the epoch's probes.
+    Eval {
+        tick: u64,
+        t_secs: f64,
+        dt_secs: f64,
+        n: u64,
+        lo: u64,
+        hi: u64,
+        plan: Arc<Vec<MatchColumn>>,
+        chain: Arc<FusedChain>,
+        probes: Arc<ProbeSet>,
+    },
+}
+
+/// What one shard's generate-and-evaluate of its row range measured.
+struct EvalOut {
     produced: u64,
     counts: Vec<OpCounts>,
-    busy: Duration,
+    generate: Duration,
+    evaluate: Duration,
     error: Option<String>,
 }
 
-/// The shard worker loop: pop a task, evaluate the fused chain over the
-/// shard's selection, push the result. Exits when the task ring closes.
-fn run_shard(tasks: Consumer<ShardTask>, results: Producer<ShardResult>) {
+/// A shard's reply to one task (pushed in task order, so the coordinator
+/// can match replies to tasks positionally per ring).
+enum ShardReply {
+    /// Refreshed snapshots of every window partition whose contents changed.
+    Tick {
+        dirty: Vec<(OperatorId, Arc<SortedMarks>)>,
+        window: Duration,
+    },
+    /// The evaluation results of one row range.
+    Eval(EvalOut),
+}
+
+/// Everything one shard owns: its view of the generator substream space,
+/// its partition of every window-join operator's sliding window, and
+/// reusable batch/selection/count arenas.
+struct ShardCore {
+    gen: ShardedDrivingGen,
+    /// Per-operator window partitions (window-join operators only), paired
+    /// with the partner stream whose arrivals feed them.
+    windows: Vec<Option<(StreamId, WindowPartition)>>,
+    changed: Vec<bool>,
+    batch: ColumnBatch,
+    sel: Vec<u32>,
+    scratch: Vec<u32>,
+    counts: Vec<OpCounts>,
+}
+
+impl ShardCore {
+    fn new(query: &Query, seed: u64) -> Self {
+        let window_ms = (query.window_secs * 1000.0).max(0.0) as u64;
+        let windows: Vec<Option<(StreamId, WindowPartition)>> = query
+            .operators
+            .iter()
+            .map(|spec| match spec.kind {
+                OperatorKind::WindowJoin { partner } => {
+                    Some((partner, WindowPartition::new(window_ms)))
+                }
+                _ => None,
+            })
+            .collect();
+        let gen = ShardedDrivingGen::new(query, seed);
+        let arity = gen.arity();
+        Self {
+            changed: vec![false; windows.len()],
+            windows,
+            batch: ColumnBatch::with_arity(query.driving_stream, arity),
+            sel: Vec::new(),
+            scratch: Vec::new(),
+            counts: Vec::new(),
+            gen,
+        }
+    }
+
+    /// One tick of window maintenance, in the canonical order: crash-clears,
+    /// then insert this shard's partner arrivals, then expire — returning
+    /// the refreshed snapshot of every partition that changed.
+    fn tick(
+        &mut self,
+        now_ms: u64,
+        clear_ops: &[OperatorId],
+        partners: &[PartnerSlice],
+    ) -> (Vec<(OperatorId, Arc<SortedMarks>)>, Duration) {
+        let started = Instant::now();
+        for op in clear_ops {
+            if let Some((_, part)) = &mut self.windows[op.index()] {
+                part.clear();
+                self.changed[op.index()] = true;
+            }
+        }
+        for (i, slot) in self.windows.iter_mut().enumerate() {
+            let Some((stream, part)) = slot else { continue };
+            let (ts, marks) = partners
+                .iter()
+                .find(|p| p.stream == *stream)
+                .map(|p| (p.ts_ms.as_slice(), p.marks.as_slice()))
+                .unwrap_or((&[], &[]));
+            if part.advance(now_ms, ts, marks) {
+                self.changed[i] = true;
+            }
+        }
+        let mut dirty = Vec::new();
+        for (i, changed) in self.changed.iter_mut().enumerate() {
+            if *changed {
+                if let Some((_, part)) = &self.windows[i] {
+                    dirty.push((OperatorId::new(i), part.snapshot()));
+                }
+                *changed = false;
+            }
+        }
+        (dirty, started.elapsed())
+    }
+
+    /// Generate rows `[lo, hi)` of the tick's driving batch into the local
+    /// arena and evaluate the fused chain over them.
+    #[allow(clippy::too_many_arguments)]
+    fn gen_eval(
+        &mut self,
+        tick: u64,
+        t_secs: f64,
+        dt_secs: f64,
+        n: u64,
+        lo: u64,
+        hi: u64,
+        plan: &[MatchColumn],
+        chain: &FusedChain,
+        probes: &ProbeSet,
+    ) -> EvalOut {
+        let started = Instant::now();
+        self.batch.clear();
+        self.gen
+            .fill_slice(&mut self.batch, plan, tick, t_secs, dt_secs, n, lo, hi);
+        self.sel.clear();
+        self.sel.extend(0..self.batch.len() as u32);
+        let generate = started.elapsed();
+        let eval_started = Instant::now();
+        self.counts.clear();
+        let error = chain
+            .eval_in_place(
+                &self.batch,
+                probes,
+                &mut self.sel,
+                &mut self.scratch,
+                &mut self.counts,
+            )
+            .err()
+            .map(|e| e.to_string());
+        EvalOut {
+            produced: self.sel.len() as u64,
+            counts: std::mem::take(&mut self.counts),
+            generate,
+            evaluate: eval_started.elapsed(),
+            error,
+        }
+    }
+}
+
+/// The shard worker loop: pop a task, run it on the shard core, push the
+/// reply. Exits when the task ring closes.
+fn run_shard(mut core: ShardCore, tasks: Consumer<ShardTask>, results: Producer<ShardReply>) {
     let mut idle_polls = 0u32;
     loop {
         match tasks.try_pop() {
             Some(task) => {
                 idle_polls = 0;
-                let started = Instant::now();
-                let mut counts = Vec::new();
-                let (produced, error) =
-                    match task
-                        .chain
-                        .eval(&task.batch, &task.probes, task.sel, &mut counts)
-                    {
-                        Ok(sel) => (sel.len() as u64, None),
-                        Err(e) => (0, Some(e.to_string())),
-                    };
-                let result = ShardResult {
-                    produced,
-                    counts,
-                    busy: started.elapsed(),
-                    error,
+                let reply = match task {
+                    ShardTask::Tick {
+                        now_ms,
+                        clear_ops,
+                        partners,
+                    } => {
+                        let (dirty, window) = core.tick(now_ms, &clear_ops, &partners);
+                        ShardReply::Tick { dirty, window }
+                    }
+                    ShardTask::Eval {
+                        tick,
+                        t_secs,
+                        dt_secs,
+                        n,
+                        lo,
+                        hi,
+                        plan,
+                        chain,
+                        probes,
+                    } => ShardReply::Eval(
+                        core.gen_eval(tick, t_secs, dt_secs, n, lo, hi, &plan, &chain, &probes),
+                    ),
                 };
-                if results.push_blocking(result).is_err() {
+                if results.push_blocking(reply).is_err() {
                     return;
                 }
             }
@@ -200,47 +418,9 @@ fn run_shard(tasks: Consumer<ShardTask>, results: Producer<ShardResult>) {
     }
 }
 
-/// FNV-1a over a byte string — the per-key shard hash.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// splitmix64 finalizer — the shard hash for keyless (timestamp) sharding.
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Partition a batch's rows across `shards` selection vectors by key hash.
-/// Every partition of the identity selection yields the same evaluation
-/// results (rows are independent given the probe snapshots), so sharding
-/// never affects counts — only which core does the work.
-fn shard_selection(batch: &ColumnBatch, key_field: Option<usize>, shards: usize) -> Vec<Vec<u32>> {
-    let mut sels: Vec<Vec<u32>> = vec![Vec::new(); shards];
-    if shards == 1 {
-        sels[0] = batch.identity_sel();
-        return sels;
-    }
-    let key_column = key_field.and_then(|f| batch.column(f));
-    for r in 0..batch.len() {
-        let hash = match key_column.and_then(|c| c.as_str(r)) {
-            Some(key) => fnv1a(key.as_bytes()),
-            None => mix64(batch.timestamps()[r]),
-        };
-        sels[(hash % shards as u64) as usize].push(r as u32);
-    }
-    sels
-}
-
-/// The columnar execution backend: shard worker threads over SPSC rings,
-/// driven by the same [`RuntimeCore`] as the simulator and row executor.
+/// The columnar execution backend: shard workers (threaded over SPSC rings,
+/// or inline for a single shard) driven by the same [`RuntimeCore`] as the
+/// simulator and row executor.
 pub struct ColumnarExecutor {
     query: Query,
     cluster: Cluster,
@@ -298,16 +478,6 @@ impl ColumnarExecutor {
         })
     }
 
-    /// The index of the driving schema's partition-key column (its first
-    /// text field), if it has one.
-    fn key_field(&self) -> Option<usize> {
-        self.query.streams[self.query.driving_stream.index()]
-            .schema
-            .fields()
-            .iter()
-            .position(|f| f.data_type == DataType::Text)
-    }
-
     /// The modelled wall-millisecond pause of a migration set — same model
     /// as the row executor's `apply_migrations`, but charged as overhead
     /// instead of sleeping a worker (there is no per-node worker to pause).
@@ -335,9 +505,11 @@ impl ColumnarExecutor {
     ///
     /// The coordinator loop mirrors `ThreadedExecutor::run_report`'s
     /// `RuntimeCore` call order *exactly* — fault events, observation,
-    /// strategy dispatch, partner delivery, arrival sampling, routing,
-    /// ingest-drop accounting, batch recording, node accounting — so per
-    /// seed the two backends replay identical `RunTrace`s.
+    /// strategy dispatch, arrival sampling, routing, ingest-drop accounting,
+    /// batch recording, node accounting — so per seed the two backends
+    /// replay identical `RunTrace`s. Partner generation and window
+    /// maintenance never touch the core, so their placement in the tick is
+    /// free; they overlap the routing stage when shards are threaded.
     pub fn run_report(
         &self,
         workload: &dyn Workload,
@@ -356,42 +528,95 @@ impl ColumnarExecutor {
             core = core.with_trace();
         }
 
-        // Canonical dataplane state, all coordinator-owned: compiled
-        // operators (windows, observed counters) and the generator.
+        // Coordinator-owned canonical state: compiled operators (observed
+        // counters, chain compilation) and the partner-stream generator.
+        // Window *contents* live in the shards' partitions.
         let mut ops: Vec<CompiledOp> = self
             .query
             .operators
             .iter()
             .map(|spec| CompiledOp::compile(&self.query, spec, self.config.exec.sim.seed))
             .collect();
-        let mut gen = DataplaneGenerator::new(
-            &self.query,
-            derive_seed(self.config.exec.sim.seed, strategy.name()),
-        );
-        let key_field = self.key_field();
+        let gen_seed = derive_seed(self.config.exec.sim.seed, strategy.name());
+        let mut gen = DataplaneGenerator::new(&self.query, gen_seed);
+        // Coordinator-side twin of the shards' generator, used only to
+        // compute the per-tick match-column plan (no draws).
+        let plan_gen = ShardedDrivingGen::new(&self.query, gen_seed);
         let shards = self.config.effective_shards();
+        let inline = shards == 1;
         let replay = self.faults.recovery == RecoverySemantic::Replay;
+        let mut cores: Vec<ShardCore> = (0..shards)
+            .map(|_| ShardCore::new(&self.query, gen_seed))
+            .collect();
 
-        // One task ring and one result ring per shard.
-        let mut task_txs = Vec::with_capacity(shards);
-        let mut task_rxs = Vec::with_capacity(shards);
-        let mut result_txs = Vec::with_capacity(shards);
-        let mut result_rxs = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = ring::<ShardTask>(self.config.ring_capacity);
-            task_txs.push(tx);
-            task_rxs.push(rx);
-            let (tx, rx) = ring::<ShardResult>(self.config.ring_capacity);
-            result_txs.push(tx);
-            result_rxs.push(rx);
+        // One task ring and one reply ring per shard (threaded mode only).
+        let mut task_txs = Vec::new();
+        let mut task_rxs = Vec::new();
+        let mut result_txs = Vec::new();
+        let mut result_rxs = Vec::new();
+        if !inline {
+            for _ in 0..shards {
+                let (tx, rx) = ring::<ShardTask>(self.config.ring_capacity);
+                task_txs.push(tx);
+                task_rxs.push(rx);
+                let (tx, rx) = ring::<ShardReply>(self.config.ring_capacity);
+                result_txs.push(tx);
+                result_rxs.push(rx);
+            }
         }
 
         let wall_start = Instant::now();
         std::thread::scope(|scope| -> Result<ExecReport> {
-            let mut workers = Vec::with_capacity(shards);
-            for (tasks, results) in task_rxs.drain(..).zip(result_txs.drain(..)) {
-                workers.push(scope.spawn(move || run_shard(tasks, results)));
+            let mut workers = Vec::new();
+            if !inline {
+                for ((tasks, results), shard_core) in task_rxs
+                    .drain(..)
+                    .zip(result_txs.drain(..))
+                    .zip(cores.drain(..))
+                {
+                    workers.push(scope.spawn(move || run_shard(shard_core, tasks, results)));
+                }
             }
+            // Wait for one reply from every shard in `pending`, folding via
+            // `fold`. Reply rings are per-shard FIFO and the coordinator
+            // never has more than one reply outstanding per shard, so the
+            // popped reply is the one awaited.
+            let collect = |pending: &mut Vec<usize>,
+                           result_rxs: &[Consumer<ShardReply>],
+                           workers: &[std::thread::ScopedJoinHandle<'_, ()>],
+                           fold: &mut dyn FnMut(usize, ShardReply) -> Result<()>|
+             -> Result<()> {
+                while !pending.is_empty() {
+                    let mut idle = true;
+                    let mut failed = None;
+                    pending.retain(|&s| {
+                        if failed.is_some() {
+                            return true;
+                        }
+                        match result_rxs[s].try_pop() {
+                            Some(reply) => {
+                                idle = false;
+                                if let Err(e) = fold(s, reply) {
+                                    failed = Some(e);
+                                }
+                                false
+                            }
+                            None => true,
+                        }
+                    });
+                    if let Some(e) = failed {
+                        return Err(e);
+                    }
+                    if idle {
+                        if workers.iter().any(|w| w.is_finished()) {
+                            return Err(RldError::Runtime("shard worker exited mid-run".into()));
+                        }
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                }
+                Ok(())
+            };
 
             let dt = self.config.exec.sim.tick_secs;
             let duration = self.config.exec.sim.duration_secs;
@@ -400,35 +625,50 @@ impl ColumnarExecutor {
             let mut up = vec![true; num_nodes];
             let mut factor = vec![1.0f64; num_nodes];
             let mut tuples_processed: u64 = 0;
-            let mut overhead_route_ms = 0.0f64;
+            let mut stage = StageTimings::default();
             let mut pause_ms_total = 0.0f64;
             let mut busy_total = Duration::ZERO;
             let mut max_backlog = 0u64;
             let mut ticks = 0u64;
             let mut t = 0.0f64;
-            // The probe snapshot the next dispatch ships, refreshed
-            // incrementally: only operators whose window state changed
-            // since the last dispatch are re-sorted.
-            let mut probes = Arc::new(ProbeSet::snapshot(&ops));
-            let mut dirty_ops = vec![false; ops.len()];
+            // The probe snapshot the next dispatch ships: static lookup
+            // tables as single partitions, one (initially empty) partition
+            // per shard for every window operator.
+            let mut probes = {
+                let mut init = ProbeSet::new(ops.len());
+                for (i, op) in ops.iter().enumerate() {
+                    if op.partner_stream().is_some() {
+                        for s in 0..shards {
+                            init.set_partition(
+                                OperatorId::new(i),
+                                s,
+                                Arc::new(SortedMarks::default()),
+                            );
+                        }
+                    } else if let Some(marks) = op.probe_marks() {
+                        init.set(OperatorId::new(i), Some(Arc::new(marks)));
+                    }
+                }
+                Arc::new(init)
+            };
             // Fused chains are compiled once per routed logical plan.
             let mut chain_cache: Option<(Arc<LogicalPlan>, Arc<FusedChain>)> = None;
 
             while t < duration {
                 // Fault plane, applied on the virtual timeline exactly as
-                // in the simulator and the row executor.
+                // in the simulator and the row executor. Lost-semantics
+                // crashes become a clear list the shards apply at the top
+                // of this tick, before partner inserts.
                 let mut cluster_changed = false;
+                let mut clear_ops: Vec<OperatorId> = Vec::new();
                 while let Some(event) = core.next_fault_due(t) {
                     match event.kind {
                         FaultKind::Crash => {
                             up[event.node.index()] = false;
                             if !replay {
-                                // Lost semantics: the node's window state
-                                // dies with it.
                                 for op in self.query.operator_ids() {
                                     if placement.node_of(op) == Some(event.node) {
-                                        ops[op.index()].clear_state();
-                                        dirty_ops[op.index()] = true;
+                                        clear_ops.push(op);
                                     }
                                 }
                             }
@@ -479,31 +719,89 @@ impl ColumnarExecutor {
                     placement = Arc::new(strategy.physical().clone());
                 }
 
-                // Partner-stream deliveries into the canonical windows.
+                // Dispatch stage: generate + partition the tick's partner
+                // arrivals and hand every shard its window-maintenance
+                // task. Inline mode runs the single shard right here;
+                // threaded shards overlap with the routing stage below.
+                let dispatch_started = Instant::now();
                 let now_ms = (t * 1000.0) as u64;
-                for (stream, batch) in gen.partner_batches(t, dt, &truth) {
-                    for (i, op) in ops.iter_mut().enumerate() {
-                        if op.deliver_partner(stream, &batch, now_ms) {
-                            dirty_ops[i] = true;
-                        }
+                let mut shard_partners =
+                    partition_partners(gen.partner_columns(t, dt, &truth), shards);
+                let clear_ops = Arc::new(clear_ops);
+                let mut tick_dirty: Vec<(usize, OperatorId, Arc<SortedMarks>)> = Vec::new();
+                let mut window_dur = Duration::ZERO;
+                if inline {
+                    let (dirty, w) = cores[0].tick(now_ms, &clear_ops, &shard_partners[0]);
+                    window_dur += w;
+                    tick_dirty.extend(dirty.into_iter().map(|(op, snap)| (0, op, snap)));
+                } else {
+                    for (s, partners) in shard_partners.drain(..).enumerate() {
+                        let task = ShardTask::Tick {
+                            now_ms,
+                            clear_ops: Arc::clone(&clear_ops),
+                            partners,
+                        };
+                        task_txs[s].push_blocking(task).map_err(|_| {
+                            RldError::Runtime("shard worker hung up during dispatch".into())
+                        })?;
                     }
                 }
+                stage.dispatch_ms += dispatch_started.elapsed().as_secs_f64() * 1000.0;
 
-                // Driving arrivals → route → dispatch across the shards
-                // (or drop at ingest when the route crosses a down node).
+                // Routing stage (the only core interaction between arrival
+                // sampling and ingest accounting).
                 let n_tuples = core.sample_arrivals(&truth);
+                let mut routed_info = None;
                 if n_tuples > 0 {
                     let route_started = Instant::now();
-                    let (has_first, plan, down) = {
-                        let routed = core.route(&mut *strategy, &truth, num_nodes, t)?;
-                        let down = routed.pipeline_nodes.iter().any(|node| !view.is_up(*node));
-                        (
-                            !routed.pipeline_nodes.is_empty(),
-                            core.current_plan().cloned(),
-                            down,
-                        )
-                    };
-                    overhead_route_ms += route_started.elapsed().as_secs_f64() * 1000.0;
+                    let routed = core.route(&mut *strategy, &truth, num_nodes, t)?;
+                    let down = routed.pipeline_nodes.iter().any(|node| !view.is_up(*node));
+                    routed_info = Some((
+                        !routed.pipeline_nodes.is_empty(),
+                        core.current_plan().cloned(),
+                        down,
+                    ));
+                    stage.route_ms += route_started.elapsed().as_secs_f64() * 1000.0;
+                }
+
+                // Fold stage A: collect every shard's window snapshot
+                // updates and publish the tick's probe epoch.
+                let fold_started = Instant::now();
+                if !inline {
+                    let mut pending: Vec<usize> = (0..shards).collect();
+                    collect(
+                        &mut pending,
+                        &result_rxs,
+                        &workers,
+                        &mut |s, reply| match reply {
+                            ShardReply::Tick { dirty, window } => {
+                                window_dur += window;
+                                tick_dirty
+                                    .extend(dirty.into_iter().map(|(op, snap)| (s, op, snap)));
+                                Ok(())
+                            }
+                            ShardReply::Eval(_) => {
+                                Err(RldError::Runtime("shard replied out of order".into()))
+                            }
+                        },
+                    )?;
+                }
+                if !tick_dirty.is_empty() {
+                    let mut next = (*probes).clone();
+                    for (s, op, snap) in tick_dirty {
+                        next.set_partition(op, s, snap);
+                    }
+                    probes = Arc::new(next);
+                }
+                stage.fold_ms += fold_started.elapsed().as_secs_f64() * 1000.0;
+                stage.window_ms += window_dur.as_secs_f64() * 1000.0;
+                busy_total += window_dur;
+
+                // Evaluation stage: ship (tick, row range, plan) to the
+                // shards — generation happens there — and fold the results
+                // back before the clock advances (or drop at ingest when
+                // the route crosses a down node).
+                if let Some((has_first, plan, down)) = routed_info {
                     if down {
                         core.note_dropped_batch(n_tuples);
                     } else if let (true, Some(plan)) = (has_first, plan) {
@@ -517,70 +815,63 @@ impl ColumnarExecutor {
                                 chain
                             }
                         };
-                        if dirty_ops.iter().any(|d| *d) {
-                            let mut next = (*probes).clone();
-                            for (i, dirty) in dirty_ops.iter_mut().enumerate() {
-                                if *dirty {
-                                    next.set(
-                                        OperatorId::new(i),
-                                        ops[i].probe_marks().map(Arc::new),
-                                    );
-                                    *dirty = false;
-                                }
-                            }
-                            probes = Arc::new(next);
-                        }
-                        let batch = Arc::new(gen.driving_column_batch(t, dt, n_tuples, &truth));
+                        let mplan = Arc::new(plan_gen.match_plan(&truth));
                         let ingest = Instant::now();
-                        let mut dispatched = 0u64;
-                        for (shard, sel) in shard_selection(&batch, key_field, shards)
-                            .into_iter()
-                            .enumerate()
-                        {
-                            if sel.is_empty() {
-                                continue;
-                            }
-                            dispatched += 1;
-                            let task = ShardTask {
-                                batch: Arc::clone(&batch),
-                                sel,
-                                chain: Arc::clone(&chain),
-                                probes: Arc::clone(&probes),
-                            };
-                            task_txs[shard].push_blocking(task).map_err(|_| {
-                                RldError::Runtime("shard worker hung up during dispatch".into())
-                            })?;
-                        }
-                        max_backlog = max_backlog.max(dispatched);
-                        // Tick-synchronous completion: fold every shard of
-                        // this batch back before the clock advances.
                         let mut produced = 0u64;
-                        let mut remaining = dispatched;
-                        while remaining > 0 {
-                            let mut idle = true;
-                            for rx in &result_rxs {
-                                while let Some(res) = rx.try_pop() {
-                                    remaining -= 1;
-                                    idle = false;
-                                    if let Some(msg) = res.error {
-                                        return Err(RldError::Runtime(msg));
-                                    }
-                                    produced += res.produced;
-                                    busy_total += res.busy;
-                                    for c in &res.counts {
-                                        ops[c.op.index()].note_observed(c.inputs, c.outputs);
+                        let mut fold_batch = |out: EvalOut, ops: &mut [CompiledOp]| -> Result<()> {
+                            if let Some(msg) = out.error {
+                                return Err(RldError::Runtime(msg));
+                            }
+                            produced += out.produced;
+                            busy_total += out.generate + out.evaluate;
+                            stage.generate_ms += out.generate.as_secs_f64() * 1000.0;
+                            stage.evaluate_ms += out.evaluate.as_secs_f64() * 1000.0;
+                            for c in &out.counts {
+                                ops[c.op.index()].note_observed(c.inputs, c.outputs);
+                            }
+                            Ok(())
+                        };
+                        if inline {
+                            let out = cores[0].gen_eval(
+                                ticks, t, dt, n_tuples, 0, n_tuples, &mplan, &chain, &probes,
+                            );
+                            fold_batch(out, &mut ops)?;
+                            max_backlog = max_backlog.max(1);
+                        } else {
+                            let mut dispatched: Vec<usize> = Vec::new();
+                            for (s, tx) in task_txs.iter().enumerate() {
+                                let lo = s as u64 * n_tuples / shards as u64;
+                                let hi = (s as u64 + 1) * n_tuples / shards as u64;
+                                if hi <= lo {
+                                    continue;
+                                }
+                                let task = ShardTask::Eval {
+                                    tick: ticks,
+                                    t_secs: t,
+                                    dt_secs: dt,
+                                    n: n_tuples,
+                                    lo,
+                                    hi,
+                                    plan: Arc::clone(&mplan),
+                                    chain: Arc::clone(&chain),
+                                    probes: Arc::clone(&probes),
+                                };
+                                tx.push_blocking(task).map_err(|_| {
+                                    RldError::Runtime("shard worker hung up during dispatch".into())
+                                })?;
+                                dispatched.push(s);
+                            }
+                            max_backlog = max_backlog.max(dispatched.len() as u64);
+                            let fold_eval_started = Instant::now();
+                            collect(&mut dispatched, &result_rxs, &workers, &mut |_, reply| {
+                                match reply {
+                                    ShardReply::Eval(out) => fold_batch(out, &mut ops),
+                                    ShardReply::Tick { .. } => {
+                                        Err(RldError::Runtime("shard replied out of order".into()))
                                     }
                                 }
-                            }
-                            if idle {
-                                if workers.iter().any(|w| w.is_finished()) {
-                                    return Err(RldError::Runtime(
-                                        "shard worker exited mid-run".into(),
-                                    ));
-                                }
-                                std::hint::spin_loop();
-                                std::thread::yield_now();
-                            }
+                            })?;
+                            stage.fold_ms += fold_eval_started.elapsed().as_secs_f64() * 1000.0;
                         }
                         tuples_processed += n_tuples;
                         core.record_batch(
@@ -629,7 +920,7 @@ impl ColumnarExecutor {
                 BackendTotals {
                     tuples_processed,
                     query_work: busy_ms,
-                    overhead_work: pause_ms_total + overhead_route_ms,
+                    overhead_work: pause_ms_total + stage.route_ms,
                     mean_utilization,
                     max_backlog: max_backlog as f64,
                     capacity_total,
@@ -652,6 +943,7 @@ impl ColumnarExecutor {
                 ],
                 migration_pause_ms: pause_ms_total,
                 observed_stats,
+                stage_timings: Some(stage),
             })
         })
     }
@@ -723,6 +1015,11 @@ mod tests {
         let op0 = OperatorId::new(0);
         let s = report.observed_stats.selectivity(op0).unwrap();
         assert!(s > 0.1 && s < 1.5, "op0 observed selectivity {s}");
+        let stages = report.stage_timings.expect("columnar reports stages");
+        assert!(
+            stages.evaluate_ms > 0.0 && stages.window_ms > 0.0,
+            "{stages:?}"
+        );
     }
 
     #[test]
@@ -808,6 +1105,8 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(ColumnarConfig::default().validate().is_ok());
+        assert!(ColumnarConfig::default().effective_shards() >= 1);
+        assert!(ColumnarConfig::default().effective_shards() <= 256);
         let bad = ColumnarConfig {
             ring_capacity: 0,
             ..ColumnarConfig::default()

@@ -114,6 +114,30 @@ pub struct ExecReport {
     /// The statistics the dataplane actually observed (per-operator
     /// selectivities from real input/output counts, rates from the truth).
     pub observed_stats: StatsSnapshot,
+    /// Per-stage wall-clock breakdown of the coordinator loop. Reported by
+    /// the columnar backend (whose tick is a fixed stage pipeline); `None`
+    /// for the row backend, whose workers overlap freely.
+    pub stage_timings: Option<StageTimings>,
+}
+
+/// Wall-clock milliseconds the columnar coordinator spent in each stage of
+/// its tick pipeline, summed over the run. `generate`, `evaluate`, and
+/// `window` are summed across shards (they run in parallel), so they can
+/// exceed `wall_secs`; `route`, `dispatch`, and `fold` are coordinator-serial.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTimings {
+    /// Building driving `ColumnBatch` slices inside shards.
+    pub generate_ms: f64,
+    /// Routing decisions (strategy + core bookkeeping).
+    pub route_ms: f64,
+    /// Partitioning partner arrivals and enqueueing shard tasks.
+    pub dispatch_ms: f64,
+    /// Fused-chain evaluation inside shards.
+    pub evaluate_ms: f64,
+    /// Collecting shard replies and folding counters/snapshots.
+    pub fold_ms: f64,
+    /// Partitioned sliding-window maintenance inside shards.
+    pub window_ms: f64,
 }
 
 /// The tuple-level execution backend: one worker thread per cluster node,
@@ -498,6 +522,7 @@ impl ThreadedExecutor {
                 ],
                 migration_pause_ms: pause_ms,
                 observed_stats,
+                stage_timings: None,
             })
         })
     }

@@ -51,4 +51,4 @@ pub mod executor;
 mod worker;
 
 pub use columnar::{ColumnarConfig, ColumnarExecutor};
-pub use executor::{ExecConfig, ExecReport, MonitorSource, ThreadedExecutor};
+pub use executor::{ExecConfig, ExecReport, MonitorSource, StageTimings, ThreadedExecutor};

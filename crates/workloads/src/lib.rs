@@ -44,7 +44,7 @@ pub use fluctuation::{RatePattern, SelectivityPattern};
 pub use sensor::SensorWorkload;
 pub use stock::StockWorkload;
 pub use synthetic::{summary_stats, SummaryStats, SyntheticWorkload, ValueDistribution};
-pub use tuples::DataplaneGenerator;
+pub use tuples::{DataplaneGenerator, MatchColumn, PartnerColumns, ShardedDrivingGen};
 
 use rld_common::{Batch, Query, StatsSnapshot};
 

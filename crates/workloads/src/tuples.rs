@@ -20,7 +20,7 @@
 use crate::Workload;
 use rand::RngExt;
 use rld_common::exec;
-use rld_common::rng::{derive_seed, rng_from_seed, sample_poisson, SeededRng};
+use rld_common::rng::{derive_seed, fnv1a, mix64, rng_from_seed, sample_poisson, SeededRng};
 use rld_common::{
     Batch, ColumnBatch, DataType, OperatorKind, Query, StatsSnapshot, StreamId, Tuple, Value,
 };
@@ -250,6 +250,266 @@ impl DataplaneGenerator {
     pub fn for_workload(workload: &dyn Workload, seed: u64) -> Self {
         Self::new(workload.query(), derive_seed(seed, workload.name()))
     }
+
+    /// Generate the partner-stream deliveries for `[t, t + dt)` in columnar
+    /// form — draw-for-draw identical to
+    /// [`DataplaneGenerator::partner_batches`] (same Poisson sizes, same app
+    /// field draws advancing the same walks, same marks), but materializing
+    /// only what the partitioned windows consume: timestamps, marks, and a
+    /// partition key per tuple. No `Tuple` or `Value` is ever built.
+    pub fn partner_columns(
+        &mut self,
+        t_secs: f64,
+        dt_secs: f64,
+        truth: &StatsSnapshot,
+    ) -> Vec<PartnerColumns> {
+        let mut out = Vec::new();
+        for s in 0..self.query.num_streams() {
+            let sid = StreamId::new(s);
+            if sid == self.query.driving_stream {
+                continue;
+            }
+            let rate = truth
+                .input_rate(sid)
+                .unwrap_or(self.query.streams[s].rate_estimate);
+            let rng = &mut self.partner_rngs[s];
+            let n = sample_poisson(rng, (rate * dt_secs).max(0.0));
+            let schema_types: Vec<DataType> = self.query.streams[s]
+                .schema
+                .fields()
+                .iter()
+                .map(|f| f.data_type)
+                .collect();
+            let mut cols = PartnerColumns {
+                stream: sid,
+                ts_ms: Vec::with_capacity(n as usize),
+                marks: Vec::with_capacity(n as usize),
+                keys: Vec::with_capacity(n as usize),
+            };
+            for i in 0..n {
+                let ts_ms = ((t_secs + dt_secs * i as f64 / n.max(1) as f64) * 1000.0) as u64;
+                let mut key = None;
+                // Replay draw_app_value's RNG consumption per field without
+                // materializing the values.
+                for dt in &schema_types {
+                    match dt {
+                        DataType::Text => {
+                            let idx = rng.random_range(0..SYMBOLS.len());
+                            if key.is_none() {
+                                key = Some(fnv1a(SYMBOLS[idx].as_bytes()));
+                            }
+                        }
+                        DataType::Float => {
+                            let step: f64 = rng.random_range(-1.0..1.0);
+                            self.walk[s] = (self.walk[s] + step).max(1.0);
+                        }
+                        DataType::Int => {
+                            let _: i64 = rng.random_range(0..1000);
+                        }
+                        DataType::Bool => {
+                            let _: f64 = rng.random_range(0.0..1.0);
+                        }
+                        DataType::Timestamp => {}
+                    }
+                }
+                let mark: f64 = rng.random_range(0.0..1.0);
+                cols.ts_ms.push(ts_ms);
+                cols.marks.push(mark);
+                cols.keys.push(key.unwrap_or_else(|| mix64(ts_ms)));
+            }
+            out.push(cols);
+        }
+        out
+    }
+}
+
+/// One tick's arrivals on one partner stream, reduced to exactly what a
+/// partitioned window consumes: per-tuple timestamps (ascending), window-join
+/// match marks in `[0, 1)`, and partition keys (FNV-1a of the first text
+/// field's symbol, or a timestamp hash for streams without one — both sides
+/// of the fan-out must agree on which shard owns a tuple, and nothing else
+/// about the key matters for correctness).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartnerColumns {
+    /// The partner stream.
+    pub stream: StreamId,
+    /// Per-tuple arrival timestamps (ms).
+    pub ts_ms: Vec<u64>,
+    /// Per-tuple window-join match marks.
+    pub marks: Vec<f64>,
+    /// Per-tuple partition keys.
+    pub keys: Vec<u64>,
+}
+
+impl PartnerColumns {
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.ts_ms.len()
+    }
+
+    /// Whether the tick delivered no tuples on this stream.
+    pub fn is_empty(&self) -> bool {
+        self.ts_ms.is_empty()
+    }
+}
+
+/// How one operator's match column is produced during one tick. The
+/// coordinator computes the plan once per tick from the ground truth
+/// ([`ShardedDrivingGen::match_plan`]); every shard then applies it
+/// row-locally. Filters spend one per-row uniform; join thetas are
+/// tick-constants, so no draw is spent on them at all (the sequential
+/// generator draws and discards one — statistically identical, since a
+/// discarded draw never reaches an operator).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatchColumn {
+    /// `u · scale` for a fresh per-row uniform `u` — a filter with nonzero
+    /// ground truth; its fixed predicate `match < s_est` then passes with
+    /// probability exactly `s_true`.
+    Scaled(f64),
+    /// A tick-constant value: a join theta, or the never-passing sentinel
+    /// of a zero-truth filter.
+    Constant(f64),
+    /// A fresh per-row uniform (projections; the value is never probed).
+    Uniform,
+}
+
+/// The per-(tick, row) generator substream: mixing the base seed with the
+/// tick and the *global* row index gives every row an RNG that depends on
+/// nothing but its coordinates — the property that makes generation
+/// embarrassingly parallel without losing per-seed determinism.
+fn row_seed(base: u64, tick: u64, row: u64) -> u64 {
+    mix64(base ^ mix64(tick.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(row)))
+}
+
+/// A shard-parallel driving-stream generator. Where [`DataplaneGenerator`]
+/// threads one sequential RNG through every tuple (forcing generation onto
+/// a single thread), every (tick, row) pair here owns an independent
+/// splitmix64-derived substream — so any contiguous row range `[lo, hi)` of
+/// a tick's `n` tuples can be filled on any shard, and the concatenation
+/// over *any* sharding is bit-identical to generating the whole tick on one
+/// thread.
+///
+/// Float application fields draw row-local price levels instead of
+/// advancing a cross-tuple random walk: row independence is what buys shard
+/// freedom, and the fields are opaque payload to every operator (only match
+/// columns and marks are probed), so nothing downstream observes the
+/// difference.
+#[derive(Debug, Clone)]
+pub struct ShardedDrivingGen {
+    query: Query,
+    schema_types: Vec<DataType>,
+    base: u64,
+}
+
+impl ShardedDrivingGen {
+    /// Create a sharded generator for a query. All randomness derives from
+    /// `seed`; clones share the substream space, so shards may each hold one.
+    pub fn new(query: &Query, seed: u64) -> Self {
+        let driving = query.driving_stream;
+        Self {
+            query: query.clone(),
+            schema_types: query.streams[driving.index()]
+                .schema
+                .fields()
+                .iter()
+                .map(|f| f.data_type)
+                .collect(),
+            base: derive_seed(seed, "driving-sharded"),
+        }
+    }
+
+    /// The query this generator produces tuples for.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Total width of a generated row (application fields + match columns).
+    pub fn arity(&self) -> usize {
+        exec::driving_arity(&self.query)
+    }
+
+    /// The tick's match-column plan under the ground-truth statistics —
+    /// the same formulas as the sequential generator's per-tuple
+    /// `match_value`, hoisted to one evaluation per tick.
+    pub fn match_plan(&self, truth: &StatsSnapshot) -> Vec<MatchColumn> {
+        self.query
+            .operators
+            .iter()
+            .map(|spec| {
+                let s_true = truth
+                    .selectivity(spec.id)
+                    .unwrap_or(spec.selectivity_estimate);
+                match spec.kind {
+                    OperatorKind::Filter => {
+                        if s_true <= 0.0 {
+                            MatchColumn::Constant(spec.selectivity_estimate + 1.0)
+                        } else {
+                            MatchColumn::Scaled(spec.selectivity_estimate / s_true)
+                        }
+                    }
+                    OperatorKind::Project => MatchColumn::Uniform,
+                    OperatorKind::LookupJoin { table_size } => {
+                        MatchColumn::Constant((s_true / table_size.max(1) as f64).clamp(0.0, 1.0))
+                    }
+                    OperatorKind::WindowJoin { partner } => {
+                        let rate = truth
+                            .input_rate(partner)
+                            .unwrap_or(self.query.streams[partner.index()].rate_estimate);
+                        let expected_window = (rate * self.query.window_secs).max(1.0);
+                        MatchColumn::Constant((s_true / expected_window).clamp(0.0, 1.0))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Fill rows `[lo, hi)` of tick `tick`'s `n`-tuple driving batch into
+    /// `out` (which must have this generator's arity; rows are appended).
+    /// Timestamps spread evenly over `[t, t + dt)` by *global* row index, so
+    /// a slice sees the same timestamps it would as part of the whole.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fill_slice(
+        &self,
+        out: &mut ColumnBatch,
+        plan: &[MatchColumn],
+        tick: u64,
+        t_secs: f64,
+        dt_secs: f64,
+        n: u64,
+        lo: u64,
+        hi: u64,
+    ) {
+        debug_assert_eq!(out.arity(), self.arity());
+        debug_assert_eq!(plan.len(), self.query.num_operators());
+        debug_assert!(lo <= hi && hi <= n);
+        let num_fields = self.schema_types.len();
+        for i in lo..hi {
+            let ts_ms = ((t_secs + dt_secs * i as f64 / n.max(1) as f64) * 1000.0) as u64;
+            let mut rng = rng_from_seed(row_seed(self.base, tick, i));
+            out.push_row_with(ts_ms, |field| {
+                if field < num_fields {
+                    match self.schema_types[field] {
+                        DataType::Text => {
+                            let idx = rng.random_range(0..SYMBOLS.len());
+                            Value::from(SYMBOLS[idx])
+                        }
+                        DataType::Float => Value::Float(rng.random_range(1.0..200.0)),
+                        DataType::Int => Value::Int(rng.random_range(0..1000i64)),
+                        DataType::Bool => Value::Bool(rng.random_range(0.0..1.0f64) < 0.5),
+                        DataType::Timestamp => Value::Timestamp(ts_ms),
+                    }
+                } else {
+                    match plan[field - num_fields] {
+                        MatchColumn::Scaled(scale) => {
+                            Value::Float(rng.random_range(0.0..1.0f64) * scale)
+                        }
+                        MatchColumn::Constant(c) => Value::Float(c),
+                        MatchColumn::Uniform => Value::Float(rng.random_range(0.0..1.0f64)),
+                    }
+                }
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -387,6 +647,129 @@ mod tests {
             assert_eq!(cb.len(), 40);
             assert_eq!(ColumnBatch::from_batch(&rb).unwrap(), cb);
             assert_eq!(cb.gather(&cb.identity_sel()), rb);
+        }
+    }
+
+    /// The shard-parallel generator's defining property: filling a tick in
+    /// any number of contiguous slices, in any shard layout, concatenates to
+    /// exactly the single-threaded whole.
+    #[test]
+    fn sharded_generation_is_shard_count_invariant() {
+        let q = Query::q1_stock_monitoring();
+        let truth = q.default_stats();
+        let g = ShardedDrivingGen::new(&q, 7);
+        let plan = g.match_plan(&truth);
+        let n = 97u64;
+        for tick in [0u64, 3] {
+            let mut whole = ColumnBatch::with_arity(q.driving_stream, g.arity());
+            g.fill_slice(&mut whole, &plan, tick, tick as f64, 1.0, n, 0, n);
+            assert_eq!(whole.len(), n as usize);
+            for shards in [2u64, 3, 8, 97, 200] {
+                let mut parts = ColumnBatch::with_arity(q.driving_stream, g.arity());
+                for s in 0..shards {
+                    let lo = s * n / shards;
+                    let hi = (s + 1) * n / shards;
+                    g.fill_slice(&mut parts, &plan, tick, tick as f64, 1.0, n, lo, hi);
+                }
+                assert_eq!(parts, whole, "tick {tick} shards {shards}");
+            }
+            // A clone fills identically (shards each own one).
+            let mut cloned = ColumnBatch::with_arity(q.driving_stream, g.arity());
+            g.clone()
+                .fill_slice(&mut cloned, &plan, tick, tick as f64, 1.0, n, 0, n);
+            assert_eq!(cloned, whole);
+        }
+        // Different ticks produce different rows (substreams don't repeat).
+        let mut t0 = ColumnBatch::with_arity(q.driving_stream, g.arity());
+        let mut t1 = ColumnBatch::with_arity(q.driving_stream, g.arity());
+        g.fill_slice(&mut t0, &plan, 0, 0.0, 1.0, 8, 0, 8);
+        g.fill_slice(&mut t1, &plan, 1, 0.0, 1.0, 8, 0, 8);
+        assert_ne!(t0, t1);
+    }
+
+    /// The sharded generator's match columns must drive the compiled
+    /// operators to the same ground truth the sequential generator does —
+    /// the statistical contract behind moving generation into shards.
+    #[test]
+    fn sharded_generation_tracks_observed_selectivities() {
+        let q = Query::q1_stock_monitoring();
+        let w = StockWorkload::new(60.0, RatePattern::Constant(1.0));
+        let truth = w.stats_at(0.0);
+        let mut seq = DataplaneGenerator::new(&q, 99);
+        let gen = ShardedDrivingGen::new(&q, 99);
+        let mut cq = CompiledQuery::compile(&q, 99);
+        for tick in 0..60 {
+            let t = tick as f64;
+            for (sid, batch) in seq.partner_batches(t, 1.0, &truth) {
+                cq.observe_partner(sid, &batch, (t * 1000.0) as u64 + 999);
+            }
+        }
+        let plan = gen.match_plan(&truth);
+        let mut cb = ColumnBatch::with_arity(q.driving_stream, gen.arity());
+        gen.fill_slice(&mut cb, &plan, 60, 60.0, 1.0, 3000, 0, 3000);
+        let batch = cb.gather(&cb.identity_sel());
+        for op in q.operator_ids() {
+            let mut out = Batch::new();
+            cq.op_mut(op).unwrap().eval_batch(&batch, &mut out);
+        }
+        let observed = cq.observed_stats(&q);
+        for op in q.operator_ids() {
+            let want = truth.selectivity(op).unwrap();
+            let got = observed.selectivity(op).unwrap();
+            assert!(
+                (got - want).abs() < 0.15 * want.max(0.1),
+                "{op}: observed {got:.3} vs truth {want:.3}"
+            );
+        }
+        // Match columns land dense, enabling the vectorized kernels.
+        for op in 0..q.num_operators() {
+            let col = cb.column(exec::match_field(&q, op)).unwrap();
+            assert!(col.dense_floats().is_some(), "op {op} match column");
+        }
+    }
+
+    /// `partner_columns` is a draw-for-draw twin of `partner_batches`: same
+    /// Poisson sizes, timestamps, and marks, with keys that both sides of
+    /// the fan-out can recompute from the tuple.
+    #[test]
+    fn partner_columns_twin_the_row_partner_batches() {
+        let q = Query::q1_stock_monitoring();
+        let truth = q.default_stats();
+        let mut row = DataplaneGenerator::new(&q, 7);
+        let mut col = DataplaneGenerator::new(&q, 7);
+        for tick in 0..6u64 {
+            let t = tick as f64;
+            let rb = row.partner_batches(t, 1.0, &truth);
+            let cc = col.partner_columns(t, 1.0, &truth);
+            assert_eq!(rb.len(), cc.len());
+            for ((sid, batch), cols) in rb.iter().zip(&cc) {
+                assert_eq!(*sid, cols.stream);
+                assert_eq!(batch.len(), cols.len());
+                let mark_field = exec::partner_mark_field(&q, *sid);
+                for (i, tup) in batch.tuples.iter().enumerate() {
+                    assert_eq!(tup.timestamp, cols.ts_ms[i]);
+                    assert_eq!(
+                        tup.value(mark_field).and_then(Value::as_f64),
+                        Some(cols.marks[i])
+                    );
+                    // The key re-derives from the tuple's first text field.
+                    let text_key = tup
+                        .values
+                        .iter()
+                        .find_map(|v| v.as_str())
+                        .map(|s| rld_common::rng::fnv1a(s.as_bytes()));
+                    assert_eq!(
+                        cols.keys[i],
+                        text_key.unwrap_or_else(|| rld_common::rng::mix64(tup.timestamp))
+                    );
+                }
+            }
+            // Interleave a driving batch to prove the RNG streams stay in
+            // lockstep across call patterns.
+            assert_eq!(
+                row.driving_batch(t, 1.0, 10, &truth),
+                col.driving_batch(t, 1.0, 10, &truth)
+            );
         }
     }
 

@@ -198,6 +198,74 @@ fn columnar_results_are_bit_deterministic_per_seed() {
     assert!(a.tuples_produced > 0, "{a:?}");
 }
 
+/// The shard count is an execution detail, not an experiment parameter:
+/// driving generation draws from per-(tick, row) substreams and window
+/// partitions sum their integer match counts exactly, so per seed the
+/// policy trace, every virtual counter, *and* the observed per-operator
+/// selectivities are bit-identical at any shard count — fault-free and
+/// under a Lost-semantics crash.
+#[test]
+fn columnar_results_are_invariant_across_shard_counts() {
+    let query = q1();
+    let cluster = test_cluster(&query);
+    let config = sim_config(1234, 60.0);
+    let workload = StockWorkload::new(10.0, RatePattern::Constant(2.0));
+    let run = |shards: usize, faulted: bool| {
+        let cfg = ColumnarConfig {
+            shards,
+            ..ColumnarConfig::from_sim(config)
+        };
+        let mut exec = ColumnarExecutor::new(query.clone(), cluster.clone(), cfg).unwrap();
+        if faulted {
+            exec = exec
+                .with_faults(
+                    FaultPlan::node_crash(NodeId::new(1), 15.0, 35.0, RecoverySemantic::Lost)
+                        .unwrap(),
+                )
+                .unwrap();
+        }
+        let mut s = build_strategy("HYB", &query, &cluster);
+        exec.run_report(&workload, s.as_mut(), true).unwrap()
+    };
+    for faulted in [false, true] {
+        let baseline = run(1, faulted);
+        if !faulted {
+            // Q1's 5-way join is brutally selective at this rate; a handful
+            // of survivors is expected, zero would make the test vacuous.
+            assert!(baseline.metrics.tuples_produced > 0);
+        }
+        for shards in [2usize, 8] {
+            let r = run(shards, faulted);
+            let label = format!("shards={shards} faulted={faulted}");
+            assert_eq!(baseline.trace, r.trace, "{label}: policy trace");
+            assert_eq!(
+                baseline.metrics.tuples_arrived, r.metrics.tuples_arrived,
+                "{label}: arrived"
+            );
+            assert_eq!(
+                baseline.metrics.tuples_processed, r.metrics.tuples_processed,
+                "{label}: processed"
+            );
+            assert_eq!(
+                baseline.metrics.tuples_produced, r.metrics.tuples_produced,
+                "{label}: produced"
+            );
+            assert_eq!(
+                baseline.metrics.tuples_lost, r.metrics.tuples_lost,
+                "{label}: lost"
+            );
+            assert_eq!(
+                baseline.metrics.produced_timeline, r.metrics.produced_timeline,
+                "{label}: produced timeline"
+            );
+            assert_eq!(
+                baseline.observed_stats, r.observed_stats,
+                "{label}: observed selectivities"
+            );
+        }
+    }
+}
+
 /// Under `Replay` the columnar crash preserves window state, under `Lost`
 /// it clears it — mirroring the row executor's semantics — while the
 /// ingest-level loss floor stays identical between the two semantics
