@@ -169,7 +169,10 @@ fn main() {
         let backend_json = |r: &ExecReport| {
             let stages = r
                 .stage_timings
+                .as_ref()
                 .map(|s| {
+                    let per_shard =
+                        |v: &[f64]| Json::Arr(v.iter().map(|&ms| Json::Num(ms)).collect());
                     Json::obj([
                         ("generate_ms", Json::Num(s.generate_ms)),
                         ("route_ms", Json::Num(s.route_ms)),
@@ -177,6 +180,9 @@ fn main() {
                         ("evaluate_ms", Json::Num(s.evaluate_ms)),
                         ("fold_ms", Json::Num(s.fold_ms)),
                         ("window_ms", Json::Num(s.window_ms)),
+                        ("shard_busy_ms", per_shard(&s.shard_busy_ms)),
+                        ("shard_idle_ms", per_shard(&s.shard_idle_ms)),
+                        ("max_shard_skew_ms", Json::Num(s.max_shard_skew_ms)),
                     ])
                 })
                 .unwrap_or(Json::Null);
@@ -371,6 +377,60 @@ fn check_against_baseline(current: &Json) {
         for r in &regressions {
             eprintln!("  - {r}");
         }
+        eprintln!("stage breakdown of this run (percent of backend wall):");
+        print_stage_breakdown(current);
         std::process::exit(1);
+    }
+}
+
+/// On gate failure, print where the wall time went: each recorded stage as
+/// a percentage of its backend's wall clock, so a throughput regression is
+/// attributable to a stage without re-running anything.
+fn print_stage_breakdown(current: &Json) {
+    const STAGES: [&str; 6] = [
+        "generate_ms",
+        "route_ms",
+        "dispatch_ms",
+        "evaluate_ms",
+        "fold_ms",
+        "window_ms",
+    ];
+    let Some(runs) = current.get("runs").and_then(Json::as_arr) else {
+        return;
+    };
+    for run in runs {
+        let system = run.get("system").and_then(Json::as_str).unwrap_or("?");
+        for backend in ["row", "columnar"] {
+            let Some(doc) = run.get(backend) else {
+                continue;
+            };
+            let Some(wall) = doc.get("wall_secs").and_then(Json::as_f64) else {
+                continue;
+            };
+            let wall_ms = wall * 1000.0;
+            let Some(stages) = doc.get("stage_timings") else {
+                continue;
+            };
+            if wall_ms <= 0.0 || matches!(stages, Json::Null) {
+                continue;
+            }
+            let parts: Vec<String> = STAGES
+                .iter()
+                .filter_map(|name| {
+                    let ms = stages.get(name)?.as_f64()?;
+                    Some(format!(
+                        "{} {:.0}% ({ms:.0}ms)",
+                        name.trim_end_matches("_ms"),
+                        ms / wall_ms * 100.0
+                    ))
+                })
+                .collect();
+            let skew = stages
+                .get("max_shard_skew_ms")
+                .and_then(Json::as_f64)
+                .map(|ms| format!(", max shard skew {ms:.1}ms"))
+                .unwrap_or_default();
+            eprintln!("  {system}/{backend}: {}{skew}", parts.join(", "));
+        }
     }
 }

@@ -193,14 +193,23 @@ enum OpState {
     Filter { predicate: Predicate },
     /// A projection evaluating an explicit column list.
     Project { columns: Vec<usize> },
-    /// A lookup join probing a static, seeded table of match marks.
-    Lookup { marks: Vec<f64> },
+    /// A lookup join probing a static, seeded table of match marks. The
+    /// table never mutates after compile, so its sorted probe snapshot is
+    /// built once and shared.
+    Lookup {
+        marks: Vec<f64>,
+        sorted: Arc<SortedMarks>,
+    },
     /// A window join maintaining the partner stream's sliding window.
+    /// `cache` memoizes the sorted probe snapshot of the current contents;
+    /// every mutation (insert, expiry, crash-clear) invalidates it, so
+    /// repeated probes of an unchanged window never re-sort.
     Window {
         partner: StreamId,
         mark_field: usize,
         window_ms: u64,
         window: VecDeque<WindowEntry>,
+        cache: Option<Arc<SortedMarks>>,
     },
 }
 
@@ -263,17 +272,18 @@ impl CompiledOp {
             OperatorKind::LookupJoin { table_size } => {
                 let mut rng =
                     rng_from_seed(derive_seed(seed, &format!("lookup-{}", spec.id.index())));
-                OpState::Lookup {
-                    marks: (0..table_size)
-                        .map(|_| rng.random_range(0.0..1.0))
-                        .collect(),
-                }
+                let marks: Vec<f64> = (0..table_size)
+                    .map(|_| rng.random_range(0.0..1.0))
+                    .collect();
+                let sorted = Arc::new(SortedMarks::from_unsorted(marks.clone()));
+                OpState::Lookup { marks, sorted }
             }
             OperatorKind::WindowJoin { partner } => OpState::Window {
                 partner,
                 mark_field: partner_mark_field(query, partner),
                 window_ms: (query.window_secs * 1000.0).max(0.0) as u64,
                 window: VecDeque::new(),
+                cache: None,
             },
         };
         Self {
@@ -326,16 +336,28 @@ impl CompiledOp {
     /// table, or the *current* sliding-window contents (finite marks only,
     /// mirroring the row path's `is_finite` guard) — for vectorized probing
     /// via [`SortedMarks::count_matches`]. `None` for filters/projections.
-    pub fn probe_marks(&self) -> Option<SortedMarks> {
-        match &self.state {
-            OpState::Lookup { marks } => Some(SortedMarks::from_unsorted(marks.clone())),
-            OpState::Window { window, .. } => Some(SortedMarks::from_unsorted(
-                window
-                    .iter()
-                    .filter(|e| e.mark.is_finite())
-                    .map(|e| e.mark)
-                    .collect(),
-            )),
+    ///
+    /// The snapshot is memoized: lookup tables sort once at compile time,
+    /// window snapshots are cached until the next mutation (insert, expiry,
+    /// crash-clear), so probing an unchanged window is an `Arc` clone, not a
+    /// clone-and-re-sort.
+    pub fn probe_marks(&mut self) -> Option<Arc<SortedMarks>> {
+        match &mut self.state {
+            OpState::Lookup { sorted, .. } => Some(Arc::clone(sorted)),
+            OpState::Window { window, cache, .. } => Some(match cache {
+                Some(snap) => Arc::clone(snap),
+                None => {
+                    let snap = Arc::new(SortedMarks::from_unsorted(
+                        window
+                            .iter()
+                            .filter(|e| e.mark.is_finite())
+                            .map(|e| e.mark)
+                            .collect(),
+                    ));
+                    *cache = Some(Arc::clone(&snap));
+                    snap
+                }
+            }),
             _ => None,
         }
     }
@@ -345,9 +367,15 @@ impl CompiledOp {
     /// order per stream; marks are read from the partner mark column.
     pub fn observe_partner(&mut self, batch: &Batch) {
         if let OpState::Window {
-            mark_field, window, ..
+            mark_field,
+            window,
+            cache,
+            ..
         } = &mut self.state
         {
+            if !batch.tuples.is_empty() {
+                *cache = None;
+            }
             for t in &batch.tuples {
                 // A missing/non-numeric mark means "never match"; the
                 // sentinel must be non-finite because the probe's rotation
@@ -393,20 +421,25 @@ impl CompiledOp {
     /// node crash under `Lost` recovery semantics would. Static lookup
     /// tables persist (they are reloadable, not stream state).
     pub fn clear_state(&mut self) {
-        if let OpState::Window { window, .. } = &mut self.state {
+        if let OpState::Window { window, cache, .. } = &mut self.state {
             window.clear();
+            *cache = None;
         }
     }
 
     /// Evict window entries older than the sliding window at `now_ms`.
     pub fn expire(&mut self, now_ms: u64) {
         if let OpState::Window {
-            window_ms, window, ..
+            window_ms,
+            window,
+            cache,
+            ..
         } = &mut self.state
         {
             let cutoff = now_ms.saturating_sub(*window_ms);
             while window.front().is_some_and(|e| e.ts_ms < cutoff) {
                 window.pop_front();
+                *cache = None;
             }
         }
     }
@@ -431,7 +464,7 @@ impl CompiledOp {
                 self.observed.outputs += 1;
                 out.push(Tuple::new(tuple.stream, tuple.timestamp, values));
             }
-            OpState::Lookup { marks } => {
+            OpState::Lookup { marks, .. } => {
                 let theta = tuple
                     .value(self.match_field)
                     .and_then(Value::as_f64)
@@ -492,6 +525,12 @@ impl CompiledQuery {
     /// The compiled operators, in operator-id order.
     pub fn ops(&self) -> &[CompiledOp] {
         &self.ops
+    }
+
+    /// Mutable access to every compiled operator (snapshotting probe state
+    /// touches each operator's memoized cache).
+    pub fn ops_mut(&mut self) -> &mut [CompiledOp] {
+        &mut self.ops
     }
 
     /// One compiled operator by id.
@@ -755,65 +794,227 @@ impl SortedMarks {
     /// bit for bit, as the linear scan in [`CompiledOp::eval_tuple`].
     pub fn count_matches(&self, theta: f64, rot: f64) -> usize {
         let wrap = self.marks.partition_point(|m| m + rot < 1.0);
-        let lo = self.marks[..wrap].partition_point(|m| (m + rot) % 1.0 < theta);
-        let hi = self.marks[wrap..].partition_point(|m| (m + rot) % 1.0 < theta);
+        // Below the wrap point `m + rot < 1.0`, where `% 1.0` is the
+        // identity on `(-1, 1)`; at or past it `m + rot ≥ 1.0` (or NaN),
+        // where it is the exact Sterbenz subtraction `x − 1.0` on `[1, 2)`.
+        // Both guarded fast paths are bit-identical to the fmod they
+        // replace — the fmod itself only runs for out-of-range marks.
+        let lo = self.marks[..wrap].partition_point(|m| {
+            let x = m + rot;
+            (if x > -1.0 { x } else { x % 1.0 }) < theta
+        });
+        let hi = self.marks[wrap..].partition_point(|m| {
+            let x = m + rot;
+            (if x < 2.0 { x - 1.0 } else { x % 1.0 }) < theta
+        });
         lo + hi
     }
 }
 
 /// Merge two ascending (by [`f64::total_cmp`]) mark slices into one — the
-/// `O(n)` insert half of incremental window maintenance.
+/// insert half of incremental window maintenance. Walks the `add` side and
+/// gallops ([`gallop_pp`]) through `old` between insertions, so the bulk of
+/// `old` moves as `memcpy` runs instead of one branchy compare per element;
+/// ties keep `old` first, exactly like a stable two-pointer merge.
 fn merge_sorted(old: &[f64], add: &[f64]) -> Vec<f64> {
     let mut out = Vec::with_capacity(old.len() + add.len());
-    let (mut i, mut j) = (0, 0);
-    while i < old.len() && j < add.len() {
-        if old[i].total_cmp(&add[j]) != std::cmp::Ordering::Greater {
-            out.push(old[i]);
-            i += 1;
-        } else {
-            out.push(add[j]);
-            j += 1;
-        }
+    let mut i = 0;
+    for &v in add {
+        let k = gallop_pp(old, i, old.len(), i, |m| {
+            m.total_cmp(&v) != std::cmp::Ordering::Greater
+        });
+        out.extend_from_slice(&old[i..k]);
+        out.push(v);
+        i = k;
     }
     out.extend_from_slice(&old[i..]);
-    out.extend_from_slice(&add[j..]);
     out
+}
+
+/// Like [`subtract_sorted`] but tolerating dels that are not present in
+/// `old`: returns the kept marks plus the unmatched dels (ascending), which
+/// the caller cancels against another term. Removes one bit-equal instance
+/// per matched del, exactly like [`subtract_sorted`].
+fn subtract_partial(old: &[f64], del: Vec<f64>) -> (Vec<f64>, Vec<f64>) {
+    let mut kept = Vec::with_capacity(old.len().saturating_sub(del.len()));
+    let mut leftover: Vec<f64> = Vec::new();
+    let mut i = 0;
+    for &v in &del {
+        let k = gallop_pp(old, i, old.len(), i, |m| {
+            m.total_cmp(&v) == std::cmp::Ordering::Less
+        });
+        kept.extend_from_slice(&old[i..k]);
+        if k < old.len() && old[k].total_cmp(&v) == std::cmp::Ordering::Equal {
+            i = k + 1;
+        } else {
+            leftover.push(v);
+            i = k;
+        }
+    }
+    kept.extend_from_slice(&old[i..]);
+    (kept, leftover)
 }
 
 /// Remove the multiset `del` (ascending, every element bit-present in `old`)
-/// from the ascending `old` — the `O(n)` expiry half of incremental window
-/// maintenance.
+/// from the ascending `old` — the expiry half of incremental window
+/// maintenance. Same galloping bulk-copy walk as [`merge_sorted`].
 fn subtract_sorted(old: &[f64], del: &[f64]) -> Vec<f64> {
     let mut out = Vec::with_capacity(old.len().saturating_sub(del.len()));
-    let mut d = 0;
-    for &m in old {
-        if d < del.len() && del[d].total_cmp(&m) == std::cmp::Ordering::Equal {
-            d += 1;
-            continue;
-        }
-        out.push(m);
+    let mut i = 0;
+    for &v in del {
+        let k = gallop_pp(old, i, old.len(), i, |m| {
+            m.total_cmp(&v) == std::cmp::Ordering::Less
+        });
+        out.extend_from_slice(&old[i..k]);
+        let matched = k < old.len() && old[k].total_cmp(&v) == std::cmp::Ordering::Equal;
+        debug_assert!(matched, "expired marks must come from the window");
+        i = if matched { k + 1 } else { k };
     }
-    debug_assert_eq!(d, del.len(), "expired marks must come from the window");
+    out.extend_from_slice(&old[i..]);
     out
 }
 
+/// A probe snapshot expressed as *signed sorted terms*: the live mark
+/// multiset is `Σ add − Σ sub` (every subtracted mark was previously added).
+/// Because [`SortedMarks::count_matches`] is an exact integer count and
+/// counting is additive over multisets, probing the terms with signs gives
+/// exactly the count a fully consolidated snapshot would — which is what
+/// lets [`WindowPartition`] publish per-tick *runs* instead of re-merging
+/// the whole window every tick.
+///
+/// Cloning is cheap (per-term `Arc` bumps); a consolidated snapshot or a
+/// static lookup table is the degenerate case of one add term.
+#[derive(Debug, Clone, Default)]
+pub struct MarkTerms {
+    add: Vec<Arc<SortedMarks>>,
+    sub: Vec<Arc<SortedMarks>>,
+}
+
+impl MarkTerms {
+    /// A snapshot with explicit add/sub terms. Every mark in `sub` must be
+    /// bit-present in the union of `add` (multiset inclusion) — the window
+    /// maintenance invariant that keeps signed counts exact.
+    pub fn new(add: Vec<Arc<SortedMarks>>, sub: Vec<Arc<SortedMarks>>) -> Self {
+        Self { add, sub }
+    }
+
+    /// The single-term snapshot: one consolidated sorted run.
+    pub fn single(marks: Arc<SortedMarks>) -> Self {
+        Self {
+            add: vec![marks],
+            sub: Vec::new(),
+        }
+    }
+
+    /// The positive (inserted) terms.
+    pub fn adds(&self) -> &[Arc<SortedMarks>] {
+        &self.add
+    }
+
+    /// The negative (expired) terms.
+    pub fn subs(&self) -> &[Arc<SortedMarks>] {
+        &self.sub
+    }
+
+    /// Number of live (finite) marks the terms represent.
+    pub fn live_len(&self) -> usize {
+        let added: usize = self.add.iter().map(|t| t.len()).sum();
+        let subbed: usize = self.sub.iter().map(|t| t.len()).sum();
+        added - subbed
+    }
+
+    /// How many live marks satisfy `(mark + rot) % 1.0 < theta` — the signed
+    /// sum over terms, exactly equal to probing the consolidated multiset.
+    pub fn count_matches(&self, theta: f64, rot: f64) -> usize {
+        let added: usize = self.add.iter().map(|t| t.count_matches(theta, rot)).sum();
+        let subbed: usize = self.sub.iter().map(|t| t.count_matches(theta, rot)).sum();
+        added - subbed
+    }
+
+    /// Consolidate the terms into one sorted run holding the live multiset
+    /// (merge all adds, subtract all subs).
+    pub fn flatten(&self) -> SortedMarks {
+        let mut merged: Vec<f64> = Vec::new();
+        for term in &self.add {
+            merged = merge_sorted(&merged, term.as_slice());
+        }
+        let mut dels: Vec<f64> = Vec::new();
+        for term in &self.sub {
+            dels = merge_sorted(&dels, term.as_slice());
+        }
+        if !dels.is_empty() {
+            merged = subtract_sorted(&merged, &dels);
+        }
+        SortedMarks::from_sorted(merged)
+    }
+}
+
+/// Segment sizing slack of [`WindowPartition`]: segments target roughly a
+/// third of the base plus this, so tiny windows collapse to one segment
+/// instead of many fragments.
+const SEGMENT_TARGET_SLACK: usize = 64;
+/// How many expiry runs may stay pending before they fold into the base.
+/// Each is one tick's expiries — tiny, so probing them is cheap — while
+/// canceling them against the oldest segment rewrites that whole segment;
+/// batching a few ticks amortizes the rewrite without letting the snapshot
+/// term count grow past the segment count plus this.
+const MAX_SUB_RUNS: usize = 5;
+
 /// One partition of a window-join operator's sliding-window state: the
 /// resident partner tuples of *one shard's share* of the partner stream
-/// (partitioned by key hash), plus an incrementally maintained
-/// [`SortedMarks`] snapshot of their finite marks.
+/// (partitioned by key hash), plus an incrementally maintained probe
+/// snapshot of their finite marks.
 ///
-/// Maintenance is `O(window)` per tick (one merge for inserts, one
-/// subtraction for expiry) instead of the `O(window log window)` full
-/// re-sort of snapshotting from scratch — the dominant coordinator cost the
-/// partitioned design removes. Because [`SortedMarks::count_matches`] is an
-/// exact integer count, summing it over disjoint partitions equals the
-/// count over their union bit for bit, so *how* the stream is partitioned
-/// (including not at all) can never change a probe result.
+/// Maintenance keeps the base segmented by insertion age: each tick's
+/// inserts become one small sorted *add run* and its expiries one small
+/// sorted *sub run*, then both fold into the base immediately — inserts
+/// merge into the newest segment, expiries cancel against the oldest, each
+/// via galloping bulk-copy merges whose cost is one segment's `memcpy`, not
+/// one compare per element. Folding every tick keeps the snapshot at a
+/// handful of terms (the segments), which is what the probe side pays for:
+/// every extra term costs three galloping cursors per probe. Because signed
+/// counts are exact integers, summing them over disjoint partitions equals
+/// the count over their union bit for bit, so *how* the stream is
+/// partitioned (including not at all) — and how the base is segmented —
+/// can never change a probe result.
 #[derive(Debug, Clone)]
 pub struct WindowPartition {
     window_ms: u64,
-    entries: VecDeque<WindowEntry>,
-    sorted: Arc<SortedMarks>,
+    /// Resident tuples grouped by the [`WindowPartition::advance`] call that
+    /// inserted them, oldest first. Grouping preserves each insert batch's
+    /// sorted mark run, so when a whole batch ages out its expiry *reuses*
+    /// that run as the sub run — no collecting, no re-sort, no allocation.
+    runs: VecDeque<TickRun>,
+    /// Total resident tuples across runs (finite-marked or not).
+    resident: usize,
+    /// The consolidated base, segmented by insertion age (oldest first).
+    /// Marks arrive time-ordered and expire in the same order, so pending
+    /// sub runs cancel against the *oldest* segment and pending add runs
+    /// merge into the *newest* — each consolidation walks roughly one
+    /// segment (a fraction of the window) instead of the whole base.
+    segments: VecDeque<Arc<SortedMarks>>,
+    /// This tick's insert runs, drained into the base every fold.
+    add_runs: Vec<Arc<SortedMarks>>,
+    /// Pending expiry runs, folded only once enough accumulate.
+    sub_runs: Vec<Arc<SortedMarks>>,
+    /// Total marks across pending sub runs, driving the expiry fold trigger.
+    pending_subs: usize,
+}
+
+/// One insert batch resident in a [`WindowPartition`]: its rows (timestamp
+/// and mark, in arrival order) and the sorted finite marks of the rows not
+/// yet expired — the same `Arc` that was pushed as the batch's add run, so
+/// full-batch expiry is a pointer move.
+#[derive(Debug, Clone)]
+struct TickRun {
+    /// `(ts_ms, mark)` rows still resident; `start` indexes the first one.
+    rows: Vec<(u64, f64)>,
+    start: usize,
+    /// Largest row timestamp — when it falls behind the cutoff the whole
+    /// batch expires at once.
+    max_ts: u64,
+    /// Sorted finite marks of `rows[start..]`.
+    marks: Arc<SortedMarks>,
 }
 
 impl WindowPartition {
@@ -821,24 +1022,31 @@ impl WindowPartition {
     pub fn new(window_ms: u64) -> Self {
         Self {
             window_ms,
-            entries: VecDeque::new(),
-            sorted: Arc::new(SortedMarks::default()),
+            runs: VecDeque::new(),
+            resident: 0,
+            segments: VecDeque::new(),
+            add_runs: Vec::new(),
+            sub_runs: Vec::new(),
+            pending_subs: 0,
         }
     }
 
     /// Number of resident partner tuples (finite-marked or not).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.resident
     }
 
     /// Whether the partition holds no partner tuples.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.resident == 0
     }
 
-    /// The current probe snapshot (cheap `Arc` clone).
-    pub fn snapshot(&self) -> Arc<SortedMarks> {
-        Arc::clone(&self.sorted)
+    /// The current probe snapshot (cheap `Arc` clones of segments + runs).
+    pub fn snapshot(&self) -> MarkTerms {
+        let mut add = Vec::with_capacity(self.add_runs.len() + self.segments.len());
+        add.extend(self.segments.iter().cloned());
+        add.extend(self.add_runs.iter().cloned());
+        MarkTerms::new(add, self.sub_runs.clone())
     }
 
     /// One tick of window maintenance: insert this partition's share of the
@@ -850,64 +1058,157 @@ impl WindowPartition {
     /// never-matching entries, mirroring the row path.
     pub fn advance(&mut self, now_ms: u64, ts_ms: &[u64], marks: &[f64]) -> bool {
         debug_assert_eq!(ts_ms.len(), marks.len());
-        let mut added: Vec<f64> = Vec::new();
-        for (&ts, &mark) in ts_ms.iter().zip(marks) {
-            self.entries.push_back(WindowEntry { ts_ms: ts, mark });
-            if mark.is_finite() {
-                added.push(mark);
-            }
-        }
-        if !added.is_empty() {
+        if !ts_ms.is_empty() {
+            let mut added: Vec<f64> = marks.iter().copied().filter(|m| m.is_finite()).collect();
             added.sort_unstable_by(f64::total_cmp);
-            self.sorted = Arc::new(SortedMarks::from_sorted(merge_sorted(
-                self.sorted.as_slice(),
-                &added,
-            )));
+            let run_marks = Arc::new(SortedMarks::from_sorted(added));
+            if !run_marks.is_empty() {
+                self.add_runs.push(Arc::clone(&run_marks));
+            }
+            self.runs.push_back(TickRun {
+                rows: ts_ms.iter().copied().zip(marks.iter().copied()).collect(),
+                start: 0,
+                max_ts: ts_ms.iter().copied().max().unwrap_or(0),
+                marks: run_marks,
+            });
+            self.resident += ts_ms.len();
         }
 
         let cutoff = now_ms.saturating_sub(self.window_ms);
-        let mut expired: Vec<f64> = Vec::new();
-        while let Some(e) = self.entries.front() {
-            if e.ts_ms >= cutoff {
+        let mut expired_rows = 0usize;
+        // Whole batches behind the cutoff expire by reusing their resident
+        // mark run as the sub run — a pointer move instead of a re-sort.
+        while let Some(run) = self.runs.front() {
+            if run.max_ts >= cutoff {
                 break;
             }
-            if e.mark.is_finite() {
-                expired.push(e.mark);
+            let run = self.runs.pop_front().expect("front checked above");
+            expired_rows += run.rows.len() - run.start;
+            if !run.marks.is_empty() {
+                self.pending_subs += run.marks.len();
+                self.sub_runs.push(run.marks);
             }
-            self.entries.pop_front();
         }
-        if !expired.is_empty() {
-            expired.sort_unstable_by(f64::total_cmp);
-            self.sorted = Arc::new(SortedMarks::from_sorted(subtract_sorted(
-                self.sorted.as_slice(),
-                &expired,
-            )));
+        // The (rare) partially expired batch at the front: evict its expired
+        // prefix and rebuild its resident run, exactly like the old per-entry
+        // path. Expiry stops at the first still-live row, preserving the
+        // strict prefix semantics of the entry-deque implementation.
+        if let Some(run) = self.runs.front_mut() {
+            let mut pos = run.start;
+            let mut expired: Vec<f64> = Vec::new();
+            while pos < run.rows.len() && run.rows[pos].0 < cutoff {
+                let mark = run.rows[pos].1;
+                if mark.is_finite() {
+                    expired.push(mark);
+                }
+                pos += 1;
+            }
+            if pos > run.start {
+                expired_rows += pos - run.start;
+                run.start = pos;
+                if !expired.is_empty() {
+                    expired.sort_unstable_by(f64::total_cmp);
+                    run.marks = Arc::new(SortedMarks::from_sorted(subtract_sorted(
+                        run.marks.as_slice(),
+                        &expired,
+                    )));
+                    self.pending_subs += expired.len();
+                    self.sub_runs
+                        .push(Arc::new(SortedMarks::from_sorted(expired)));
+                }
+            }
         }
-        ts_ms.len() + expired.len() > 0
+        self.resident -= expired_rows;
+        let changed = ts_ms.len() + expired_rows > 0;
+        self.maybe_consolidate();
+        changed
+    }
+
+    /// Fold pending runs into the segmented base: inserts merge into the
+    /// newest segment (or open a fresh one once it is large enough) every
+    /// tick — one galloping bulk-copy merge that keeps the snapshot free of
+    /// add terms — while expiries cancel against the oldest segments only
+    /// once enough accumulate ([`MAX_SUB_RUNS`]) to amortize rewriting a
+    /// segment. Either way one fold walks a *fraction* of the window, never
+    /// all of it.
+    fn maybe_consolidate(&mut self) {
+        if !self.add_runs.is_empty() {
+            let mut adds: Vec<f64> = Vec::new();
+            for run in self.add_runs.drain(..) {
+                adds = merge_sorted(&adds, run.as_slice());
+            }
+            // Keep segments at roughly a third of the base so both the
+            // newest-segment merge and the oldest-segment subtraction stay
+            // proportional to it; small windows collapse to one segment.
+            let base_len: usize = self.segments.iter().map(|s| s.len()).sum();
+            let target = base_len / 3 + SEGMENT_TARGET_SLACK;
+            match self.segments.back() {
+                Some(newest) if newest.len() < target => {
+                    let merged = merge_sorted(newest.as_slice(), &adds);
+                    *self.segments.back_mut().expect("nonempty checked") =
+                        Arc::new(SortedMarks::from_sorted(merged));
+                }
+                _ => self
+                    .segments
+                    .push_back(Arc::new(SortedMarks::from_sorted(adds))),
+            }
+        }
+        let base_len: usize = self.segments.iter().map(|s| s.len()).sum();
+        if self.sub_runs.len() <= MAX_SUB_RUNS && self.pending_subs * 4 <= base_len {
+            return;
+        }
+        let mut dels: Vec<f64> = Vec::new();
+        for run in self.sub_runs.drain(..) {
+            dels = merge_sorted(&dels, run.as_slice());
+        }
+        // Expiries cancel against segments oldest-first — counts are
+        // additive over terms, so canceling a bit-equal instance anywhere
+        // is exact, and the adds folded above guarantee every expired mark
+        // is bit-present in the segments.
+        let mut idx = 0;
+        while !dels.is_empty() && idx < self.segments.len() {
+            let seg = &self.segments[idx];
+            let (kept, leftover) = subtract_partial(seg.as_slice(), dels);
+            dels = leftover;
+            if kept.len() != seg.len() {
+                self.segments[idx] = Arc::new(SortedMarks::from_sorted(kept));
+            }
+            idx += 1;
+        }
+        debug_assert!(dels.is_empty(), "expired marks must come from the window");
+        while self.segments.front().is_some_and(|s| s.is_empty()) {
+            self.segments.pop_front();
+        }
+        self.pending_subs = 0;
     }
 
     /// Drop all resident tuples — a node crash under `Lost` recovery
     /// semantics. The snapshot becomes empty immediately.
     pub fn clear(&mut self) {
-        self.entries.clear();
-        self.sorted = Arc::new(SortedMarks::default());
+        self.runs.clear();
+        self.resident = 0;
+        self.segments.clear();
+        self.add_runs.clear();
+        self.sub_runs.clear();
+        self.pending_subs = 0;
     }
 }
 
 /// One epoch's read-only probe snapshots, indexed by operator: for each
-/// operator with probe state, one or more [`SortedMarks`] partitions whose
-/// *union* is the operator's probe state. Lookup tables are a single static
-/// partition; sliding windows carry one partition per shard, published
-/// tick-synchronously by the shard that owns it. Probing sums
-/// [`SortedMarks::count_matches`] over the partitions — an exact integer
-/// count, so the partitioning never changes a result.
+/// operator with probe state, one or more [`MarkTerms`] partitions whose
+/// signed union is the operator's probe state. Lookup tables are a single
+/// static partition; sliding windows carry one partition per shard,
+/// published tick-synchronously by the shard that owns it. Probing sums
+/// [`MarkTerms::count_matches`] over the partitions — an exact integer
+/// count, so neither the partitioning nor the term structure can change a
+/// result.
 ///
-/// Cheap to clone (per-partition `Arc`s), so the columnar executor
-/// publishes one per tick and every shard probes the same frozen state —
-/// making shard results independent of worker timing.
+/// Cheap to clone (per-term `Arc`s), so the columnar executor publishes one
+/// per tick and every shard probes the same frozen state — making shard
+/// results independent of worker timing.
 #[derive(Debug, Clone, Default)]
 pub struct ProbeSet {
-    per_op: Vec<Vec<Arc<SortedMarks>>>,
+    per_op: Vec<Vec<MarkTerms>>,
 }
 
 impl ProbeSet {
@@ -918,12 +1219,18 @@ impl ProbeSet {
         }
     }
 
-    /// Snapshot every operator's current probe state as one partition each.
-    pub fn snapshot(ops: &[CompiledOp]) -> Self {
+    /// Snapshot every operator's current probe state as one partition each
+    /// (mutable access feeds each operator's memoized snapshot cache).
+    pub fn snapshot(ops: &mut [CompiledOp]) -> Self {
         Self {
             per_op: ops
-                .iter()
-                .map(|op| op.probe_marks().map(Arc::new).into_iter().collect())
+                .iter_mut()
+                .map(|op| {
+                    op.probe_marks()
+                        .map(MarkTerms::single)
+                        .into_iter()
+                        .collect()
+                })
                 .collect(),
         }
     }
@@ -934,25 +1241,25 @@ impl ProbeSet {
         if op.index() >= self.per_op.len() {
             self.per_op.resize(op.index() + 1, Vec::new());
         }
-        self.per_op[op.index()] = marks.into_iter().collect();
+        self.per_op[op.index()] = marks.map(MarkTerms::single).into_iter().collect();
     }
 
     /// Replace one partition of one operator's probe state, growing the
     /// partition list with empty snapshots as needed.
-    pub fn set_partition(&mut self, op: OperatorId, partition: usize, marks: Arc<SortedMarks>) {
+    pub fn set_partition(&mut self, op: OperatorId, partition: usize, terms: MarkTerms) {
         if op.index() >= self.per_op.len() {
             self.per_op.resize(op.index() + 1, Vec::new());
         }
         let parts = &mut self.per_op[op.index()];
         while parts.len() <= partition {
-            parts.push(Arc::new(SortedMarks::default()));
+            parts.push(MarkTerms::default());
         }
-        parts[partition] = marks;
+        parts[partition] = terms;
     }
 
     /// The partitions of one operator's probe state (empty slice = the
     /// operator has no probe state).
-    pub fn partitions(&self, op: OperatorId) -> &[Arc<SortedMarks>] {
+    pub fn partitions(&self, op: OperatorId) -> &[MarkTerms] {
         self.per_op.get(op.index()).map_or(&[], Vec::as_slice)
     }
 
@@ -964,6 +1271,190 @@ impl ProbeSet {
             .iter()
             .map(|p| p.count_matches(theta, rot))
             .sum()
+    }
+}
+
+/// Partition point of a prefix-true predicate within `marks[lo..hi]`, found
+/// by bidirectional exponential search from `hint`: `O(log distance)` when
+/// successive calls land nearby (the multi-probe sweep), never worse than a
+/// plain binary search. Correct for any hint — the hint only seeds the
+/// bracket, the exact predicate decides.
+fn gallop_pp(
+    marks: &[f64],
+    mut lo: usize,
+    mut hi: usize,
+    hint: usize,
+    pred: impl Fn(f64) -> bool,
+) -> usize {
+    debug_assert!(lo <= hi && hi <= marks.len());
+    let probe = hint.clamp(lo, hi);
+    if probe < hi && pred(marks[probe]) {
+        // The point lies right of the hint: gallop the bracket outward.
+        lo = probe + 1;
+        let mut step = 1usize;
+        while let Some(c) = probe.checked_add(step) {
+            if c >= hi {
+                break;
+            }
+            if pred(marks[c]) {
+                lo = c + 1;
+                step *= 2;
+            } else {
+                hi = c;
+                break;
+            }
+        }
+    } else {
+        // The point lies at or left of the hint.
+        hi = probe;
+        let mut step = 1usize;
+        while hi > lo {
+            let c = probe.saturating_sub(step).max(lo);
+            if pred(marks[c]) {
+                lo = c + 1;
+                break;
+            }
+            hi = c;
+            step *= 2;
+        }
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(marks[mid]) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// A batch of `(theta, rot)` probes answered against whole sorted terms in
+/// merged passes — the vectorized counterpart of calling
+/// [`SortedMarks::count_matches`] once per probe.
+///
+/// [`ProbeBatch::fill`] sorts the probes twice (by rotation and by
+/// `theta − rot`); [`ProbeBatch::accumulate`] then sweeps each term with
+/// three monotone cursors (the wrap point `m + rot < 1.0`, the unwrapped
+/// count `m + rot < theta`, the wrapped count `(m + rot) % 1.0 < theta`),
+/// advanced by `gallop_pp`. The orderings make successive cursor moves
+/// short — they are a *performance* heuristic only; every position is
+/// decided by the same exact predicates as the per-probe binary search, so
+/// the counts are bit-identical to it (and to the row path's linear scan).
+#[derive(Debug, Default)]
+pub struct ProbeBatch {
+    thetas: Vec<f64>,
+    rots: Vec<f64>,
+    /// Probe indices sorted by `theta − rot` ascending (drives the two
+    /// theta cursors).
+    by_key: Vec<u32>,
+    /// Probe indices sorted by `rot` descending (drives the wrap cursor).
+    by_rot: Vec<u32>,
+    /// Per-probe wrap points against the current term (scratch).
+    wraps: Vec<u32>,
+}
+
+impl ProbeBatch {
+    /// An empty batch (buffers grow on first fill and are reused).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of probes.
+    pub fn len(&self) -> usize {
+        self.thetas.len()
+    }
+
+    /// Whether the batch holds no probes.
+    pub fn is_empty(&self) -> bool {
+        self.thetas.is_empty()
+    }
+
+    /// Load a batch of `(theta, rot)` probes and build both orderings.
+    pub fn fill(&mut self, probes: impl Iterator<Item = (f64, f64)>) {
+        self.thetas.clear();
+        self.rots.clear();
+        for (theta, rot) in probes {
+            self.thetas.push(theta);
+            self.rots.push(rot);
+        }
+        let n = self.thetas.len() as u32;
+        let (thetas, rots) = (&self.thetas, &self.rots);
+        self.by_key.clear();
+        self.by_key.extend(0..n);
+        self.by_key.sort_unstable_by(|&a, &b| {
+            let ka = thetas[a as usize] - rots[a as usize];
+            let kb = thetas[b as usize] - rots[b as usize];
+            ka.total_cmp(&kb)
+        });
+        self.by_rot.clear();
+        self.by_rot.extend(0..n);
+        self.by_rot
+            .sort_unstable_by(|&a, &b| rots[b as usize].total_cmp(&rots[a as usize]));
+    }
+
+    /// Add `sign ×` each probe's match count against one sorted term into
+    /// `counts` (one slot per probe, in fill order). Exactly equivalent to
+    /// `counts[i] += sign * term.count_matches(theta_i, rot_i)`.
+    pub fn accumulate(&mut self, term: &SortedMarks, sign: i64, counts: &mut [i64]) {
+        debug_assert_eq!(counts.len(), self.len());
+        let marks = term.as_slice();
+        if marks.is_empty() || self.is_empty() {
+            return;
+        }
+        self.wraps.resize(self.len(), 0);
+        // Wrap cursor: rot descending ⇒ the first mark with m + rot ≥ 1.0
+        // moves monotonically right.
+        let mut hint = 0usize;
+        for &i in &self.by_rot {
+            let rot = self.rots[i as usize];
+            hint = gallop_pp(marks, 0, marks.len(), hint, |m| m + rot < 1.0);
+            self.wraps[i as usize] = hint as u32;
+        }
+        // Theta cursors: theta − rot ascending ⇒ both counts grow
+        // near-monotonically.
+        let mut lo_hint = 0usize;
+        let mut hi_hint = 0usize;
+        for &i in &self.by_key {
+            let idx = i as usize;
+            let theta = self.thetas[idx];
+            // NaN and theta ≤ 0 match nothing ((m + rot) % 1.0 is ≥ 0.0);
+            // theta ≥ 1 matches everything (the modulus is < 1.0). The
+            // negated comparison is deliberate: `theta <= 0.0` would let a
+            // NaN theta through.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(theta > 0.0) {
+                continue;
+            }
+            if theta >= 1.0 {
+                counts[idx] += sign * marks.len() as i64;
+                continue;
+            }
+            let rot = self.rots[idx];
+            let wrap = self.wraps[idx] as usize;
+            // Below the wrap point m + rot < 1.0, where (m + rot) % 1.0 is
+            // exactly m + rot (fmod by 1.0 is the identity on [0, 1)).
+            lo_hint = gallop_pp(marks, 0, wrap, lo_hint, |m| m + rot < theta);
+            // Past the wrap point `m + rot ≥ 1.0` (or NaN): on `[1, 2)` the
+            // modulus is the exact Sterbenz subtraction `x − 1.0`, so the
+            // fmod only runs for out-of-range marks — same fast path as
+            // [`SortedMarks::count_matches`], bit-identical results.
+            hi_hint = gallop_pp(marks, wrap, marks.len(), hi_hint.max(wrap), |m| {
+                let x = m + rot;
+                (if x < 2.0 { x - 1.0 } else { x % 1.0 }) < theta
+            });
+            counts[idx] += sign * (lo_hint + (hi_hint - wrap)) as i64;
+        }
+    }
+
+    /// Add the signed match counts of a whole [`MarkTerms`] snapshot.
+    pub fn accumulate_terms(&mut self, terms: &MarkTerms, counts: &mut [i64]) {
+        for term in terms.adds() {
+            self.accumulate(term, 1, counts);
+        }
+        for term in terms.subs() {
+            self.accumulate(term, -1, counts);
+        }
     }
 }
 
@@ -1062,6 +1553,29 @@ fn filter_select(
     false
 }
 
+/// Selection size at which a probe step switches from per-row binary
+/// searches to the batched [`ProbeBatch`] kernel. The two paths are
+/// bit-identical; below this the probe-sort overhead outweighs the merged
+/// sweep.
+const MULTI_PROBE_MIN: usize = 16;
+
+/// Reusable buffers for [`FusedChain::eval_with_scratch`]'s batched probe
+/// path: the [`ProbeBatch`] orderings and the per-probe match counters.
+/// A shard that holds one across ticks evaluates with zero probe-side
+/// allocations in steady state.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    probes: ProbeBatch,
+    match_counts: Vec<i64>,
+}
+
+impl EvalScratch {
+    /// Fresh scratch (buffers grow on first use and are reused).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A whole logical plan compiled into one fused, vectorized operator chain.
 ///
 /// Compiled once per (plan, placement) and evaluated per batch with
@@ -1140,6 +1654,21 @@ impl FusedChain {
         scratch: &mut Vec<u32>,
         counts: &mut Vec<OpCounts>,
     ) -> Result<()> {
+        self.eval_with_scratch(batch, probes, sel, scratch, counts, &mut EvalScratch::new())
+    }
+
+    /// [`FusedChain::eval_in_place`] with the probe-side buffers supplied by
+    /// the caller as well, so steady-state evaluation allocates nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn eval_with_scratch(
+        &self,
+        batch: &ColumnBatch,
+        probes: &ProbeSet,
+        sel: &mut Vec<u32>,
+        scratch: &mut Vec<u32>,
+        counts: &mut Vec<OpCounts>,
+        arena: &mut EvalScratch,
+    ) -> Result<()> {
         for step in &self.steps {
             if sel.is_empty() {
                 break;
@@ -1178,17 +1707,40 @@ impl FusedChain {
                     // from the slice; otherwise fall back to the per-row
                     // Value conversion (bit-identical result either way).
                     let dense_theta = batch.column(*field).and_then(Column::dense_floats);
+                    let theta_of = |row: usize| match dense_theta {
+                        Some(t) => t[row],
+                        None => batch.theta(row, *field),
+                    };
                     scratch.clear();
-                    for &r in sel.iter() {
-                        let row = r as usize;
-                        let theta = match dense_theta {
-                            Some(t) => t[row],
-                            None => batch.theta(row, *field),
-                        };
-                        let rot = probe_rotation(batch.timestamps[row], *id);
-                        let n: usize = parts.iter().map(|p| p.count_matches(theta, rot)).sum();
-                        for _ in 0..n {
-                            scratch.push(r);
+                    if sel.len() >= MULTI_PROBE_MIN {
+                        // Batched path: sort the probes once, sweep every
+                        // term with merged galloping cursors.
+                        let pb = &mut arena.probes;
+                        pb.fill(sel.iter().map(|&r| {
+                            let row = r as usize;
+                            (theta_of(row), probe_rotation(batch.timestamps[row], *id))
+                        }));
+                        let match_counts = &mut arena.match_counts;
+                        match_counts.clear();
+                        match_counts.resize(sel.len(), 0);
+                        for part in parts {
+                            pb.accumulate_terms(part, match_counts);
+                        }
+                        for (&r, &n) in sel.iter().zip(match_counts.iter()) {
+                            debug_assert!(n >= 0, "signed probe counts cannot go negative");
+                            for _ in 0..n {
+                                scratch.push(r);
+                            }
+                        }
+                    } else {
+                        for &r in sel.iter() {
+                            let row = r as usize;
+                            let theta = theta_of(row);
+                            let rot = probe_rotation(batch.timestamps[row], *id);
+                            let n: usize = parts.iter().map(|p| p.count_matches(theta, rot)).sum();
+                            for _ in 0..n {
+                                scratch.push(r);
+                            }
                         }
                     }
                     std::mem::swap(sel, scratch);
@@ -1526,6 +2078,120 @@ mod tests {
         assert_eq!(inf.count_matches(1.0, 0.0), 1);
     }
 
+    /// The batched gallop kernel must answer every probe exactly like the
+    /// per-probe binary search — across empty/tiny/large mark sets, with
+    /// duplicate thetas, boundary thetas, NaN, and both signs.
+    #[test]
+    fn multi_probe_kernel_matches_per_probe_counts() {
+        let mut rng = rng_from_seed(derive_seed(23, "multi-probe"));
+        let mut pb = ProbeBatch::new();
+        for n_marks in [0usize, 1, 7, 300, 2000] {
+            let marks: Vec<f64> = (0..n_marks).map(|_| rng.random_range(0.0..1.0)).collect();
+            let term = SortedMarks::from_unsorted(marks);
+            for n_probes in [0usize, 1, 5, 64, 333] {
+                let shared_theta: f64 = rng.random_range(0.0..0.2);
+                let probes: Vec<(f64, f64)> = (0..n_probes)
+                    .map(|i| {
+                        // Duplicate thetas (the window-join regime, where a
+                        // whole batch shares one θ), boundaries, and NaN.
+                        let theta = match i % 6 {
+                            0 | 3 => shared_theta,
+                            1 => 0.0,
+                            2 => 1.0,
+                            4 => f64::NAN,
+                            _ => rng.random_range(0.0..1.0),
+                        };
+                        (theta, rng.random_range(0.0..1.0))
+                    })
+                    .collect();
+                pb.fill(probes.iter().copied());
+                let mut counts = vec![0i64; probes.len()];
+                pb.accumulate(&term, 1, &mut counts);
+                for (k, &(theta, rot)) in probes.iter().enumerate() {
+                    assert_eq!(
+                        counts[k],
+                        term.count_matches(theta, rot) as i64,
+                        "marks={n_marks} probes={n_probes} k={k} theta={theta} rot={rot}"
+                    );
+                }
+                // Negative sign subtracts the same counts back to zero.
+                pb.accumulate(&term, -1, &mut counts);
+                assert!(counts.iter().all(|&c| c == 0));
+            }
+        }
+    }
+
+    /// Signed accumulation over a whole [`MarkTerms`] snapshot must equal
+    /// probing its consolidated flatten, term structure notwithstanding.
+    #[test]
+    fn multi_probe_kernel_sums_signed_terms_exactly() {
+        let mut rng = rng_from_seed(derive_seed(29, "multi-probe-terms"));
+        let mut part = WindowPartition::new(10_000);
+        let mut pb = ProbeBatch::new();
+        for tick in 0..60u64 {
+            let now_ms = tick * 1000;
+            let n = rng.random_range(0usize..40);
+            let ts: Vec<u64> = (0..n).map(|i| now_ms + i as u64).collect();
+            let marks: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
+            part.advance(now_ms, &ts, &marks);
+            let snap = part.snapshot();
+            let flat = snap.flatten();
+            let probes: Vec<(f64, f64)> = (0..48)
+                .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+                .collect();
+            pb.fill(probes.iter().copied());
+            let mut counts = vec![0i64; probes.len()];
+            pb.accumulate_terms(&snap, &mut counts);
+            for (k, &(theta, rot)) in probes.iter().enumerate() {
+                assert_eq!(
+                    counts[k],
+                    flat.count_matches(theta, rot) as i64,
+                    "tick={tick} k={k}"
+                );
+            }
+        }
+    }
+
+    /// `probe_marks` must memoize (same `Arc` while untouched) and
+    /// invalidate on every mutation path: insert, expiry, crash-clear.
+    #[test]
+    fn probe_marks_cache_invalidates_on_mutation() {
+        let q = q1();
+        let spec = q.operators[1].clone(); // windows the News stream
+        let mut op = CompiledOp::compile(&q, &spec, 7);
+        let sid = StreamId::new(1);
+        let batch: Batch = (0..4)
+            .map(|i| partner_tuple(&q, sid, i as u64, 0.1 + 0.2 * i as f64))
+            .collect();
+        op.observe_partner(&batch);
+        let a = op.probe_marks().unwrap();
+        let b = op.probe_marks().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "unchanged window must hit the cache");
+        assert_eq!(a.len(), 4);
+
+        op.observe_partner(&Batch::from_tuples(vec![partner_tuple(&q, sid, 9, 0.95)]));
+        let c = op.probe_marks().unwrap();
+        assert_eq!(c.len(), 5, "insert must invalidate the cache");
+
+        // Expiry that evicts nothing keeps the cache; one that evicts
+        // rebuilds it.
+        op.expire(0);
+        assert!(Arc::ptr_eq(&c, &op.probe_marks().unwrap()));
+        op.expire(60_000 + 2);
+        let d = op.probe_marks().unwrap();
+        assert_eq!(d.len(), 3, "expiry must invalidate the cache");
+
+        op.clear_state();
+        assert!(op.probe_marks().unwrap().is_empty());
+
+        // Lookup tables are immutable: always the same compile-time Arc.
+        let mut lookup = CompiledOp::compile(&q, &q.operators[0].clone(), 7);
+        let l1 = lookup.probe_marks().unwrap();
+        let l2 = lookup.probe_marks().unwrap();
+        assert!(Arc::ptr_eq(&l1, &l2));
+        assert_eq!(l1.len(), 500);
+    }
+
     /// Warm two identical compiled queries with the same partner batches,
     /// then compare `execute_plan` against the fused columnar chain: the
     /// materialized outputs and the per-operator observed counts must agree
@@ -1570,7 +2236,7 @@ mod tests {
                 let expected = row.execute_plan(&ordering, &batch).unwrap();
                 let cb = ColumnBatch::from_batch(&batch).unwrap();
                 let chain = FusedChain::compile(col.ops(), &ordering).unwrap();
-                let probes = ProbeSet::snapshot(col.ops());
+                let probes = ProbeSet::snapshot(col.ops_mut());
                 let mut counts = Vec::new();
                 let sel = chain.eval_full(&cb, &probes, &mut counts).unwrap();
                 assert_eq!(cb.gather(&sel), expected, "seed {seed}");
@@ -1641,7 +2307,7 @@ mod tests {
             if tick == 120 {
                 op.clear_state();
                 part.clear();
-                assert!(part.is_empty() && part.snapshot().is_empty());
+                assert!(part.is_empty() && part.snapshot().live_len() == 0);
             }
             let n = rng.random_range(0usize..12);
             let mut ts = Vec::new();
@@ -1669,11 +2335,24 @@ mod tests {
             op.deliver_partner(sid, &batch, now_ms);
             part.advance(now_ms, &ts, &marks);
             assert_eq!(part.len(), op.window_len(), "tick {tick}");
+            let snap = part.snapshot();
             assert_eq!(
-                part.snapshot().as_slice(),
+                snap.flatten().as_slice(),
                 op.probe_marks().unwrap().as_slice(),
                 "tick {tick}"
             );
+            assert_eq!(snap.live_len(), snap.flatten().len(), "tick {tick}");
+            // The signed terms answer probes exactly like the consolidated
+            // whole, whatever the run structure currently is.
+            for _ in 0..4 {
+                let theta = rng.random_range(0.0..1.0);
+                let rot = rng.random_range(0.0..1.0);
+                assert_eq!(
+                    snap.count_matches(theta, rot),
+                    snap.flatten().count_matches(theta, rot),
+                    "tick {tick}"
+                );
+            }
         }
     }
 
@@ -1694,7 +2373,11 @@ mod tests {
                     .filter(|(i, _)| i % shards == s)
                     .map(|(_, m)| *m)
                     .collect();
-                probes.set_partition(op, s, Arc::new(SortedMarks::from_unsorted(share)));
+                probes.set_partition(
+                    op,
+                    s,
+                    MarkTerms::single(Arc::new(SortedMarks::from_unsorted(share))),
+                );
             }
             assert_eq!(probes.partitions(op).len(), shards);
             for _ in 0..60 {
@@ -1793,13 +2476,13 @@ mod tests {
     #[test]
     fn fused_chain_short_circuits_on_empty_selection() {
         let q = q1();
-        let col = CompiledQuery::compile(&q, 7);
+        let mut col = CompiledQuery::compile(&q, 7);
         // θ = 0 on the first (lookup) operator empties the selection; later
         // steps record no counts — same as the row path's early break.
         let batch: Batch = (0..5).map(|i| driving_tuple(&q, i, 0.0)).collect();
         let cb = ColumnBatch::from_batch(&batch).unwrap();
         let chain = FusedChain::compile(col.ops(), &q.operator_ids()).unwrap();
-        let probes = ProbeSet::snapshot(col.ops());
+        let probes = ProbeSet::snapshot(col.ops_mut());
         let mut counts = Vec::new();
         let sel = chain.eval_full(&cb, &probes, &mut counts).unwrap();
         assert!(sel.is_empty());

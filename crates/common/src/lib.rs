@@ -39,8 +39,8 @@ pub mod value;
 
 pub use error::{Result, RldError};
 pub use exec::{
-    CmpOp, ColumnBatch, CompiledOp, CompiledQuery, FusedChain, OpCounts, Predicate, ProbeSet,
-    SortedMarks, WindowPartition,
+    CmpOp, ColumnBatch, CompiledOp, CompiledQuery, EvalScratch, FusedChain, MarkTerms, OpCounts,
+    Predicate, ProbeBatch, ProbeSet, SortedMarks, WindowPartition,
 };
 pub use ids::{NodeId, OperatorId, PlanId, StreamId};
 pub use operator::{OperatorKind, OperatorSpec};

@@ -7,6 +7,7 @@
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// A single scalar value inside a [`crate::tuple::Tuple`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -15,8 +16,11 @@ pub enum Value {
     Int(i64),
     /// 64-bit float (prices, sensor readings).
     Float(f64),
-    /// UTF-8 text (symbols, company names, news subjects).
-    Text(String),
+    /// UTF-8 text (symbols, company names, news subjects). Stored as a
+    /// shared slice so cloning a text value — and generators stamping the
+    /// same interned symbol into millions of tuples — is a refcount bump,
+    /// not a heap allocation.
+    Text(Arc<str>),
     /// Boolean flag.
     Bool(bool),
     /// Milliseconds since an arbitrary epoch (application timestamps).
@@ -119,8 +123,8 @@ pub enum ColumnData {
     Int(Vec<i64>),
     /// 64-bit floats.
     Float(Vec<f64>),
-    /// UTF-8 text.
-    Text(Vec<String>),
+    /// UTF-8 text (shared slices; see [`Value::Text`]).
+    Text(Vec<Arc<str>>),
     /// Boolean flags.
     Bool(Vec<bool>),
     /// Millisecond timestamps.
@@ -130,12 +134,20 @@ pub enum ColumnData {
     Mixed(Vec<Value>),
 }
 
+/// The shared empty-string placeholder used for null slots in text columns,
+/// so padding a column never allocates.
+fn empty_text() -> Arc<str> {
+    use std::sync::OnceLock;
+    static EMPTY: OnceLock<Arc<str>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from("")).clone()
+}
+
 impl ColumnData {
     fn push_default(&mut self) {
         match self {
             ColumnData::Int(v) => v.push(0),
             ColumnData::Float(v) => v.push(0.0),
-            ColumnData::Text(v) => v.push(String::new()),
+            ColumnData::Text(v) => v.push(empty_text()),
             ColumnData::Bool(v) => v.push(false),
             ColumnData::Timestamp(v) => v.push(0),
             ColumnData::Mixed(v) => v.push(Value::Null),
@@ -255,7 +267,7 @@ impl Column {
                 self.data = match &value {
                     Value::Int(_) => ColumnData::Int(vec![0; n]),
                     Value::Float(_) => ColumnData::Float(vec![0.0; n]),
-                    Value::Text(_) => ColumnData::Text(vec![String::new(); n]),
+                    Value::Text(_) => ColumnData::Text(vec![empty_text(); n]),
                     Value::Bool(_) => ColumnData::Bool(vec![false; n]),
                     Value::Timestamp(_) => ColumnData::Timestamp(vec![0; n]),
                     Value::Null => unreachable!("null handled above"),
@@ -368,11 +380,16 @@ impl From<f64> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_string())
+        Value::Text(Arc::from(v))
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Text(Arc::from(v))
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Text(v)
     }
 }

@@ -18,39 +18,57 @@
 //!   [`MatchColumn`] plan, and each shard fills its contiguous row range of
 //!   the tick's batch into a reusable [`ColumnBatch`] arena. Because every
 //!   row's RNG depends only on its coordinates, the concatenation over any
-//!   sharding is bit-identical to single-threaded generation.
+//!   sharding is bit-identical to single-threaded generation. Partner
+//!   arrivals are generated the same way from [`ShardedPartnerGen`]'s
+//!   per-(tick, stream, row) substreams: each shard derives exactly the
+//!   arrivals whose key hash lands in its partition from `(tick, t, dt,
+//!   truth)` scalars, so the coordinator never materializes, partitions, or
+//!   ships a partner tuple and dispatch cost stops scaling with partner
+//!   volume.
 //! * **Partitioned window state.** Each window-join operator's sliding
 //!   window is split across shards by partner-tuple key hash
-//!   ([`WindowPartition`], fed from [`DataplaneGenerator::partner_columns`]).
-//!   Inserts and expiry run inside shard workers with incremental `O(window)`
-//!   sorted-mark maintenance; each tick the shards publish refreshed
-//!   [`SortedMarks`] snapshots which the coordinator folds into one
-//!   [`ProbeSet`]. Probing sums exact integer match counts over the
-//!   partitions, so the partitioning can never change a result.
+//!   ([`WindowPartition`]). Inserts and expiry run inside shard workers as
+//!   sorted-run maintenance; each tick the shards publish refreshed
+//!   signed-term [`MarkTerms`] snapshots which the coordinator folds into
+//!   one [`ProbeSet`]. Probing sums exact integer match counts over the
+//!   partitions and terms, so neither the partitioning nor the run structure
+//!   can ever change a result.
+//! * **Pipelined ticks.** The tick loop is a depth-1 pipeline, not a barrier
+//!   chain. Window maintenance for tick *t* is dispatched at the end of
+//!   iteration *t − 1*, so it runs on the shards while the coordinator
+//!   observes, consults the strategy, and routes tick *t*; its refreshed
+//!   snapshots are folded into an epoch-tagged [`ProbeSet`] right before
+//!   evaluation dispatch. Evaluation replies are folded at the top of the
+//!   *next* iteration, so a shard rolls from evaluating tick *t* straight
+//!   into maintaining tick *t + 1* without a coordinator round-trip between
+//!   them. Every batch still probes an immutable `Arc` snapshot of the
+//!   window contents as of its own tick — pipelining moves wall-clock work,
+//!   never observable state.
 //! * Each routed logical plan is compiled **once** into a [`FusedChain`] —
 //!   filter → passthrough-project → join-probe steps evaluated over reusable
 //!   selection vectors, with branch-free predicate kernels on dense columns
-//!   and binary-search probes instead of `O(window)` scans.
+//!   and batched galloping probe kernels instead of `O(window)` scans.
 //! * Tasks and replies travel over lock-free SPSC [`ring`]s — one task ring
 //!   and one reply ring per shard. With a single shard the executor skips
 //!   threads and rings entirely and runs the shard core inline in the
-//!   coordinator.
+//!   coordinator, preserving the exact task/reply order of the pipeline.
 //!
 //! ## Determinism
 //!
-//! The coordinator dispatches a tick's work and folds **all** shard replies
-//! back before advancing the virtual clock (tick-synchronous dataplane).
-//! Combined with snapshot probing — every row of a batch probes the window
-//! contents *as of its ingest tick* — this makes arrived / processed / lost
-//! / produced counts and observed per-operator selectivities
-//! bit-deterministic per seed **and per shard count**, even under faults and
-//! even with [`MonitorSource::Observed`]; only wall-clock-derived fields
-//! (latencies, busy/overhead milliseconds, utilization, stage timings) vary
-//! run to run. The row executor can't promise that much: its workers race
-//! the virtual clock, so its `produced` counts depend on when a worker
-//! happens to lock a window. The differential oracle in
-//! `tests/tests/columnar_oracle.rs` pins down exactly the shared
-//! deterministic surface.
+//! The coordinator folds a tick's evaluation replies back before recording
+//! its batch, and a tick's maintenance snapshots before dispatching its
+//! evaluation — the pipeline is deeper than the old barrier chain but every
+//! ordering the runtime core observes is unchanged. Combined with snapshot
+//! probing — every row of a batch probes the window contents *as of its
+//! ingest tick* — this makes arrived / processed / lost / produced counts
+//! and observed per-operator selectivities bit-deterministic per seed **and
+//! per shard count**, even under faults and even with
+//! [`MonitorSource::Observed`]; only wall-clock-derived fields (latencies,
+//! busy/overhead milliseconds, utilization, stage timings) vary run to run.
+//! The row executor can't promise that much: its workers race the virtual
+//! clock, so its `produced` counts depend on when a worker happens to lock
+//! a window. The differential oracle in `tests/tests/columnar_oracle.rs`
+//! pins down exactly the shared deterministic surface.
 //!
 //! Fault semantics under this model: a crash under `Lost` recovery clears
 //! the window partitions of operators placed on the crashed node — every
@@ -72,16 +90,17 @@ use crate::executor::{ExecConfig, ExecReport, MonitorSource, StageTimings};
 use rld_common::exec::CompiledOp;
 use rld_common::rng::derive_seed;
 use rld_common::{
-    ColumnBatch, FusedChain, NodeId, OpCounts, OperatorId, OperatorKind, ProbeSet, Query, Result,
-    RldError, SortedMarks, StatsSnapshot, StreamId, WindowPartition,
+    ColumnBatch, EvalScratch, FusedChain, MarkTerms, NodeId, OpCounts, OperatorId, OperatorKind,
+    ProbeSet, Query, Result, RldError, StatsSnapshot, StreamId, WindowPartition,
 };
 use rld_engine::{
     BackendTotals, DistributionStrategy, FaultKind, FaultPlan, RecoverySemantic, RunMetrics,
     RunTrace, RuntimeCore,
 };
-use rld_physical::{Cluster, ClusterView};
+use rld_physical::{Cluster, ClusterView, PhysicalPlan};
 use rld_query::LogicalPlan;
-use rld_workloads::{DataplaneGenerator, MatchColumn, PartnerColumns, ShardedDrivingGen, Workload};
+use rld_workloads::{MatchColumn, ShardedDrivingGen, ShardedPartnerGen, Workload};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -155,58 +174,23 @@ impl Default for ColumnarConfig {
     }
 }
 
-/// One shard's share of a tick's arrivals on one partner stream (parallel
-/// timestamp/mark vectors, in arrival order).
-struct PartnerSlice {
-    stream: StreamId,
-    ts_ms: Vec<u64>,
-    marks: Vec<f64>,
-}
-
-/// Partition one tick's partner arrivals across `shards` by key hash,
-/// preserving arrival (timestamp) order within each partition. Which shard
-/// owns a tuple affects only where the work happens — probe counts sum
-/// exactly over partitions.
-fn partition_partners(cols: Vec<PartnerColumns>, shards: usize) -> Vec<Vec<PartnerSlice>> {
-    let mut out: Vec<Vec<PartnerSlice>> = (0..shards).map(|_| Vec::new()).collect();
-    for c in cols {
-        if shards == 1 {
-            out[0].push(PartnerSlice {
-                stream: c.stream,
-                ts_ms: c.ts_ms,
-                marks: c.marks,
-            });
-            continue;
-        }
-        let mut slices: Vec<PartnerSlice> = (0..shards)
-            .map(|_| PartnerSlice {
-                stream: c.stream,
-                ts_ms: Vec::new(),
-                marks: Vec::new(),
-            })
-            .collect();
-        for i in 0..c.ts_ms.len() {
-            let s = (c.keys[i] % shards as u64) as usize;
-            slices[s].ts_ms.push(c.ts_ms[i]);
-            slices[s].marks.push(c.marks[i]);
-        }
-        for (s, slice) in slices.into_iter().enumerate() {
-            out[s].push(slice);
-        }
-    }
-    out
-}
-
-/// What the coordinator asks of a shard. Every tick sends one `Tick` to
-/// every shard; ticks with dispatchable arrivals follow up with one `Eval`
-/// per shard that owns a non-empty row range.
+/// What the coordinator asks of a shard. Tick `t`'s work arrives as up to
+/// two tasks per shard, in FIFO order: an `Eval` for tick `t` when the tick
+/// has dispatchable arrivals, then the `Maint` advancing the shard's windows
+/// to tick `t + 1` — so a shard rolls from evaluation straight into next-tick
+/// maintenance without a coordinator round-trip in between.
 enum ShardTask {
     /// Advance the shard's window partitions to `now_ms`: crash-clears
-    /// first, then this shard's partner arrivals, then expiry.
-    Tick {
+    /// first, then this shard's partition of the tick's partner arrivals
+    /// (derived shard-locally from per-(tick, stream, row) substreams —
+    /// only scalars travel), then expiry.
+    Maint {
+        tick: u64,
         now_ms: u64,
+        t_secs: f64,
+        dt_secs: f64,
+        truth: Arc<StatsSnapshot>,
         clear_ops: Arc<Vec<OperatorId>>,
-        partners: Vec<PartnerSlice>,
     },
     /// Generate rows `[lo, hi)` of the tick's `n`-row driving batch and
     /// evaluate the fused chain over them against the epoch's probes.
@@ -235,20 +219,33 @@ struct EvalOut {
 /// A shard's reply to one task (pushed in task order, so the coordinator
 /// can match replies to tasks positionally per ring).
 enum ShardReply {
-    /// Refreshed snapshots of every window partition whose contents changed.
-    Tick {
-        dirty: Vec<(OperatorId, Arc<SortedMarks>)>,
+    /// Refreshed signed-term snapshots of every window partition whose
+    /// contents changed.
+    Maint {
+        dirty: Vec<(OperatorId, MarkTerms)>,
         window: Duration,
     },
     /// The evaluation results of one row range.
     Eval(EvalOut),
 }
 
-/// Everything one shard owns: its view of the generator substream space,
-/// its partition of every window-join operator's sliding window, and
-/// reusable batch/selection/count arenas.
+/// An evaluation round in flight: dispatched at its tick, folded (and its
+/// batch recorded) at the top of the next iteration.
+struct PendingEval {
+    n_tuples: u64,
+    t_secs: f64,
+    ingest: Instant,
+    shards: Vec<usize>,
+}
+
+/// Everything one shard owns: its view of the driving and partner generator
+/// substream spaces, its partition of every window-join operator's sliding
+/// window, and reusable batch/selection/count arenas.
 struct ShardCore {
     gen: ShardedDrivingGen,
+    pgen: ShardedPartnerGen,
+    shard: u64,
+    shards: u64,
     /// Per-operator window partitions (window-join operators only), paired
     /// with the partner stream whose arrivals feed them.
     windows: Vec<Option<(StreamId, WindowPartition)>>,
@@ -256,11 +253,12 @@ struct ShardCore {
     batch: ColumnBatch,
     sel: Vec<u32>,
     scratch: Vec<u32>,
+    arena: EvalScratch,
     counts: Vec<OpCounts>,
 }
 
 impl ShardCore {
-    fn new(query: &Query, seed: u64) -> Self {
+    fn new(query: &Query, seed: u64, shard: usize, shards: usize) -> Self {
         let window_ms = (query.window_secs * 1000.0).max(0.0) as u64;
         let windows: Vec<Option<(StreamId, WindowPartition)>> = query
             .operators
@@ -280,20 +278,28 @@ impl ShardCore {
             batch: ColumnBatch::with_arity(query.driving_stream, arity),
             sel: Vec::new(),
             scratch: Vec::new(),
+            arena: EvalScratch::new(),
             counts: Vec::new(),
             gen,
+            pgen: ShardedPartnerGen::new(query, seed),
+            shard: shard as u64,
+            shards: shards as u64,
         }
     }
 
     /// One tick of window maintenance, in the canonical order: crash-clears,
-    /// then insert this shard's partner arrivals, then expire — returning
-    /// the refreshed snapshot of every partition that changed.
-    fn tick(
+    /// then derive and insert this shard's partition of the tick's partner
+    /// arrivals, then expire — returning the refreshed signed-term snapshot
+    /// of every partition that changed.
+    fn maint(
         &mut self,
+        tick: u64,
         now_ms: u64,
+        t_secs: f64,
+        dt_secs: f64,
+        truth: &StatsSnapshot,
         clear_ops: &[OperatorId],
-        partners: &[PartnerSlice],
-    ) -> (Vec<(OperatorId, Arc<SortedMarks>)>, Duration) {
+    ) -> (Vec<(OperatorId, MarkTerms)>, Duration) {
         let started = Instant::now();
         for op in clear_ops {
             if let Some((_, part)) = &mut self.windows[op.index()] {
@@ -301,6 +307,9 @@ impl ShardCore {
                 self.changed[op.index()] = true;
             }
         }
+        let partners =
+            self.pgen
+                .fill_partition(tick, t_secs, dt_secs, truth, self.shard, self.shards);
         for (i, slot) in self.windows.iter_mut().enumerate() {
             let Some((stream, part)) = slot else { continue };
             let (ts, marks) = partners
@@ -349,12 +358,13 @@ impl ShardCore {
         let eval_started = Instant::now();
         self.counts.clear();
         let error = chain
-            .eval_in_place(
+            .eval_with_scratch(
                 &self.batch,
                 probes,
                 &mut self.sel,
                 &mut self.scratch,
                 &mut self.counts,
+                &mut self.arena,
             )
             .err()
             .map(|e| e.to_string());
@@ -368,6 +378,37 @@ impl ShardCore {
     }
 }
 
+/// Run one task on a shard core — shared by the threaded worker loop and
+/// the single-shard inline path, so both execute tasks identically.
+fn run_task(core: &mut ShardCore, task: ShardTask) -> ShardReply {
+    match task {
+        ShardTask::Maint {
+            tick,
+            now_ms,
+            t_secs,
+            dt_secs,
+            truth,
+            clear_ops,
+        } => {
+            let (dirty, window) = core.maint(tick, now_ms, t_secs, dt_secs, &truth, &clear_ops);
+            ShardReply::Maint { dirty, window }
+        }
+        ShardTask::Eval {
+            tick,
+            t_secs,
+            dt_secs,
+            n,
+            lo,
+            hi,
+            plan,
+            chain,
+            probes,
+        } => ShardReply::Eval(
+            core.gen_eval(tick, t_secs, dt_secs, n, lo, hi, &plan, &chain, &probes),
+        ),
+    }
+}
+
 /// The shard worker loop: pop a task, run it on the shard core, push the
 /// reply. Exits when the task ring closes.
 fn run_shard(mut core: ShardCore, tasks: Consumer<ShardTask>, results: Producer<ShardReply>) {
@@ -376,29 +417,7 @@ fn run_shard(mut core: ShardCore, tasks: Consumer<ShardTask>, results: Producer<
         match tasks.try_pop() {
             Some(task) => {
                 idle_polls = 0;
-                let reply = match task {
-                    ShardTask::Tick {
-                        now_ms,
-                        clear_ops,
-                        partners,
-                    } => {
-                        let (dirty, window) = core.tick(now_ms, &clear_ops, &partners);
-                        ShardReply::Tick { dirty, window }
-                    }
-                    ShardTask::Eval {
-                        tick,
-                        t_secs,
-                        dt_secs,
-                        n,
-                        lo,
-                        hi,
-                        plan,
-                        chain,
-                        probes,
-                    } => ShardReply::Eval(
-                        core.gen_eval(tick, t_secs, dt_secs, n, lo, hi, &plan, &chain, &probes),
-                    ),
-                };
+                let reply = run_task(&mut core, task);
                 if results.push_blocking(reply).is_err() {
                     return;
                 }
@@ -507,9 +526,14 @@ impl ColumnarExecutor {
     /// `RuntimeCore` call order *exactly* — fault events, observation,
     /// strategy dispatch, arrival sampling, routing, ingest-drop accounting,
     /// batch recording, node accounting — so per seed the two backends
-    /// replay identical `RunTrace`s. Partner generation and window
-    /// maintenance never touch the core, so their placement in the tick is
-    /// free; they overlap the routing stage when shards are threaded.
+    /// replay identical `RunTrace`s. The tick pipeline only moves work the
+    /// core never sees: window maintenance of tick *t* is dispatched at the
+    /// end of iteration *t − 1* (overlapping observation, strategy, and
+    /// routing), evaluation replies fold at the top of iteration *t + 1*
+    /// (right before the batch is recorded), and crash accounting discovered
+    /// while pre-advancing the fault plane is deferred until the previous
+    /// batch has closed its recovery window — so every core call lands in
+    /// the barrier loop's order.
     pub fn run_report(
         &self,
         workload: &dyn Workload,
@@ -529,8 +553,8 @@ impl ColumnarExecutor {
         }
 
         // Coordinator-owned canonical state: compiled operators (observed
-        // counters, chain compilation) and the partner-stream generator.
-        // Window *contents* live in the shards' partitions.
+        // counters, chain compilation). Window *contents* live in the
+        // shards' partitions; partner arrivals are derived inside shards.
         let mut ops: Vec<CompiledOp> = self
             .query
             .operators
@@ -538,7 +562,6 @@ impl ColumnarExecutor {
             .map(|spec| CompiledOp::compile(&self.query, spec, self.config.exec.sim.seed))
             .collect();
         let gen_seed = derive_seed(self.config.exec.sim.seed, strategy.name());
-        let mut gen = DataplaneGenerator::new(&self.query, gen_seed);
         // Coordinator-side twin of the shards' generator, used only to
         // compute the per-tick match-column plan (no draws).
         let plan_gen = ShardedDrivingGen::new(&self.query, gen_seed);
@@ -546,7 +569,7 @@ impl ColumnarExecutor {
         let inline = shards == 1;
         let replay = self.faults.recovery == RecoverySemantic::Replay;
         let mut cores: Vec<ShardCore> = (0..shards)
-            .map(|_| ShardCore::new(&self.query, gen_seed))
+            .map(|s| ShardCore::new(&self.query, gen_seed, s, shards))
             .collect();
 
         // One task ring and one reply ring per shard (threaded mode only).
@@ -577,15 +600,44 @@ impl ColumnarExecutor {
                     workers.push(scope.spawn(move || run_shard(shard_core, tasks, results)));
                 }
             }
+            // In inline mode a dispatched task runs right here and its reply
+            // queues for the matching fold point — the exact task/reply FIFO
+            // order of a threaded shard, without threads.
+            let mut inline_q: VecDeque<ShardReply> = VecDeque::new();
+            let send = |s: usize,
+                        task: ShardTask,
+                        cores: &mut [ShardCore],
+                        inline_q: &mut VecDeque<ShardReply>|
+             -> Result<()> {
+                if inline {
+                    let reply = run_task(&mut cores[0], task);
+                    inline_q.push_back(reply);
+                    Ok(())
+                } else {
+                    task_txs[s].push_blocking(task).map_err(|_| {
+                        RldError::Runtime("shard worker hung up during dispatch".into())
+                    })
+                }
+            };
             // Wait for one reply from every shard in `pending`, folding via
-            // `fold`. Reply rings are per-shard FIFO and the coordinator
-            // never has more than one reply outstanding per shard, so the
+            // `fold`. Reply rings are per-shard FIFO and tasks of one kind
+            // are never dispatched twice without an intervening fold, so the
             // popped reply is the one awaited.
             let collect = |pending: &mut Vec<usize>,
+                           inline_q: &mut VecDeque<ShardReply>,
                            result_rxs: &[Consumer<ShardReply>],
                            workers: &[std::thread::ScopedJoinHandle<'_, ()>],
                            fold: &mut dyn FnMut(usize, ShardReply) -> Result<()>|
              -> Result<()> {
+                if inline {
+                    while let Some(s) = pending.pop() {
+                        let reply = inline_q.pop_front().ok_or_else(|| {
+                            RldError::Runtime("inline shard reply missing".into())
+                        })?;
+                        fold(s, reply)?;
+                    }
+                    return Ok(());
+                }
                 while !pending.is_empty() {
                     let mut idle = true;
                     let mut failed = None;
@@ -617,6 +669,59 @@ impl ColumnarExecutor {
                 }
                 Ok(())
             };
+            // Fold one in-flight evaluation round: drain its shard replies,
+            // fold observed counters and timings, then record the batch —
+            // closing any crash-recovery window pending at the core.
+            #[allow(clippy::too_many_arguments)]
+            let fold_eval = |pe: PendingEval,
+                             core: &mut RuntimeCore,
+                             ops: &mut [CompiledOp],
+                             inline_q: &mut VecDeque<ShardReply>,
+                             result_rxs: &[Consumer<ShardReply>],
+                             workers: &[std::thread::ScopedJoinHandle<'_, ()>],
+                             stage: &mut StageTimings,
+                             tick_busy: &mut [f64],
+                             busy_total: &mut Duration,
+                             tuples_processed: &mut u64|
+             -> Result<()> {
+                let mut produced = 0u64;
+                let mut pending = pe.shards;
+                collect(
+                    &mut pending,
+                    inline_q,
+                    result_rxs,
+                    workers,
+                    &mut |s, reply| match reply {
+                        ShardReply::Eval(out) => {
+                            if let Some(msg) = out.error {
+                                return Err(RldError::Runtime(msg));
+                            }
+                            produced += out.produced;
+                            *busy_total += out.generate + out.evaluate;
+                            stage.generate_ms += out.generate.as_secs_f64() * 1000.0;
+                            stage.evaluate_ms += out.evaluate.as_secs_f64() * 1000.0;
+                            let busy = (out.generate + out.evaluate).as_secs_f64() * 1000.0;
+                            stage.shard_busy_ms[s] += busy;
+                            tick_busy[s] += busy;
+                            for c in &out.counts {
+                                ops[c.op.index()].note_observed(c.inputs, c.outputs);
+                            }
+                            Ok(())
+                        }
+                        ShardReply::Maint { .. } => {
+                            Err(RldError::Runtime("shard replied out of order".into()))
+                        }
+                    },
+                )?;
+                *tuples_processed += pe.n_tuples;
+                core.record_batch(
+                    pe.n_tuples,
+                    pe.ingest.elapsed().as_secs_f64() * 1000.0,
+                    produced,
+                    pe.t_secs,
+                );
+                Ok(())
+            };
 
             let dt = self.config.exec.sim.tick_secs;
             let duration = self.config.exec.sim.duration_secs;
@@ -625,7 +730,15 @@ impl ColumnarExecutor {
             let mut up = vec![true; num_nodes];
             let mut factor = vec![1.0f64; num_nodes];
             let mut tuples_processed: u64 = 0;
-            let mut stage = StageTimings::default();
+            let mut stage = StageTimings {
+                shard_busy_ms: vec![0.0; shards],
+                shard_idle_ms: vec![0.0; shards],
+                ..StageTimings::default()
+            };
+            // Busy ms each shard accumulated in the current pipeline round
+            // (one maintenance fold + one evaluation fold), for the skew
+            // high-water mark.
+            let mut tick_busy = vec![0.0f64; shards];
             let mut pause_ms_total = 0.0f64;
             let mut busy_total = Duration::ZERO;
             let mut max_backlog = 0u64;
@@ -636,17 +749,13 @@ impl ColumnarExecutor {
             // per shard for every window operator.
             let mut probes = {
                 let mut init = ProbeSet::new(ops.len());
-                for (i, op) in ops.iter().enumerate() {
+                for (i, op) in ops.iter_mut().enumerate() {
                     if op.partner_stream().is_some() {
                         for s in 0..shards {
-                            init.set_partition(
-                                OperatorId::new(i),
-                                s,
-                                Arc::new(SortedMarks::default()),
-                            );
+                            init.set_partition(OperatorId::new(i), s, MarkTerms::default());
                         }
                     } else if let Some(marks) = op.probe_marks() {
-                        init.set(OperatorId::new(i), Some(Arc::new(marks)));
+                        init.set(OperatorId::new(i), Some(marks));
                     }
                 }
                 Arc::new(init)
@@ -654,14 +763,23 @@ impl ColumnarExecutor {
             // Fused chains are compiled once per routed logical plan.
             let mut chain_cache: Option<(Arc<LogicalPlan>, Arc<FusedChain>)> = None;
 
-            while t < duration {
-                // Fault plane, applied on the virtual timeline exactly as
-                // in the simulator and the row executor. Lost-semantics
-                // crashes become a clear list the shards apply at the top
-                // of this tick, before partner inserts.
-                let mut cluster_changed = false;
+            // Advance the fault plane to `at` on the virtual timeline,
+            // exactly as in the simulator and the row executor. Crash notes
+            // are *counted*, not applied: the caller applies them after the
+            // in-flight batch records, so a crash never closes the previous
+            // tick's recovery window early. Lost-semantics crashes become a
+            // clear list the shards apply at the top of the next
+            // maintenance round, before partner inserts.
+            let advance_faults = |core: &mut RuntimeCore,
+                                  at: f64,
+                                  up: &mut [bool],
+                                  factor: &mut [f64],
+                                  placement: &PhysicalPlan|
+             -> (bool, Vec<OperatorId>, u32) {
+                let mut changed = false;
                 let mut clear_ops: Vec<OperatorId> = Vec::new();
-                while let Some(event) = core.next_fault_due(t) {
+                let mut crashes = 0u32;
+                while let Some(event) = core.next_fault_due(at) {
                     match event.kind {
                         FaultKind::Crash => {
                             up[event.node.index()] = false;
@@ -672,14 +790,74 @@ impl ColumnarExecutor {
                                     }
                                 }
                             }
-                            core.note_crash(t, 0.0);
+                            crashes += 1;
                         }
                         FaultKind::Recover => up[event.node.index()] = true,
                         FaultKind::Degrade { factor: f } => factor[event.node.index()] = f,
                         FaultKind::Restore => factor[event.node.index()] = 1.0,
                     }
-                    cluster_changed = true;
+                    changed = true;
                 }
+                (changed, clear_ops, crashes)
+            };
+
+            // Pipeline state. `pending_eval` is the evaluation round still
+            // in flight (folded at the top of the next iteration);
+            // `maint_pending` the maintenance round in flight (folded after
+            // routing); `deferred_crashes` / `cluster_changed` / `truth`
+            // carry the pre-computed next tick across the loop boundary.
+            let mut pending_eval: Option<PendingEval> = None;
+            let mut maint_pending: Vec<usize> = Vec::new();
+            let mut deferred_crashes = 0u32;
+            let mut cluster_changed = false;
+            let mut truth = Arc::new(workload.stats_at(0.0));
+
+            // Prologue: tick 0's fault effects and maintenance round are
+            // dispatched before the loop, as iteration t dispatches t+1's.
+            if duration > 0.0 {
+                let (changed, clear_ops, crashes) =
+                    advance_faults(&mut core, 0.0, &mut up, &mut factor, &placement);
+                cluster_changed = changed;
+                deferred_crashes = crashes;
+                let clear = Arc::new(clear_ops);
+                for s in 0..shards {
+                    let task = ShardTask::Maint {
+                        tick: 0,
+                        now_ms: 0,
+                        t_secs: 0.0,
+                        dt_secs: dt,
+                        truth: Arc::clone(&truth),
+                        clear_ops: Arc::clone(&clear),
+                    };
+                    send(s, task, &mut cores, &mut inline_q)?;
+                }
+                maint_pending = (0..shards).collect();
+            }
+
+            while t < duration {
+                // Fold the previous tick's evaluation round first: its
+                // batch must record (closing any crash-recovery window)
+                // before this tick's crash notes land.
+                if let Some(pe) = pending_eval.take() {
+                    let fold_started = Instant::now();
+                    fold_eval(
+                        pe,
+                        &mut core,
+                        &mut ops,
+                        &mut inline_q,
+                        &result_rxs,
+                        &workers,
+                        &mut stage,
+                        &mut tick_busy,
+                        &mut busy_total,
+                        &mut tuples_processed,
+                    )?;
+                    stage.fold_ms += fold_started.elapsed().as_secs_f64() * 1000.0;
+                }
+                for _ in 0..deferred_crashes {
+                    core.note_crash(t, 0.0);
+                }
+                deferred_crashes = 0;
                 if cluster_changed {
                     for i in 0..num_nodes {
                         view.set_up(NodeId::new(i), up[i]);
@@ -687,7 +865,6 @@ impl ColumnarExecutor {
                     }
                 }
 
-                let truth = workload.stats_at(t);
                 match self.config.exec.monitor {
                     MonitorSource::Truth => core.observe(t, &truth),
                     MonitorSource::Observed => {
@@ -718,35 +895,7 @@ impl ColumnarExecutor {
                 if !decisions.is_empty() {
                     placement = Arc::new(strategy.physical().clone());
                 }
-
-                // Dispatch stage: generate + partition the tick's partner
-                // arrivals and hand every shard its window-maintenance
-                // task. Inline mode runs the single shard right here;
-                // threaded shards overlap with the routing stage below.
-                let dispatch_started = Instant::now();
-                let now_ms = (t * 1000.0) as u64;
-                let mut shard_partners =
-                    partition_partners(gen.partner_columns(t, dt, &truth), shards);
-                let clear_ops = Arc::new(clear_ops);
-                let mut tick_dirty: Vec<(usize, OperatorId, Arc<SortedMarks>)> = Vec::new();
-                let mut window_dur = Duration::ZERO;
-                if inline {
-                    let (dirty, w) = cores[0].tick(now_ms, &clear_ops, &shard_partners[0]);
-                    window_dur += w;
-                    tick_dirty.extend(dirty.into_iter().map(|(op, snap)| (0, op, snap)));
-                } else {
-                    for (s, partners) in shard_partners.drain(..).enumerate() {
-                        let task = ShardTask::Tick {
-                            now_ms,
-                            clear_ops: Arc::clone(&clear_ops),
-                            partners,
-                        };
-                        task_txs[s].push_blocking(task).map_err(|_| {
-                            RldError::Runtime("shard worker hung up during dispatch".into())
-                        })?;
-                    }
-                }
-                stage.dispatch_ms += dispatch_started.elapsed().as_secs_f64() * 1000.0;
+                cluster_changed = false;
 
                 // Routing stage (the only core interaction between arrival
                 // sampling and ingest accounting).
@@ -764,32 +913,36 @@ impl ColumnarExecutor {
                     stage.route_ms += route_started.elapsed().as_secs_f64() * 1000.0;
                 }
 
-                // Fold stage A: collect every shard's window snapshot
-                // updates and publish the tick's probe epoch.
+                // Fold this tick's window-maintenance round (dispatched at
+                // the end of the previous iteration, overlapped with the
+                // folds and routing above) and publish the probe epoch the
+                // evaluation round reads.
                 let fold_started = Instant::now();
-                if !inline {
-                    let mut pending: Vec<usize> = (0..shards).collect();
-                    collect(
-                        &mut pending,
-                        &result_rxs,
-                        &workers,
-                        &mut |s, reply| match reply {
-                            ShardReply::Tick { dirty, window } => {
-                                window_dur += window;
-                                tick_dirty
-                                    .extend(dirty.into_iter().map(|(op, snap)| (s, op, snap)));
-                                Ok(())
-                            }
-                            ShardReply::Eval(_) => {
-                                Err(RldError::Runtime("shard replied out of order".into()))
-                            }
-                        },
-                    )?;
-                }
+                let mut window_dur = Duration::ZERO;
+                let mut tick_dirty: Vec<(usize, OperatorId, MarkTerms)> = Vec::new();
+                collect(
+                    &mut maint_pending,
+                    &mut inline_q,
+                    &result_rxs,
+                    &workers,
+                    &mut |s, reply| match reply {
+                        ShardReply::Maint { dirty, window } => {
+                            window_dur += window;
+                            let busy = window.as_secs_f64() * 1000.0;
+                            stage.shard_busy_ms[s] += busy;
+                            tick_busy[s] += busy;
+                            tick_dirty.extend(dirty.into_iter().map(|(op, terms)| (s, op, terms)));
+                            Ok(())
+                        }
+                        ShardReply::Eval(_) => {
+                            Err(RldError::Runtime("shard replied out of order".into()))
+                        }
+                    },
+                )?;
                 if !tick_dirty.is_empty() {
                     let mut next = (*probes).clone();
-                    for (s, op, snap) in tick_dirty {
-                        next.set_partition(op, s, snap);
+                    for (s, op, terms) in tick_dirty {
+                        next.set_partition(op, s, terms);
                     }
                     probes = Arc::new(next);
                 }
@@ -797,14 +950,17 @@ impl ColumnarExecutor {
                 stage.window_ms += window_dur.as_secs_f64() * 1000.0;
                 busy_total += window_dur;
 
-                // Evaluation stage: ship (tick, row range, plan) to the
-                // shards — generation happens there — and fold the results
-                // back before the clock advances (or drop at ingest when
-                // the route crosses a down node).
+                // Evaluation dispatch: ship (tick, row range, plan) to the
+                // shards — generation happens there — and leave the round
+                // in flight; it folds at the top of the next iteration (or
+                // drop at ingest when the route crosses a down node). Only
+                // task construction counts as dispatch; inline execution of
+                // the sent task is shard work, not coordinator work.
                 if let Some((has_first, plan, down)) = routed_info {
                     if down {
                         core.note_dropped_batch(n_tuples);
                     } else if let (true, Some(plan)) = (has_first, plan) {
+                        let dispatch_started = Instant::now();
                         let chain = match &chain_cache {
                             Some((cached, chain)) if Arc::ptr_eq(cached, &plan) => {
                                 Arc::clone(chain)
@@ -816,36 +972,16 @@ impl ColumnarExecutor {
                             }
                         };
                         let mplan = Arc::new(plan_gen.match_plan(&truth));
-                        let ingest = Instant::now();
-                        let mut produced = 0u64;
-                        let mut fold_batch = |out: EvalOut, ops: &mut [CompiledOp]| -> Result<()> {
-                            if let Some(msg) = out.error {
-                                return Err(RldError::Runtime(msg));
+                        let mut tasks: Vec<(usize, ShardTask)> = Vec::with_capacity(shards);
+                        for s in 0..shards {
+                            let lo = s as u64 * n_tuples / shards as u64;
+                            let hi = (s as u64 + 1) * n_tuples / shards as u64;
+                            if hi <= lo {
+                                continue;
                             }
-                            produced += out.produced;
-                            busy_total += out.generate + out.evaluate;
-                            stage.generate_ms += out.generate.as_secs_f64() * 1000.0;
-                            stage.evaluate_ms += out.evaluate.as_secs_f64() * 1000.0;
-                            for c in &out.counts {
-                                ops[c.op.index()].note_observed(c.inputs, c.outputs);
-                            }
-                            Ok(())
-                        };
-                        if inline {
-                            let out = cores[0].gen_eval(
-                                ticks, t, dt, n_tuples, 0, n_tuples, &mplan, &chain, &probes,
-                            );
-                            fold_batch(out, &mut ops)?;
-                            max_backlog = max_backlog.max(1);
-                        } else {
-                            let mut dispatched: Vec<usize> = Vec::new();
-                            for (s, tx) in task_txs.iter().enumerate() {
-                                let lo = s as u64 * n_tuples / shards as u64;
-                                let hi = (s as u64 + 1) * n_tuples / shards as u64;
-                                if hi <= lo {
-                                    continue;
-                                }
-                                let task = ShardTask::Eval {
+                            tasks.push((
+                                s,
+                                ShardTask::Eval {
                                     tick: ticks,
                                     t_secs: t,
                                     dt_secs: dt,
@@ -855,34 +991,38 @@ impl ColumnarExecutor {
                                     plan: Arc::clone(&mplan),
                                     chain: Arc::clone(&chain),
                                     probes: Arc::clone(&probes),
-                                };
-                                tx.push_blocking(task).map_err(|_| {
-                                    RldError::Runtime("shard worker hung up during dispatch".into())
-                                })?;
-                                dispatched.push(s);
-                            }
-                            max_backlog = max_backlog.max(dispatched.len() as u64);
-                            let fold_eval_started = Instant::now();
-                            collect(&mut dispatched, &result_rxs, &workers, &mut |_, reply| {
-                                match reply {
-                                    ShardReply::Eval(out) => fold_batch(out, &mut ops),
-                                    ShardReply::Tick { .. } => {
-                                        Err(RldError::Runtime("shard replied out of order".into()))
-                                    }
-                                }
-                            })?;
-                            stage.fold_ms += fold_eval_started.elapsed().as_secs_f64() * 1000.0;
+                                },
+                            ));
                         }
-                        tuples_processed += n_tuples;
-                        core.record_batch(
+                        stage.dispatch_ms += dispatch_started.elapsed().as_secs_f64() * 1000.0;
+                        let ingest = Instant::now();
+                        let mut dispatched: Vec<usize> = Vec::with_capacity(tasks.len());
+                        for (s, task) in tasks {
+                            send(s, task, &mut cores, &mut inline_q)?;
+                            dispatched.push(s);
+                        }
+                        max_backlog = max_backlog.max(dispatched.len() as u64);
+                        pending_eval = Some(PendingEval {
                             n_tuples,
-                            ingest.elapsed().as_secs_f64() * 1000.0,
-                            produced,
-                            t,
-                        );
+                            t_secs: t,
+                            ingest,
+                            shards: dispatched,
+                        });
                     }
                 }
 
+                // Skew high-water mark over the round that just folded
+                // (previous eval + this maintenance).
+                if shards > 1 {
+                    let max = tick_busy.iter().fold(f64::MIN, |a, &b| a.max(b));
+                    let min = tick_busy.iter().fold(f64::MAX, |a, &b| a.min(b));
+                    stage.max_shard_skew_ms = stage.max_shard_skew_ms.max(max - min);
+                }
+                for b in tick_busy.iter_mut() {
+                    *b = 0.0;
+                }
+
+                // Node accounting for this tick, with this tick's view.
                 for i in 0..num_nodes {
                     let effective = if up[i] {
                         self.cluster.capacity(NodeId::new(i)) * factor[i]
@@ -891,12 +1031,62 @@ impl ColumnarExecutor {
                     };
                     core.account_node(dt, up[i], effective);
                 }
+
+                // Pre-compute the next tick while shards evaluate this one:
+                // advance the fault plane, snapshot truth, and ship the
+                // next maintenance round behind the eval tasks.
                 ticks += 1;
-                t += dt;
+                let next_t = t + dt;
+                if next_t < duration {
+                    let (changed, clear_ops, crashes) =
+                        advance_faults(&mut core, next_t, &mut up, &mut factor, &placement);
+                    cluster_changed = changed;
+                    deferred_crashes = crashes;
+                    truth = Arc::new(workload.stats_at(next_t));
+                    let clear = Arc::new(clear_ops);
+                    let dispatch_started = Instant::now();
+                    let tasks: Vec<ShardTask> = (0..shards)
+                        .map(|_| ShardTask::Maint {
+                            tick: ticks,
+                            now_ms: (next_t * 1000.0) as u64,
+                            t_secs: next_t,
+                            dt_secs: dt,
+                            truth: Arc::clone(&truth),
+                            clear_ops: Arc::clone(&clear),
+                        })
+                        .collect();
+                    stage.dispatch_ms += dispatch_started.elapsed().as_secs_f64() * 1000.0;
+                    for (s, task) in tasks.into_iter().enumerate() {
+                        send(s, task, &mut cores, &mut inline_q)?;
+                    }
+                    maint_pending = (0..shards).collect();
+                }
+                t = next_t;
             }
 
-            // Shutdown: nothing is in flight (tick-synchronous), so closing
-            // the task rings is the whole drain.
+            // Epilogue: the last tick's evaluation round is still in
+            // flight — fold it so its batch records before the metrics
+            // assemble.
+            if let Some(pe) = pending_eval.take() {
+                let fold_started = Instant::now();
+                fold_eval(
+                    pe,
+                    &mut core,
+                    &mut ops,
+                    &mut inline_q,
+                    &result_rxs,
+                    &workers,
+                    &mut stage,
+                    &mut tick_busy,
+                    &mut busy_total,
+                    &mut tuples_processed,
+                )?;
+                stage.fold_ms += fold_started.elapsed().as_secs_f64() * 1000.0;
+            }
+
+            // Shutdown: the epilogue drained the pipeline (the final
+            // iteration dispatches no maintenance round), so closing the
+            // task rings is the whole drain.
             for tx in &task_txs {
                 tx.close();
             }
@@ -906,6 +1096,10 @@ impl ColumnarExecutor {
 
             // Assemble the measured totals.
             let wall_secs = wall_start.elapsed().as_secs_f64();
+            let wall_ms = wall_secs * 1000.0;
+            for s in 0..shards {
+                stage.shard_idle_ms[s] = (wall_ms - stage.shard_busy_ms[s]).max(0.0);
+            }
             let busy_ms = busy_total.as_secs_f64() * 1000.0;
             let mean_utilization = if wall_secs > 0.0 && shards > 0 {
                 (busy_total.as_secs_f64() / (wall_secs * shards as f64)).clamp(0.0, 1.0)

@@ -124,13 +124,14 @@ pub struct ExecReport {
 /// its tick pipeline, summed over the run. `generate`, `evaluate`, and
 /// `window` are summed across shards (they run in parallel), so they can
 /// exceed `wall_secs`; `route`, `dispatch`, and `fold` are coordinator-serial.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// The per-shard vectors expose imbalance the stage totals hide.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StageTimings {
     /// Building driving `ColumnBatch` slices inside shards.
     pub generate_ms: f64,
     /// Routing decisions (strategy + core bookkeeping).
     pub route_ms: f64,
-    /// Partitioning partner arrivals and enqueueing shard tasks.
+    /// Constructing shard tasks (chain compile, match plan, task setup).
     pub dispatch_ms: f64,
     /// Fused-chain evaluation inside shards.
     pub evaluate_ms: f64,
@@ -138,6 +139,14 @@ pub struct StageTimings {
     pub fold_ms: f64,
     /// Partitioned sliding-window maintenance inside shards.
     pub window_ms: f64,
+    /// Per-shard busy milliseconds (generate + evaluate + window),
+    /// indexed by shard.
+    pub shard_busy_ms: Vec<f64>,
+    /// Per-shard idle milliseconds (`wall - busy`), indexed by shard.
+    pub shard_idle_ms: Vec<f64>,
+    /// Largest per-round busy-time spread (max − min across shards) seen
+    /// over the run, in milliseconds. Zero with a single shard.
+    pub max_shard_skew_ms: f64,
 }
 
 /// The tuple-level execution backend: one worker thread per cluster node,

@@ -44,7 +44,9 @@ pub use fluctuation::{RatePattern, SelectivityPattern};
 pub use sensor::SensorWorkload;
 pub use stock::StockWorkload;
 pub use synthetic::{summary_stats, SummaryStats, SyntheticWorkload, ValueDistribution};
-pub use tuples::{DataplaneGenerator, MatchColumn, PartnerColumns, ShardedDrivingGen};
+pub use tuples::{
+    DataplaneGenerator, MatchColumn, PartnerColumns, ShardedDrivingGen, ShardedPartnerGen,
+};
 
 use rld_common::{Batch, Query, StatsSnapshot};
 

@@ -31,6 +31,15 @@ const SYMBOLS: [&str; 8] = [
     "AAPL", "MSFT", "IBM", "ORCL", "GOOG", "AMZN", "TSLA", "NVDA",
 ];
 
+/// The pre-interned [`Value::Text`] form of `SYMBOLS[idx]`. Generators stamp
+/// symbols into hundreds of thousands of tuples per run; sharing one
+/// allocation per symbol makes each stamp a refcount bump.
+fn symbol_value(idx: usize) -> Value {
+    use std::sync::OnceLock;
+    static INTERNED: OnceLock<[Value; SYMBOLS.len()]> = OnceLock::new();
+    INTERNED.get_or_init(|| SYMBOLS.map(Value::from))[idx].clone()
+}
+
 /// Fill one application field by data type — the single value-generation
 /// convention shared by driving and partner tuples. Float fields advance
 /// the stream's random walk (prices, sensor readings), so consecutive
@@ -39,7 +48,7 @@ fn draw_app_value(rng: &mut SeededRng, walk: &mut f64, data_type: DataType, ts_m
     match data_type {
         DataType::Text => {
             let i = rng.random_range(0..SYMBOLS.len());
-            Value::from(SYMBOLS[i])
+            symbol_value(i)
         }
         DataType::Float => {
             let step: f64 = rng.random_range(-1.0..1.0);
@@ -250,77 +259,6 @@ impl DataplaneGenerator {
     pub fn for_workload(workload: &dyn Workload, seed: u64) -> Self {
         Self::new(workload.query(), derive_seed(seed, workload.name()))
     }
-
-    /// Generate the partner-stream deliveries for `[t, t + dt)` in columnar
-    /// form — draw-for-draw identical to
-    /// [`DataplaneGenerator::partner_batches`] (same Poisson sizes, same app
-    /// field draws advancing the same walks, same marks), but materializing
-    /// only what the partitioned windows consume: timestamps, marks, and a
-    /// partition key per tuple. No `Tuple` or `Value` is ever built.
-    pub fn partner_columns(
-        &mut self,
-        t_secs: f64,
-        dt_secs: f64,
-        truth: &StatsSnapshot,
-    ) -> Vec<PartnerColumns> {
-        let mut out = Vec::new();
-        for s in 0..self.query.num_streams() {
-            let sid = StreamId::new(s);
-            if sid == self.query.driving_stream {
-                continue;
-            }
-            let rate = truth
-                .input_rate(sid)
-                .unwrap_or(self.query.streams[s].rate_estimate);
-            let rng = &mut self.partner_rngs[s];
-            let n = sample_poisson(rng, (rate * dt_secs).max(0.0));
-            let schema_types: Vec<DataType> = self.query.streams[s]
-                .schema
-                .fields()
-                .iter()
-                .map(|f| f.data_type)
-                .collect();
-            let mut cols = PartnerColumns {
-                stream: sid,
-                ts_ms: Vec::with_capacity(n as usize),
-                marks: Vec::with_capacity(n as usize),
-                keys: Vec::with_capacity(n as usize),
-            };
-            for i in 0..n {
-                let ts_ms = ((t_secs + dt_secs * i as f64 / n.max(1) as f64) * 1000.0) as u64;
-                let mut key = None;
-                // Replay draw_app_value's RNG consumption per field without
-                // materializing the values.
-                for dt in &schema_types {
-                    match dt {
-                        DataType::Text => {
-                            let idx = rng.random_range(0..SYMBOLS.len());
-                            if key.is_none() {
-                                key = Some(fnv1a(SYMBOLS[idx].as_bytes()));
-                            }
-                        }
-                        DataType::Float => {
-                            let step: f64 = rng.random_range(-1.0..1.0);
-                            self.walk[s] = (self.walk[s] + step).max(1.0);
-                        }
-                        DataType::Int => {
-                            let _: i64 = rng.random_range(0..1000);
-                        }
-                        DataType::Bool => {
-                            let _: f64 = rng.random_range(0.0..1.0);
-                        }
-                        DataType::Timestamp => {}
-                    }
-                }
-                let mark: f64 = rng.random_range(0.0..1.0);
-                cols.ts_ms.push(ts_ms);
-                cols.marks.push(mark);
-                cols.keys.push(key.unwrap_or_else(|| mix64(ts_ms)));
-            }
-            out.push(cols);
-        }
-        out
-    }
 }
 
 /// One tick's arrivals on one partner stream, reduced to exactly what a
@@ -491,7 +429,7 @@ impl ShardedDrivingGen {
                     match self.schema_types[field] {
                         DataType::Text => {
                             let idx = rng.random_range(0..SYMBOLS.len());
-                            Value::from(SYMBOLS[idx])
+                            symbol_value(idx)
                         }
                         DataType::Float => Value::Float(rng.random_range(1.0..200.0)),
                         DataType::Int => Value::Int(rng.random_range(0..1000i64)),
@@ -509,6 +447,150 @@ impl ShardedDrivingGen {
                 }
             });
         }
+    }
+}
+
+/// A shard-parallel partner-stream generator — the partner twin of
+/// [`ShardedDrivingGen`]. Every (tick, stream, row) triple owns an
+/// independent splitmix64-derived substream, so each shard can derive
+/// exactly the partner arrivals whose key lands in its partition from
+/// nothing but `(tick, t, dt, truth)` scalars: the coordinator never
+/// materializes, ships, or partitions partner tuples, and the filtered
+/// union over any shard count is bit-identical to the single-shard whole.
+///
+/// Partition keys follow the [`PartnerColumns`] convention: FNV-1a of the
+/// row's symbol draw for streams with a text field, a timestamp hash
+/// otherwise. Like [`ShardedDrivingGen`], app-field random walks are
+/// dropped — row independence is what buys shard freedom, and partner app
+/// fields are opaque payload (only timestamps, marks, and keys are ever
+/// consumed by the partitioned windows).
+#[derive(Debug, Clone)]
+pub struct ShardedPartnerGen {
+    query: Query,
+    /// Per-stream: whether the schema has a text field (keys then come from
+    /// the row's symbol draw instead of a timestamp hash).
+    has_text: Vec<bool>,
+    /// Per-stream substream bases for the tick's Poisson batch size.
+    count_bases: Vec<u64>,
+    /// Per-stream substream bases for per-row (key, mark) draws.
+    row_bases: Vec<u64>,
+}
+
+impl ShardedPartnerGen {
+    /// Create a sharded partner generator. All randomness derives from
+    /// `seed`; clones share the substream space, so shards may each hold one.
+    pub fn new(query: &Query, seed: u64) -> Self {
+        let base = derive_seed(seed, "partner-sharded");
+        Self {
+            query: query.clone(),
+            has_text: query
+                .streams
+                .iter()
+                .map(|s| {
+                    s.schema
+                        .fields()
+                        .iter()
+                        .any(|f| f.data_type == DataType::Text)
+                })
+                .collect(),
+            count_bases: (0..query.num_streams())
+                .map(|s| derive_seed(base, &format!("count-{s}")))
+                .collect(),
+            row_bases: (0..query.num_streams())
+                .map(|s| derive_seed(base, &format!("rows-{s}")))
+                .collect(),
+        }
+    }
+
+    /// The query this generator produces tuples for.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The tick's Poisson batch size on one partner stream — a pure function
+    /// of (tick, stream, truth), so every shard agrees on it without
+    /// coordination.
+    pub fn batch_size(
+        &self,
+        tick: u64,
+        stream: StreamId,
+        dt_secs: f64,
+        truth: &StatsSnapshot,
+    ) -> u64 {
+        let s = stream.index();
+        let rate = truth
+            .input_rate(stream)
+            .unwrap_or(self.query.streams[s].rate_estimate);
+        let mut rng = rng_from_seed(row_seed(self.count_bases[s], tick, 0));
+        sample_poisson(&mut rng, (rate * dt_secs).max(0.0))
+    }
+
+    /// One row's (partition key, window mark) from its own substream. The
+    /// key is drawn *first* so a shard deciding ownership and a full-range
+    /// generator observe identical draws.
+    fn row_draw(&self, stream: usize, tick: u64, row: u64, ts_ms: u64) -> (u64, f64) {
+        let mut rng = rng_from_seed(row_seed(self.row_bases[stream], tick, row));
+        let key = if self.has_text[stream] {
+            let idx = rng.random_range(0..SYMBOLS.len());
+            fnv1a(SYMBOLS[idx].as_bytes())
+        } else {
+            mix64(ts_ms)
+        };
+        let mark: f64 = rng.random_range(0.0..1.0);
+        (key, mark)
+    }
+
+    /// Generate the full tick for every partner stream — the single-shard
+    /// reference path, equal to `fill_partition(.., 0, 1)`.
+    pub fn columns(
+        &self,
+        tick: u64,
+        t_secs: f64,
+        dt_secs: f64,
+        truth: &StatsSnapshot,
+    ) -> Vec<PartnerColumns> {
+        self.fill_partition(tick, t_secs, dt_secs, truth, 0, 1)
+    }
+
+    /// Generate exactly the rows of tick `tick` whose partition key lands on
+    /// `shard` of `shards`, per partner stream. Timestamps spread evenly
+    /// over `[t, t + dt)` by *global* row index, so a partition sees the
+    /// same timestamps it would as part of the whole.
+    pub fn fill_partition(
+        &self,
+        tick: u64,
+        t_secs: f64,
+        dt_secs: f64,
+        truth: &StatsSnapshot,
+        shard: u64,
+        shards: u64,
+    ) -> Vec<PartnerColumns> {
+        debug_assert!(shards > 0 && shard < shards);
+        let mut out = Vec::new();
+        for s in 0..self.query.num_streams() {
+            let sid = StreamId::new(s);
+            if sid == self.query.driving_stream {
+                continue;
+            }
+            let n = self.batch_size(tick, sid, dt_secs, truth);
+            let mut cols = PartnerColumns {
+                stream: sid,
+                ts_ms: Vec::new(),
+                marks: Vec::new(),
+                keys: Vec::new(),
+            };
+            for i in 0..n {
+                let ts_ms = ((t_secs + dt_secs * i as f64 / n.max(1) as f64) * 1000.0) as u64;
+                let (key, mark) = self.row_draw(s, tick, i, ts_ms);
+                if key % shards == shard {
+                    cols.ts_ms.push(ts_ms);
+                    cols.marks.push(mark);
+                    cols.keys.push(key);
+                }
+            }
+            out.push(cols);
+        }
+        out
     }
 }
 
@@ -728,49 +810,101 @@ mod tests {
         }
     }
 
-    /// `partner_columns` is a draw-for-draw twin of `partner_batches`: same
-    /// Poisson sizes, timestamps, and marks, with keys that both sides of
-    /// the fan-out can recompute from the tuple.
+    /// The sharded partner generator's defining property: at every shard
+    /// count, each shard's `fill_partition` output is exactly the key-hash
+    /// partition of the full-range reference (`columns`), draw-for-draw —
+    /// the partner twin of `sharded_generation_is_shard_count_invariant`.
     #[test]
-    fn partner_columns_twin_the_row_partner_batches() {
+    fn sharded_partner_generation_is_shard_count_invariant() {
         let q = Query::q1_stock_monitoring();
         let truth = q.default_stats();
-        let mut row = DataplaneGenerator::new(&q, 7);
-        let mut col = DataplaneGenerator::new(&q, 7);
-        for tick in 0..6u64 {
-            let t = tick as f64;
-            let rb = row.partner_batches(t, 1.0, &truth);
-            let cc = col.partner_columns(t, 1.0, &truth);
-            assert_eq!(rb.len(), cc.len());
-            for ((sid, batch), cols) in rb.iter().zip(&cc) {
-                assert_eq!(*sid, cols.stream);
-                assert_eq!(batch.len(), cols.len());
-                let mark_field = exec::partner_mark_field(&q, *sid);
-                for (i, tup) in batch.tuples.iter().enumerate() {
-                    assert_eq!(tup.timestamp, cols.ts_ms[i]);
-                    assert_eq!(
-                        tup.value(mark_field).and_then(Value::as_f64),
-                        Some(cols.marks[i])
-                    );
-                    // The key re-derives from the tuple's first text field.
-                    let text_key = tup
-                        .values
-                        .iter()
-                        .find_map(|v| v.as_str())
-                        .map(|s| rld_common::rng::fnv1a(s.as_bytes()));
-                    assert_eq!(
-                        cols.keys[i],
-                        text_key.unwrap_or_else(|| rld_common::rng::mix64(tup.timestamp))
-                    );
+        for seed in [7u64, 41, 1234] {
+            let g = ShardedPartnerGen::new(&q, seed);
+            for tick in [0u64, 3, 17] {
+                let t = tick as f64;
+                let whole = g.columns(tick, t, 1.0, &truth);
+                assert_eq!(whole.len(), q.num_streams() - 1);
+                for shards in [1u64, 3, 8] {
+                    let mut seen = vec![0usize; whole.len()];
+                    for shard in 0..shards {
+                        let part = g.fill_partition(tick, t, 1.0, &truth, shard, shards);
+                        for (p, (w, n)) in part.iter().zip(whole.iter().zip(&mut seen)) {
+                            assert_eq!(p.stream, w.stream);
+                            *n += p.len();
+                            // Each shard holds exactly the reference rows
+                            // whose key lands in its partition, in order.
+                            let mut j = 0;
+                            for i in 0..w.len() {
+                                if w.keys[i] % shards == shard {
+                                    assert_eq!(p.ts_ms[j], w.ts_ms[i]);
+                                    assert_eq!(p.marks[j], w.marks[i]);
+                                    assert_eq!(p.keys[j], w.keys[i]);
+                                    j += 1;
+                                }
+                            }
+                            assert_eq!(j, p.len(), "tick {tick} shards {shards}");
+                        }
+                    }
+                    // The partitions tile the whole: nothing lost, nothing
+                    // duplicated.
+                    for (n, w) in seen.iter().zip(&whole) {
+                        assert_eq!(*n, w.len());
+                    }
                 }
+                // A clone generates identically (shards each own one).
+                assert_eq!(g.clone().columns(tick, t, 1.0, &truth), whole);
             }
-            // Interleave a driving batch to prove the RNG streams stay in
-            // lockstep across call patterns.
-            assert_eq!(
-                row.driving_batch(t, 1.0, 10, &truth),
-                col.driving_batch(t, 1.0, 10, &truth)
+            // Different ticks produce different draws (substreams don't
+            // repeat).
+            assert_ne!(
+                g.columns(0, 0.0, 1.0, &truth),
+                g.columns(1, 1.0, 1.0, &truth)
             );
         }
+    }
+
+    /// The sharded partner rows obey the `PartnerColumns` conventions:
+    /// Poisson sizes tracking the truth's rates, ascending timestamps,
+    /// marks in `[0, 1)`, and symbol-derived keys on text streams.
+    #[test]
+    fn sharded_partner_rows_follow_conventions() {
+        let q = Query::q1_stock_monitoring();
+        let truth = q.default_stats();
+        let g = ShardedPartnerGen::new(&q, 7);
+        let symbol_keys: Vec<u64> = SYMBOLS.iter().map(|s| fnv1a(s.as_bytes())).collect();
+        let mut total = 0u64;
+        let mut expected = 0.0f64;
+        for tick in 0..40u64 {
+            let cols = g.columns(tick, tick as f64, 1.0, &truth);
+            for c in &cols {
+                assert_eq!(
+                    c.len() as u64,
+                    g.batch_size(tick, c.stream, 1.0, &truth),
+                    "full-range batch matches the agreed Poisson size"
+                );
+                total += c.len() as u64;
+                expected += truth.input_rate(c.stream).unwrap();
+                assert!(c.ts_ms.windows(2).all(|w| w[0] <= w[1]));
+                assert!(c.marks.iter().all(|m| (0.0..1.0).contains(m)));
+                let has_text = q.streams[c.stream.index()]
+                    .schema
+                    .fields()
+                    .iter()
+                    .any(|f| f.data_type == DataType::Text);
+                for (i, k) in c.keys.iter().enumerate() {
+                    if has_text {
+                        assert!(symbol_keys.contains(k));
+                    } else {
+                        assert_eq!(*k, mix64(c.ts_ms[i]));
+                    }
+                }
+            }
+        }
+        // Aggregate arrivals track the truth's rates (loose Poisson bound).
+        assert!(
+            (total as f64 - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "{total} arrivals vs {expected:.1} expected"
+        );
     }
 
     #[test]
