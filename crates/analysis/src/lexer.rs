@@ -1,0 +1,407 @@
+//! A lightweight Rust lexer.
+//!
+//! The auditor needs just enough lexical structure to scan token trees
+//! reliably: identifiers and keywords, punctuation, balanced delimiters, and
+//! — crucially — *correct skipping* of the things that would otherwise
+//! produce false matches: string/char/byte literals (including raw strings
+//! and escapes), lifetimes, and comments. Comments are not discarded; they
+//! are collected per line so the rule engine can find `// rld-allow(...)`
+//! waivers and `// SAFETY:` justifications.
+//!
+//! This is intentionally not a full Rust lexer (no float-vs-range
+//! disambiguation, no shebang handling); it only has to be sound on the
+//! workspace's own sources and on the lint fixtures.
+
+/// One lexical token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// 1-indexed line the token starts on.
+    pub line: usize,
+}
+
+/// Token kinds the rule engine distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `for`, ...).
+    Ident(String),
+    /// A lifetime (`'a`, `'static`) — kept distinct from char literals.
+    Lifetime(String),
+    /// Any literal: string, raw string, byte string, char, byte, or number.
+    /// The payload is dropped; rules never look inside literals.
+    Literal,
+    /// A single punctuation character (`.`, `;`, `:`, `=`, ...), including
+    /// the delimiters `( ) [ ] { }`.
+    Punct(char),
+}
+
+impl Token {
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, text: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s == text)
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A comment with its 1-indexed starting line. Block comments spanning
+/// multiple lines are recorded at the line they start on and additionally at
+/// every line they cover, so line-based waiver lookup stays simple.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-indexed line this comment (segment) sits on.
+    pub line: usize,
+    /// The comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Comment-free token stream.
+    pub tokens: Vec<Token>,
+    /// All comments, one entry per (line, text) pair.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex Rust source text. Never fails: unterminated constructs consume to the
+/// end of input (the auditor scans the workspace's own compiling sources, so
+/// this is a graceful-degradation path, not an expected one).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, line: usize) {
+        self.out.tokens.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                'r' if self.raw_string_ahead(0) => self.raw_string(0),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal();
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal();
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string(0);
+                }
+                '\'' => self.lifetime_or_char(),
+                c if c.is_ascii_digit() => self.number_literal(),
+                c if c == '_' || c.is_alphanumeric() => self.ident(),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            text: text.trim_start_matches(['/', '!']).trim().to_string(),
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        // Record the comment on every line it covers so waiver lookup by
+        // line works whichever line of the block carries the marker.
+        for (i, seg) in text.split('\n').enumerate() {
+            self.out.comments.push(Comment {
+                line: start_line + i,
+                text: seg.trim().trim_start_matches(['*', '!']).trim().to_string(),
+            });
+        }
+    }
+
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, line);
+    }
+
+    /// Whether `r`/`r#...#` at `pos + offset` starts a raw string.
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut i = offset + 1; // past the `r`
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn raw_string(&mut self, _offset: usize) {
+        let line = self.line;
+        self.bump(); // `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, line);
+    }
+
+    fn char_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, line);
+    }
+
+    /// `'` starts either a lifetime (`'a`, `'static`) or a char literal
+    /// (`'x'`, `'\n'`, `'\''`). A quote followed by an identifier char that
+    /// is *not* closed by a quote right after one char is a lifetime.
+    fn lifetime_or_char(&mut self) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_char = matches!((next, after), (Some('\\'), _) | (Some(_), Some('\'')));
+        if is_char {
+            self.char_literal();
+        } else {
+            let line = self.line;
+            self.bump(); // `'`
+            let mut name = String::new();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime(name), line);
+        }
+    }
+
+    fn number_literal(&mut self) {
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            // Consume digits, radix prefixes, underscores, type suffixes and
+            // exponent signs; stop before `..` (range) and method dots.
+            if c == '_'
+                || c.is_ascii_alphanumeric()
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                || ((c == '+' || c == '-')
+                    && matches!(self.chars.get(self.pos.wrapping_sub(1)), Some('e' | 'E')))
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident(name), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        let src = r##"let s = "unsafe { HashMap }"; let c = '\''; let b = b'{'; let q = '"';"##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "c", "let", "b", "let", "q"]);
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let src = r####"let s = r#"Instant::now() " inside"#; let t = 1;"####;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Lifetime(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "// first\nlet x = 1; // trailing\n/* block\nspanning */\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert!(lexed
+            .comments
+            .iter()
+            .any(|c| c.line == 1 && c.text == "first"));
+        assert!(lexed
+            .comments
+            .iter()
+            .any(|c| c.line == 2 && c.text == "trailing"));
+        assert!(lexed
+            .comments
+            .iter()
+            .any(|c| c.line == 3 && c.text == "block"));
+        assert!(lexed
+            .comments
+            .iter()
+            .any(|c| c.line == 4 && c.text == "spanning"));
+        // Tokens carry correct lines across the block comment.
+        let y = lexed.tokens.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 5);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let z = 3;";
+        assert_eq!(idents(src), vec!["let", "z"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let src = "let a = 1.5e-3; let b = 0x_ff_u32; (0..10).sum::<i32>(); 4.0f64.sqrt();";
+        let ids = idents(src);
+        assert!(ids.contains(&"sum".to_string()));
+        assert!(ids.contains(&"sqrt".to_string()));
+    }
+}

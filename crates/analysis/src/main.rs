@@ -1,0 +1,96 @@
+//! The `rld-analysis` CLI.
+//!
+//! ```text
+//! cargo run -p rld-analysis -- check [--root <dir>] [--json <path>] [--quiet]
+//! cargo run -p rld-analysis -- rules
+//! ```
+//!
+//! `check` audits the workspace and writes `ANALYSIS.json` at the root;
+//! exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use rld_analysis::{Report, RuleId, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" | "rules" if cmd.is_none() => cmd = Some(args[i].clone()),
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => root = Some(PathBuf::from(v)),
+                    None => return usage("--root needs a value"),
+                }
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => json_path = Some(PathBuf::from(v)),
+                    None => return usage("--json needs a value"),
+                }
+            }
+            "--quiet" => quiet = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    match cmd.as_deref() {
+        Some("rules") => {
+            for rule in RuleId::ALL {
+                println!("{}: {}", rule.code(), rule.summary());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => run_check(root, json_path, quiet),
+        _ => usage("expected a command: `check` or `rules`"),
+    }
+}
+
+fn run_check(root: Option<PathBuf>, json_path: Option<PathBuf>, quiet: bool) -> ExitCode {
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match Workspace::find_root(&cwd) {
+                Some(r) => r,
+                None => return usage("could not locate the workspace root; pass --root"),
+            }
+        }
+    };
+    let report: Report = match Workspace::discover(&root).and_then(|ws| ws.check()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rld-analysis: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json_path = json_path.unwrap_or_else(|| root.join("ANALYSIS.json"));
+    if let Err(e) = std::fs::write(&json_path, report.render_json()) {
+        eprintln!("rld-analysis: cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    if !quiet {
+        print!("{}", report.render_text());
+        println!("report: {}", json_path.display());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!(
+        "rld-analysis: {err}\n\nusage:\n  rld-analysis check [--root <dir>] [--json <path>] [--quiet]\n  rld-analysis rules"
+    );
+    ExitCode::from(2)
+}

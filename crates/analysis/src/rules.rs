@@ -1,0 +1,622 @@
+//! The invariant rules and the per-file analysis driver.
+//!
+//! Four rules, each a named, waivable diagnostic with a `file:line` span:
+//!
+//! * **D1** — no `HashMap`/`HashSet` *iteration* in result-producing crates.
+//!   Hash iteration order is seeded per process, so a single `.iter()` on a
+//!   result path silently breaks the bit-determinism the three backends and
+//!   every shard count are oracled against. Lookups (`get`/`insert`/
+//!   `contains`) are fine; iteration must go through a `BTreeMap`, a sorted
+//!   projection (`rld_common::collections::sorted_pairs`), or carry a waiver.
+//! * **D2** — `Instant::now`/`SystemTime` only inside the allowlisted timing
+//!   surface (`rld-exec`, `rld-bench`: the `StageTimings`/`ExecReport`
+//!   wall-clock paths). Anywhere else, wall time could feed tuple results.
+//! * **U1** — `unsafe` only in `crates/exec/src/columnar/ring.rs`, and every
+//!   `unsafe` there must carry a `// SAFETY:` justification.
+//! * **L1** — no `.lock()` guard combined with a second `.lock()` or a
+//!   channel/ring transfer (`send`/`recv`/`try_push`/...) in the same
+//!   statement chain — the shape every future deadlock here would take.
+//!
+//! A diagnostic is waived by `// rld-allow(<rule>): <reason>` on the same
+//! line or the line directly above; waivers are counted in the report so
+//! they stay visible instead of becoming invisible tribal knowledge.
+//!
+//! The scanner is lexical (see [`crate::lexer`]): it tracks let-bindings,
+//! type ascriptions and struct fields to learn which names are hash
+//! containers, and it skips `#[cfg(test)]` items for D1/D2/L1 (test-only
+//! wall-clock or iteration cannot reach a result path). This is a
+//! heuristic, not a type checker — the waiver mechanism is the escape
+//! hatch for the false positives a lexical pass cannot avoid.
+
+use crate::lexer::{lex, Lexed, Token};
+
+/// The result-producing crates D1 applies to: anything whose output feeds
+/// tuple results, metrics folds, placement or plan enumeration.
+pub const RESULT_CRATES: &[&str] = &[
+    "rld-common",
+    "rld-engine",
+    "rld-exec",
+    "rld-logical",
+    "rld-physical",
+    "rld-paramspace",
+    "rld-workloads",
+];
+
+/// Crates whose wall-clock reads are allowlisted for D2 (the
+/// `StageTimings`/`ExecReport` timing surface and the bench harness).
+pub const TIMING_CRATES: &[&str] = &["rld-exec", "rld-bench"];
+
+/// The single file allowed to contain `unsafe` (U1).
+pub const UNSAFE_BOUNDARY: &str = "crates/exec/src/columnar/ring.rs";
+
+/// Map-iteration methods D1 flags on hash containers.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Channel/ring transfer methods L1 refuses to combine with a held lock.
+const CHANNEL_METHODS: &[&str] = &[
+    "send",
+    "recv",
+    "try_send",
+    "try_recv",
+    "recv_timeout",
+    "try_push",
+    "push_blocking",
+    "try_pop",
+];
+
+/// The four rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Hash-order nondeterminism on a result path.
+    D1,
+    /// Wall clock outside the timing surface.
+    D2,
+    /// Unsafe containment.
+    U1,
+    /// Lock discipline.
+    L1,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 4] = [RuleId::D1, RuleId::D2, RuleId::U1, RuleId::L1];
+
+    /// The rule's short identifier, as used in `rld-allow(...)`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::U1 => "U1",
+            RuleId::L1 => "L1",
+        }
+    }
+
+    /// One-line description for reports.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            RuleId::D1 => "no HashMap/HashSet iteration in result-producing crates",
+            RuleId::D2 => "wall clock (Instant::now/SystemTime) only in the timing surface",
+            RuleId::U1 => "unsafe only in the SPSC ring, with SAFETY comments",
+            RuleId::L1 => "no lock guard across a second lock or a channel transfer",
+        }
+    }
+
+    fn parse(code: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.code() == code)
+    }
+}
+
+/// One finding: a named rule violated at a `file:line` span.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub help: String,
+}
+
+/// One `// rld-allow(<rule>): <reason>` waiver that suppressed (or could
+/// suppress) a diagnostic.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule being waived.
+    pub rule: RuleId,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-indexed line the waiver comment sits on.
+    pub line: usize,
+    /// The stated reason (everything after the colon).
+    pub reason: String,
+}
+
+/// Everything the analysis learned about one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Diagnostics that survived waiver filtering.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Waivers found in the file (whether or not they fired).
+    pub waivers: Vec<Waiver>,
+    /// Number of tokens scanned.
+    pub tokens: usize,
+}
+
+/// Analyze one source file. `path` is the repo-relative path (used for the
+/// U1 boundary and in spans), `crate_name` the owning package (used for the
+/// D1/D2 crate scoping).
+pub fn analyze_source(path: &str, crate_name: &str, src: &str) -> FileReport {
+    let lexed = lex(src);
+    let in_test = test_regions(&lexed.tokens);
+    let waivers = collect_waivers(path, &lexed);
+    let mut diags = Vec::new();
+
+    if RESULT_CRATES.contains(&crate_name) {
+        rule_d1(path, &lexed, &in_test, &mut diags);
+    }
+    if !TIMING_CRATES.contains(&crate_name) {
+        rule_d2(path, &lexed, &in_test, &mut diags);
+    }
+    rule_u1(path, &lexed, &mut diags);
+    rule_l1(path, &lexed, &in_test, &mut diags);
+
+    // Apply waivers: a diagnostic is suppressed by a matching-rule waiver on
+    // its own line or the line directly above.
+    diags.retain(|d| {
+        !waivers
+            .iter()
+            .any(|w| w.rule == d.rule && (w.line == d.line || w.line + 1 == d.line))
+    });
+    diags.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
+
+    FileReport {
+        diagnostics: diags,
+        waivers,
+        tokens: lexed.tokens.len(),
+    }
+}
+
+/// Parse `rld-allow(<rule>): <reason>` out of every comment.
+fn collect_waivers(path: &str, lexed: &Lexed) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let Some(at) = c.text.find("rld-allow(") else {
+            continue;
+        };
+        let rest = &c.text[at + "rld-allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let Some(rule) = RuleId::parse(rest[..close].trim()) else {
+            continue;
+        };
+        let reason = rest[close + 1..].trim_start_matches(':').trim().to_string();
+        out.push(Waiver {
+            rule,
+            path: path.to_string(),
+            line: c.line,
+            reason,
+        });
+    }
+    out
+}
+
+/// Mark the token ranges belonging to `#[cfg(test)]` items (and, at the
+/// caller's discretion via crate naming, whole test packages). Returns one
+/// flag per token.
+fn test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Skip the attribute itself (7 tokens: # [ cfg ( test ) ]),
+            // then any further attributes, then mark the following item.
+            let mut j = i + 7;
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                j = skip_attribute(tokens, j);
+            }
+            let end = item_end(tokens, j);
+            for flag in in_test.iter_mut().take(end).skip(i) {
+                *flag = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    tokens.len() > i + 6
+        && tokens[i].is_punct('#')
+        && tokens[i + 1].is_punct('[')
+        && tokens[i + 2].is_ident("cfg")
+        && tokens[i + 3].is_punct('(')
+        && tokens[i + 4].is_ident("test")
+        && tokens[i + 5].is_punct(')')
+        && tokens[i + 6].is_punct(']')
+}
+
+/// Skip a `#[...]` attribute starting at `i` (at the `#`); returns the index
+/// just past its closing `]`.
+fn skip_attribute(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// The index just past the end of the item starting at `i`: either the
+/// matching `}` of its first top-level brace, or the first top-level `;`.
+fn item_end(tokens: &[Token], i: usize) -> usize {
+    let mut j = i;
+    let mut nest = 0usize;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            nest += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            nest = nest.saturating_sub(1);
+        } else if t.is_punct('{') && nest == 0 {
+            // Body: consume to the matching close brace.
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                if tokens[j].is_punct('{') {
+                    depth += 1;
+                } else if tokens[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                j += 1;
+            }
+            return j;
+        } else if t.is_punct(';') && nest == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+// ---------------------------------------------------------------------------
+// D1 — hash-container iteration
+// ---------------------------------------------------------------------------
+
+fn rule_d1(path: &str, lexed: &Lexed, in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    let tokens = &lexed.tokens;
+    let hash_names = collect_hash_names(tokens);
+    if hash_names.is_empty() {
+        return;
+    }
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if in_test[i] {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens[i].ident() else {
+            i += 1;
+            continue;
+        };
+        if !hash_names.iter().any(|n| n == name) {
+            i += 1;
+            continue;
+        }
+        // `map.iter()` / `self.map.keys()` / ... — a flagged method call.
+        if i + 2 < tokens.len() && tokens[i + 1].is_punct('.') {
+            if let Some(m) = tokens[i + 2].ident() {
+                if ITER_METHODS.contains(&m) && tokens.get(i + 3).is_some_and(|t| t.is_punct('(')) {
+                    diags.push(d1_diag(path, tokens[i + 2].line, name, m));
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        // `for pat in [&][mut] [self.] map {` — direct iteration.
+        if directly_iterated(tokens, i) {
+            diags.push(d1_diag(path, tokens[i].line, name, "for … in"));
+        }
+        i += 1;
+    }
+}
+
+fn d1_diag(path: &str, line: usize, name: &str, how: &str) -> Diagnostic {
+    Diagnostic {
+        rule: RuleId::D1,
+        path: path.to_string(),
+        line,
+        message: format!("hash container `{name}` is iterated (`{how}`) on a result path"),
+        help: "hash iteration order is nondeterministic; use a BTreeMap, project through \
+               rld_common::collections::sorted_pairs, or waive with // rld-allow(D1): <reason>"
+            .to_string(),
+    }
+}
+
+/// Names lexically bound to a `HashMap`/`HashSet`: type-ascribed fields and
+/// params (`name: HashMap<...>`) and let-bindings whose initializer mentions
+/// a hash constructor (`let name = HashMap::new()`).
+fn collect_hash_names(tokens: &[Token]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut bind = |n: &str| {
+        if !names.iter().any(|x| x == n) {
+            names.push(n.to_string());
+        }
+    };
+    for i in 0..tokens.len() {
+        let Some(id) = tokens[i].ident() else {
+            continue;
+        };
+        if id == "HashMap" || id == "HashSet" {
+            // Walk back over a `path::` prefix (`std :: collections ::`).
+            let mut j = i;
+            while j >= 2 && tokens[j - 1].is_punct(':') && tokens[j - 2].is_punct(':') {
+                j -= 2;
+                if j >= 1 && tokens[j - 1].ident().is_some() {
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            // Skip reference sigils (`& mut`) between the colon and the type
+            // so `name: &HashMap<...>` params bind too.
+            while j >= 1 && (tokens[j - 1].is_punct('&') || tokens[j - 1].is_ident("mut")) {
+                j -= 1;
+            }
+            // `name : [&mut] [path::]HashMap` — ascription (field, param, let).
+            if j >= 2 && tokens[j - 1].is_punct(':') && !tokens[j - 2].is_punct(':') {
+                if let Some(n) = tokens[j - 2].ident() {
+                    bind(n);
+                }
+            }
+        } else if id == "let" {
+            // `let [mut] name [: T] = <rhs containing HashMap/HashSet> ;`
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(n) = tokens.get(j).and_then(|t| t.ident()) else {
+                continue;
+            };
+            // Find the `=` (skipping a type ascription), then scan the
+            // initializer up to the terminating `;` at nesting zero.
+            let mut k = j + 1;
+            let mut nest = 0usize;
+            let mut seen_eq = false;
+            while let Some(t) = tokens.get(k) {
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    nest += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    if nest == 0 {
+                        break;
+                    }
+                    nest -= 1;
+                } else if t.is_punct(';') && nest == 0 {
+                    break;
+                } else if t.is_punct('=') && nest == 0 {
+                    seen_eq = true;
+                } else if seen_eq && (t.is_ident("HashMap") || t.is_ident("HashSet")) {
+                    bind(n);
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+    names
+}
+
+/// Whether the identifier at `i` is the subject of a `for … in` loop:
+/// `for pat in [&][mut] [self .] <ident> {`.
+fn directly_iterated(tokens: &[Token], i: usize) -> bool {
+    if !tokens.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+        return false;
+    }
+    let mut j = i;
+    // Step back over `self .` and `& mut`.
+    if j >= 2 && tokens[j - 1].is_punct('.') && tokens[j - 2].is_ident("self") {
+        j -= 2;
+    }
+    while j >= 1 && (tokens[j - 1].is_punct('&') || tokens[j - 1].is_ident("mut")) {
+        j -= 1;
+    }
+    j >= 1 && tokens[j - 1].is_ident("in")
+}
+
+// ---------------------------------------------------------------------------
+// D2 — wall clock outside the timing surface
+// ---------------------------------------------------------------------------
+
+fn rule_d2(path: &str, lexed: &Lexed, in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    let tokens = &lexed.tokens;
+    for i in 0..tokens.len() {
+        if in_test[i] {
+            continue;
+        }
+        let flagged = if tokens[i].is_ident("Instant")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            Some("Instant::now()")
+        } else if tokens[i].is_ident("SystemTime") {
+            Some("SystemTime")
+        } else {
+            None
+        };
+        if let Some(what) = flagged {
+            diags.push(Diagnostic {
+                rule: RuleId::D2,
+                path: path.to_string(),
+                line: tokens[i].line,
+                message: format!("wall-clock read (`{what}`) outside the timing surface"),
+                help: "only rld-exec/rld-bench may read the wall clock (StageTimings/ExecReport); \
+                       anywhere else it can leak into tuple results — derive times from the \
+                       simulated clock, or waive with // rld-allow(D2): <reason>"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// U1 — unsafe containment
+// ---------------------------------------------------------------------------
+
+fn rule_u1(path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    for t in &lexed.tokens {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if path != UNSAFE_BOUNDARY {
+            diags.push(Diagnostic {
+                rule: RuleId::U1,
+                path: path.to_string(),
+                line: t.line,
+                message: "`unsafe` outside the containment boundary".to_string(),
+                help: format!(
+                    "all unsafe lives in {UNSAFE_BOUNDARY} (the SPSC ring); route shared-memory \
+                     code through it, or waive with // rld-allow(U1): <reason>"
+                ),
+            });
+        } else if !has_safety_comment(lexed, t.line) {
+            diags.push(Diagnostic {
+                rule: RuleId::U1,
+                path: path.to_string(),
+                line: t.line,
+                message: "`unsafe` without a `// SAFETY:` justification".to_string(),
+                help: "add a `// SAFETY:` comment directly above stating the invariant that \
+                       makes this sound"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Whether an `unsafe` on `line` is justified: a comment containing
+/// `SAFETY:` on the same line or in the contiguous comment block directly
+/// above it.
+fn has_safety_comment(lexed: &Lexed, line: usize) -> bool {
+    let comment_at = |l: usize| lexed.comments.iter().filter(move |c| c.line == l);
+    if comment_at(line).any(|c| c.text.contains("SAFETY:")) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l > 0 {
+        let mut any = false;
+        for c in comment_at(l) {
+            any = true;
+            if c.text.contains("SAFETY:") {
+                return true;
+            }
+        }
+        if !any {
+            return false;
+        }
+        l -= 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// L1 — lock discipline
+// ---------------------------------------------------------------------------
+
+fn rule_l1(path: &str, lexed: &Lexed, in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    let tokens = &lexed.tokens;
+    let mut seg_start = 0usize;
+    let mut i = 0usize;
+    while i <= tokens.len() {
+        let boundary = i == tokens.len()
+            || tokens[i].is_punct(';')
+            || tokens[i].is_punct('{')
+            || tokens[i].is_punct('}');
+        if boundary {
+            check_l1_segment(path, tokens, in_test, seg_start, i, diags);
+            seg_start = i + 1;
+        }
+        i += 1;
+    }
+}
+
+/// Scan one statement chain (tokens in `[start, end)`) for a lock guard
+/// combined with a second lock or a channel transfer.
+fn check_l1_segment(
+    path: &str,
+    tokens: &[Token],
+    in_test: &[bool],
+    start: usize,
+    end: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut locks: Vec<usize> = Vec::new();
+    let mut channels: Vec<(usize, &str)> = Vec::new();
+    let mut j = start;
+    while j + 2 < end.min(tokens.len()) {
+        if tokens[j].is_punct('.') && tokens[j + 2].is_punct('(') {
+            if let Some(m) = tokens[j + 1].ident() {
+                if m == "lock" {
+                    locks.push(j + 1);
+                } else if CHANNEL_METHODS.contains(&m) {
+                    channels.push((j + 1, m));
+                }
+            }
+        }
+        j += 1;
+    }
+    if locks.is_empty() || in_test.get(locks[0]).copied().unwrap_or(false) {
+        return;
+    }
+    if locks.len() >= 2 {
+        let at = locks[1];
+        diags.push(Diagnostic {
+            rule: RuleId::L1,
+            path: path.to_string(),
+            line: tokens[at].line,
+            message: "two `.lock()` guards acquired in the same statement chain".to_string(),
+            help: "nested guards are the deadlock shape; split the statement so the first \
+                   guard drops before the second lock, or waive with // rld-allow(L1): <reason>"
+                .to_string(),
+        });
+    }
+    if let Some((at, m)) = channels.first() {
+        let at = (*at).max(locks[0]);
+        diags.push(Diagnostic {
+            rule: RuleId::L1,
+            path: path.to_string(),
+            line: tokens[at].line,
+            message: format!("`.lock()` guard held across a channel transfer (`.{m}()`)"),
+            help: "a blocked transfer with a held guard deadlocks the lock's other users; \
+                   move the transfer out of the locked statement, or waive with \
+                   // rld-allow(L1): <reason>"
+                .to_string(),
+        });
+    }
+}

@@ -34,6 +34,8 @@
 //! This crate also exposes the shared helpers those binaries use, so that
 //! integration tests can validate the harness itself.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 
 use rld_core::prelude::*;

@@ -18,13 +18,17 @@
 //! * [`stats::StatisticEstimate`] / [`stats::StatsSnapshot`] — point estimates
 //!   of selectivities and input rates plus their uncertainty levels, the raw
 //!   material from which the multi-dimensional parameter space is built.
+//! * [`collections::sorted_pairs`] — the determinism-safe way to iterate a
+//!   hash map on a result path (rld-analysis rule D1).
 //! * [`error::RldError`] — the workspace-wide error type.
 //! * [`rng`] — deterministic seeded RNG helpers so every experiment is
 //!   reproducible.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod collections;
 pub mod error;
 pub mod exec;
 pub mod ids;

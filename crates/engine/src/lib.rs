@@ -43,6 +43,7 @@
 //! * [`simulator::Simulator`] — the tick loop driving a strategy.
 //! * [`metrics::RunMetrics`] — the measurements reported by every run.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

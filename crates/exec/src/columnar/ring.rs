@@ -28,10 +28,15 @@ struct Ring<T> {
     closed: AtomicBool,
 }
 
-// The ring hands each value from exactly one thread to exactly one other
-// thread; a slot is written strictly before the release store that makes it
-// visible, and read strictly after the acquire load that observed it.
+// SAFETY: the ring hands each value from exactly one thread to exactly one
+// other thread; a slot is written strictly before the release store of `tail`
+// that makes it visible, and read strictly after the acquire load of `tail`
+// that observed it, so no `&UnsafeCell` slot is ever accessed unsynchronized
+// from two threads. `rld_analysis::ringmodel` exhaustively model-checks this
+// protocol (every interleaving, including stale counter reads).
 unsafe impl<T: Send> Sync for Ring<T> {}
+// SAFETY: all fields are `Send` when `T` is; ownership of buffered values
+// moves with the ring.
 unsafe impl<T: Send> Send for Ring<T> {}
 
 impl<T> Drop for Ring<T> {
@@ -41,6 +46,9 @@ impl<T> Drop for Ring<T> {
         let tail = *self.tail.get_mut();
         let mut i = head;
         while i != tail {
+            // SAFETY: `&mut self` proves exclusive access, and every slot in
+            // [head, tail) was initialized by a completed `try_push` whose
+            // value was never popped (pops advance `head` past it).
             unsafe { (*self.buf[i % self.cap].get()).assume_init_drop() };
             i = i.wrapping_add(1);
         }
@@ -91,6 +99,11 @@ impl<T: Send> Producer<T> {
         if tail.wrapping_sub(head) == r.cap {
             return Err(value);
         }
+        // SAFETY: sole producer, so `tail` is stable; `tail - head < cap`
+        // (checked above against an acquire-loaded `head`) proves the slot
+        // is free — the consumer finished reading it before releasing the
+        // `head` value we observed — and the consumer cannot touch it until
+        // the release store below publishes the write.
         unsafe { (*r.buf[tail % r.cap].get()).write(value) };
         r.tail.store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
@@ -139,6 +152,10 @@ impl<T: Send> Consumer<T> {
         if head == tail {
             return None;
         }
+        // SAFETY: sole consumer, so `head` is stable; `head != tail` with an
+        // acquire-loaded `tail` proves the producer's write of this slot
+        // happened-before this read, and the producer will not reuse the slot
+        // until the release store below publishes that the read finished.
         let value = unsafe { (*r.buf[head % r.cap].get()).assume_init_read() };
         r.head.store(head.wrapping_add(1), Ordering::Release);
         Some(value)

@@ -43,6 +43,7 @@
 //! decisions, same `RunTrace`s — roughly an order of magnitude more tuples
 //! per second.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -25,6 +25,7 @@
 //! [`evaluator::CoverageEvaluator`] that measures true space coverage for the
 //! experiments, and [`stats::SearchStats`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

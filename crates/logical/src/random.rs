@@ -62,6 +62,7 @@ impl<'a, O: Optimizer> RandomSearch<'a, O> {
     }
 
     fn run(&self, max_calls: Option<usize>) -> Result<(RobustLogicalSolution, SearchStats)> {
+        // rld-allow(D2): compile-time solver wall-ms, reported in SolveStats only — never a tuple result
         let start = Instant::now();
         let calls_before = self.optimizer.call_count();
         let mut rng = rng_from_seed(self.seed);

@@ -156,6 +156,7 @@ pub(crate) fn partition_search<O: Optimizer + Sync>(
     metric: DistanceMetric,
     parallelism: usize,
 ) -> Result<PartitionOutcome> {
+    // rld-allow(D2): compile-time solver wall-ms, reported in SolveStats only — never a tuple result
     let start = Instant::now();
     let space = checker.space();
     let calls_before = checker.optimizer_calls();

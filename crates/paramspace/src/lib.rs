@@ -23,6 +23,7 @@
 //!   §5.2 (independent per-dimension normal distributions centred at the
 //!   estimates) used to weight robust logical plans for physical planning.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

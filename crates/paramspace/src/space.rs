@@ -130,7 +130,11 @@ impl fmt::Display for Point {
 }
 
 /// A point expressed in grid-index coordinates.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Ordered lexicographically by indices so that points can key a `BTreeMap`
+/// — the workspace's determinism lint (rld-analysis rule D1) bans hash-map
+/// iteration on result paths, and sorted maps are the drop-in alternative.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct GridPoint {
     /// Grid index per dimension.
     pub indices: Vec<usize>,

@@ -23,7 +23,7 @@
 use crate::region::Region;
 use crate::space::{GridPoint, ParameterSpace};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Distance metric used in the denominator of the weight function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -57,9 +57,14 @@ impl DistanceMetric {
 }
 
 /// Weights assigned to the grid points of one region.
+///
+/// Backed by a `BTreeMap` keyed on grid coordinates so that every iteration
+/// order — and therefore every maximum-weight tie-break and partition-point
+/// choice downstream — is a pure function of the map's *contents*, never of
+/// hash seeding or insertion order (determinism lint D1).
 #[derive(Debug, Clone, Default)]
 pub struct WeightMap {
-    weights: HashMap<GridPoint, f64>,
+    weights: BTreeMap<GridPoint, f64>,
 }
 
 impl WeightMap {
@@ -118,7 +123,7 @@ impl WeightMap {
                 axis
             })
             .collect();
-        let mut weights = HashMap::with_capacity(lattice.iter().map(Vec::len).product());
+        let mut weights = BTreeMap::new();
         let pnt_lo = region.pnt_lo();
         let mut odometer = vec![0usize; lattice.len()];
         loop {

@@ -32,6 +32,7 @@ impl GreedyPhy {
         model: &SupportModel,
         cluster: &Cluster,
     ) -> Result<(PhysicalPlan, PhysicalSearchStats, Vec<usize>)> {
+        // rld-allow(D2): compile-time solver wall-ms, reported in SolveStats only — never a tuple result
         let start = Instant::now();
         let mut active: Vec<usize> = (0..model.profiles().len()).collect();
         let mut attempts = 0usize;

@@ -30,6 +30,7 @@
 //! worst-case per-operator loads and occurrence weight, and scores physical
 //! plans by the total weight of the logical plans they support.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -163,6 +163,7 @@ impl PhysicalPlanGenerator for OptPrune {
         model: &SupportModel,
         cluster: &Cluster,
     ) -> Result<(PhysicalPlan, PhysicalSearchStats)> {
+        // rld-allow(D2): compile-time solver wall-ms, reported in SolveStats only — never a tuple result
         let start = Instant::now();
         let num_ops = model.num_operators();
         if num_ops > Self::MAX_OPERATORS {

@@ -16,6 +16,7 @@
 //!   operator ordering, and it counts how many times it has been invoked,
 //!   which is the x-axis of Figures 10–12.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -31,6 +31,7 @@
 //! the *fluctuation structure* the experiments depend on; see DESIGN.md for
 //! the substitution rationale.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -21,3 +21,5 @@
 //! This library target is intentionally empty; it exists so the example
 //! files have a package to hang off and so shared helpers can be added here
 //! later.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,43 @@
+//! Known-bad corpus file for rule D1: hash-container iteration on a result
+//! path. Analyzed under a result-crate label by `tests/tests/analysis.rs`;
+//! never compiled, and excluded from workspace discovery (`fixtures/`).
+
+use std::collections::{HashMap, HashSet};
+
+/// Hash order decides float summation order — two runs of the same process
+/// can fold the same per-node latencies into different totals.
+pub fn fold_latencies(by_node: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in by_node.iter() {
+        total += v;
+    }
+    total
+}
+
+pub struct PlanRegistry {
+    plans: HashMap<u64, String>,
+}
+
+impl PlanRegistry {
+    /// `keys()` order leaks straight into the returned Vec.
+    pub fn plan_ids(&self) -> Vec<u64> {
+        self.plans.keys().copied().collect()
+    }
+}
+
+/// Direct `for … in` over a let-bound hash set.
+pub fn emit_nodes() -> Vec<u32> {
+    let mut live = HashSet::new();
+    live.insert(3u32);
+    live.insert(1u32);
+    let mut out = Vec::new();
+    for n in &live {
+        out.push(*n);
+    }
+    out
+}
+
+/// Lookups are fine: `get`/`insert`/`contains_key` never observe hash order.
+pub fn lookup_only(map: &HashMap<u32, f64>, k: u32) -> Option<f64> {
+    map.get(&k).copied()
+}

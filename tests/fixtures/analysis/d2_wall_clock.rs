@@ -1,0 +1,29 @@
+//! Known-bad corpus file for rule D2: wall-clock reads outside the timing
+//! surface. Analyzed under a non-timing crate label by
+//! `tests/tests/analysis.rs`; never compiled.
+
+use std::time::Instant;
+
+/// Stamping results with real time makes the trace differ run to run.
+pub fn tag_batch(seq: u64) -> (u64, u128) {
+    let stamp = Instant::now().elapsed().as_nanos();
+    (seq, stamp)
+}
+
+/// Seeding anything from the wall clock destroys replayability.
+pub fn wall_seed() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Wall clock in tests is allowed — test timing never reaches results.
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let start = std::time::Instant::now();
+        assert!(start.elapsed().as_secs() < 60);
+    }
+}

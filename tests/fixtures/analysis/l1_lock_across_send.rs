@@ -1,0 +1,25 @@
+//! Known-bad corpus file for rule L1: a lock guard combined with a channel
+//! transfer or a second lock in the same statement chain. Analyzed by
+//! `tests/tests/analysis.rs`; never compiled.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+/// The guard returned by `.lock()` lives until the end of the statement —
+/// so it is still held while `.send()` blocks on a full channel, and every
+/// other user of `queue` deadlocks behind it.
+pub fn drain_one(queue: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    tx.send(queue.lock().unwrap().pop().unwrap_or(0)).unwrap();
+}
+
+/// Two guards in one expression: lock-order inversion waiting to happen.
+pub fn combined(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    *a.lock().unwrap() + *b.lock().unwrap()
+}
+
+/// The fix shape L1 points to: split the statement so the guard drops
+/// before the transfer.
+pub fn drain_one_fixed(queue: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let item = queue.lock().unwrap().pop().unwrap_or(0);
+    tx.send(item).unwrap();
+}

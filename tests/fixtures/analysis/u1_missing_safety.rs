@@ -1,0 +1,16 @@
+//! Known-bad corpus file for rule U1's second clause: `unsafe` *inside* the
+//! boundary but without a `// SAFETY:` justification. Analyzed under the
+//! boundary path label (`crates/exec/src/columnar/ring.rs`) by
+//! `tests/tests/analysis.rs`.
+
+/// No SAFETY comment: fires even inside the boundary file.
+pub fn read_raw(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+/// Justified unsafe: the contiguous comment block above satisfies U1.
+pub fn read_first(v: &[u64]) -> u64 {
+    // SAFETY: the caller's slice is non-empty by construction (checked at
+    // the ring boundary), so index 0 is in bounds.
+    unsafe { *v.as_ptr() }
+}

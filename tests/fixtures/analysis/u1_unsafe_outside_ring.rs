@@ -1,0 +1,11 @@
+//! Known-bad corpus file for rule U1: `unsafe` outside the containment
+//! boundary (`crates/exec/src/columnar/ring.rs`). Analyzed under an
+//! arbitrary non-boundary path label by `tests/tests/analysis.rs`.
+
+/// Even a "harmless" unchecked read belongs behind the audited boundary —
+/// scattered unsafe is what the forbid(unsafe_code) sweep exists to prevent.
+pub fn peek(v: &[u8], i: usize) -> u8 {
+    // SAFETY: caller promises i < v.len() — a comment does not move the
+    // code inside the boundary, so this still violates U1.
+    unsafe { *v.get_unchecked(i) }
+}

@@ -1,0 +1,26 @@
+//! Corpus file for the waiver mechanism: the same patterns the other
+//! fixtures flag, suppressed by `// rld-allow(<rule>): <reason>` on the
+//! violating line or the line directly above. `tests/tests/analysis.rs`
+//! asserts zero diagnostics but a nonzero waiver count for this file.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Iteration whose order provably cannot reach the result.
+pub fn count_entries(map: &HashMap<u32, f64>) -> usize {
+    // rld-allow(D1): only the count is used; order never escapes
+    map.iter().count()
+}
+
+/// A wall-clock read waived on the same line.
+pub fn log_progress(done: usize) -> String {
+    let at = Instant::now(); // rld-allow(D2): operator progress log, not a result
+    format!("{done} done at {at:?}")
+}
+
+/// A waiver for a rule that does NOT fire here must not suppress anything
+/// (the analyzer matches waivers by rule id, not just proximity).
+pub fn unrelated_waiver() -> u64 {
+    // rld-allow(L1): no lock in sight — this waiver is inert
+    42
+}

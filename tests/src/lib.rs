@@ -30,4 +30,6 @@
 //! states *what* it runs in the same terms instead of re-assembling ad-hoc
 //! setups.
 
+#![forbid(unsafe_code)]
+
 pub mod fixtures;

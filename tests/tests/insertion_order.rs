@@ -1,0 +1,134 @@
+//! Insertion-order invariance for the sorted-map result paths.
+//!
+//! The static analyzer's D1 rule bans hash-map *iteration* on result paths
+//! because hash order varies with seeding and insertion history. These
+//! property tests prove the positive side of that contract: after the
+//! `WeightMap` → `BTreeMap` conversion, every order-sensitive output
+//! (maximum-weight point selection, the partition-point choice it drives)
+//! is a pure function of the map's contents — building the same map by
+//! merging its pieces in *any shuffled order* yields identical answers.
+
+use proptest::prelude::*;
+use rld_core::paramspace::{DistanceMetric, GridPoint, Region, WeightMap};
+use rld_core::prelude::*;
+
+/// A 2-D parameter space with `steps` grid steps per dimension.
+fn space_2d(steps: usize) -> ParameterSpace {
+    let estimates = vec![
+        StatisticEstimate::new(
+            StatKey::Selectivity(OperatorId::new(0)),
+            0.5,
+            UncertaintyLevel::new(4),
+        ),
+        StatisticEstimate::new(
+            StatKey::Selectivity(OperatorId::new(1)),
+            0.5,
+            UncertaintyLevel::new(4),
+        ),
+    ];
+    ParameterSpace::from_estimates(&estimates, StatsSnapshot::new(), steps).unwrap()
+}
+
+/// A cost surface with plateaus, so maximum-weight ties actually occur and
+/// the deterministic tie-break (not luck) is what the test exercises.
+fn plateau_cost(p: &GridPoint) -> f64 {
+    let x = p.indices[0] as f64;
+    let y = p.indices[1] as f64;
+    (x / 2.0).floor() * 3.0 + (y / 2.0).floor() + x * y / 8.0
+}
+
+/// Split `region` into per-row strips, weight each strip independently, and
+/// merge the strip maps into one `WeightMap` in the order given by `perm`
+/// (a permutation of the strip indices).
+fn assemble_shuffled(space: &ParameterSpace, region: &Region, perm: &[usize]) -> WeightMap {
+    let strips: Vec<Region> = (region.lo[0]..=region.hi[0])
+        .map(|row| Region::new(vec![row, region.lo[1]], vec![row, region.hi[1]]))
+        .collect();
+    let mut map = WeightMap::default();
+    for &i in perm {
+        let strip = &strips[i % strips.len()];
+        map.merge(WeightMap::assign(
+            space,
+            strip,
+            plateau_cost,
+            plateau_cost,
+            DistanceMetric::default(),
+        ));
+    }
+    map
+}
+
+/// Fisher–Yates shuffle driven by a splitmix64 stream, so the permutation
+/// derives deterministically from the proptest-supplied seed.
+fn shuffled(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Merging the strip maps forward vs. in a random shuffle must produce
+    /// the same maximum-weight point and the same interior partition point.
+    #[test]
+    fn weight_map_outputs_are_insertion_order_invariant(
+        steps in 4usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let space = space_2d(steps);
+        let region = Region::full(&space);
+        let rows = region.hi[0] - region.lo[0] + 1;
+
+        let forward: Vec<usize> = (0..rows).collect();
+        let perm = shuffled(rows, seed);
+
+        let a = assemble_shuffled(&space, &region, &forward);
+        let b = assemble_shuffled(&space, &region, &perm);
+
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert_eq!(a.max_weight_point(), b.max_weight_point());
+        prop_assert_eq!(
+            a.max_weight_interior_point(&region),
+            b.max_weight_interior_point(&region)
+        );
+        // Per-point weights agree everywhere, not just at the maximum.
+        for cell in region.cells() {
+            prop_assert_eq!(a.get(&cell), b.get(&cell));
+        }
+    }
+
+    /// The selected point is stable across repeated queries of the same map
+    /// (no interior hidden state) and ties break toward lexicographically
+    /// larger grid coordinates — a fixed, content-only rule either way.
+    #[test]
+    fn max_weight_selection_is_stable(steps in 4usize..9, seed in 0u64..1_000_000) {
+        let space = space_2d(steps);
+        let region = Region::full(&space);
+        let rows = region.hi[0] - region.lo[0] + 1;
+        let map = assemble_shuffled(&space, &region, &shuffled(rows, seed));
+
+        let first = map.max_weight_point().unwrap();
+        for _ in 0..4 {
+            prop_assert_eq!(map.max_weight_point().unwrap(), first.clone());
+        }
+        // Tie-break check: the winner dominates every equally-weighted point
+        // lexicographically (`max_by` keeps the greatest under the
+        // weight-then-coordinates ordering).
+        for cell in region.cells() {
+            if map.get(&cell) == map.get(&first) {
+                prop_assert!(first.indices >= cell.indices);
+            }
+        }
+    }
+}
