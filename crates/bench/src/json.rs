@@ -405,6 +405,24 @@ pub fn fault_plan_json(plan: &FaultPlan) -> Json {
     ])
 }
 
+/// The machine-readable projection of compile-time solver statistics: the
+/// logical/physical wall time, the optimizer-call and DFS counters, and the
+/// logical solution's stable fingerprint.
+pub fn solver_stats_json(s: &SolverStats) -> Json {
+    Json::obj([
+        ("logical_wall_ms", Json::Num(s.logical_wall_ms)),
+        ("optimizer_calls", Json::uint(s.optimizer_calls as u64)),
+        ("physical_wall_ms", Json::Num(s.physical_wall_ms)),
+        ("dfs_expanded", Json::uint(s.dfs_expanded as u64)),
+        ("dfs_pruned", Json::uint(s.dfs_pruned as u64)),
+        ("incumbent_updates", Json::uint(s.incumbent_updates as u64)),
+        (
+            "solution_fingerprint",
+            Json::str(format!("{:016x}", s.solution_fingerprint)),
+        ),
+    ])
+}
+
 /// The machine-readable projection of a whole scenario report.
 pub fn report_json(report: &ScenarioReport) -> Json {
     Json::obj([
@@ -430,6 +448,13 @@ pub fn report_json(report: &ScenarioReport) -> Json {
                                     .map(|s| Json::str(s.as_str()))
                                     .unwrap_or(Json::Null),
                             ),
+                            (
+                                "solver_stats",
+                                o.solver_stats
+                                    .as_ref()
+                                    .map(solver_stats_json)
+                                    .unwrap_or(Json::Null),
+                            ),
                         ])
                     })
                     .collect(),
@@ -452,6 +477,9 @@ pub struct BenchMeta {
     pub backend: Option<String>,
     /// Short names of the strategies compared, in run order.
     pub strategies: Vec<String>,
+    /// Compile-time solver statistics per strategy that went through the
+    /// [`RobustCompiler`], in run order.
+    pub solver_stats: Vec<(String, SolverStats)>,
 }
 
 impl BenchMeta {
@@ -484,14 +512,27 @@ impl BenchMeta {
         self
     }
 
+    /// Attach one strategy's compile-time solver statistics.
+    pub fn solver_stats(mut self, strategy: impl Into<String>, stats: SolverStats) -> Self {
+        self.solver_stats.push((strategy.into(), stats));
+        self
+    }
+
     /// The meta for one scenario report: seed from the scenario's sim
-    /// config, name/backend/strategy list from the report.
+    /// config, name/backend/strategy list from the report, and compile-time
+    /// solver statistics for every strategy that carried them.
     pub fn for_report(scenario: &Scenario, report: &ScenarioReport) -> Self {
-        Self::new()
+        let mut meta = Self::new()
             .seed(scenario.sim_config().seed)
             .scenario(report.scenario.clone())
             .backend(report.backend.clone())
-            .strategies(report.outcomes.iter().map(|o| o.strategy.clone()))
+            .strategies(report.outcomes.iter().map(|o| o.strategy.clone()));
+        for o in &report.outcomes {
+            if let Some(stats) = o.solver_stats {
+                meta = meta.solver_stats(o.strategy.clone(), stats);
+            }
+        }
+        meta
     }
 
     /// The JSON projection (always carries the workspace version).
@@ -505,6 +546,21 @@ impl BenchMeta {
             (
                 "strategies",
                 Json::Arr(self.strategies.iter().map(Json::str).collect()),
+            ),
+            (
+                "solver_stats",
+                Json::Arr(
+                    self.solver_stats
+                        .iter()
+                        .map(|(name, stats)| {
+                            let mut obj = vec![("strategy".to_string(), Json::str(name.as_str()))];
+                            if let Json::Obj(pairs) = solver_stats_json(stats) {
+                                obj.extend(pairs);
+                            }
+                            Json::Obj(obj)
+                        })
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -591,6 +647,34 @@ mod tests {
         let empty = BenchMeta::new().to_json().to_string();
         assert!(empty.contains(r#""seed":null"#));
         assert!(empty.contains(r#""scenario":null"#));
+    }
+
+    #[test]
+    fn bench_meta_embeds_solver_stats() {
+        let stats = SolverStats {
+            logical_wall_ms: 1.5,
+            optimizer_calls: 42,
+            physical_wall_ms: 0.25,
+            dfs_expanded: 7,
+            dfs_pruned: 3,
+            incumbent_updates: 2,
+            solution_fingerprint: 0xdead_beef,
+        };
+        let text = BenchMeta::new()
+            .solver_stats("RLD", stats)
+            .to_json()
+            .to_string();
+        assert!(text.contains(r#""solver_stats":[{"strategy":"RLD""#));
+        assert!(text.contains(r#""optimizer_calls":42"#));
+        assert!(text.contains(r#""dfs_expanded":7"#));
+        assert!(text.contains(r#""dfs_pruned":3"#));
+        assert!(text.contains(r#""incumbent_updates":2"#));
+        assert!(text.contains(r#""solution_fingerprint":"00000000deadbeef""#));
+        // Metas without stats still emit the (empty) array, never drop the key.
+        assert!(BenchMeta::new()
+            .to_json()
+            .to_string()
+            .contains(r#""solver_stats":[]"#));
     }
 
     #[test]

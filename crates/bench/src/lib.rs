@@ -12,8 +12,8 @@
 //! | `fig10_optimizer_calls` | Figure 10 (optimizer calls vs uncertainty level) |
 //! | `fig11_space_coverage`  | Figure 11 (coverage vs number of optimizer calls) |
 //! | `fig12_dimensions`      | Figure 12 (optimizer calls vs number of dimensions) |
-//! | `fig13_compile_time`    | Figure 13 (physical-plan compile time vs machines) |
-//! | `fig14_physical_coverage` | Figure 14 (physical-plan space coverage vs machines) |
+//! | `fig13_compile_time`    | Figure 13 (physical-plan compile time vs machines; `--nodes N` pins a wide cluster) |
+//! | `fig14_physical_coverage` | Figure 14 (physical-plan space coverage vs machines; `--nodes N` pins a wide cluster) |
 //! | `fig15a_processing_time`| Figure 15a (avg tuple processing time vs rate ratio) |
 //! | `fig15b_throughput`     | Figure 15b (tuples produced over 60 minutes) |
 //! | `fig16a_vary_nodes`     | Figure 16a (avg processing time vs number of nodes) |
@@ -23,13 +23,16 @@
 //! | `scenario`              | runs any predefined scenario by name (`--list` to enumerate) |
 //! | `faults`                | fault-plane sweep: all four strategies × the crash/straggler/flap scenarios |
 //! | `compile_scale`         | compile-path scaling: dims × grid sweeps, sequential vs parallel WRP/ERP |
+//! | `dataplane`             | columnar dataplane throughput sweep with a `--check` regression gate |
+//! | `physical_scale`        | physical-solver scaling (8–512 nodes, optimized vs naive, `--check` gate) |
 //!
 //! The compile-time binaries drive the [`RobustCompiler`] pipeline (solvers
 //! selected by name), the runtime binaries are thin wrappers over the
 //! scenario layer (`rld_core::scenario`), and the ones tracked across PRs
-//! (`fig15a_processing_time`, `fig15b_throughput`, `overhead_runtime`,
-//! `scenario`, `faults`, `compile_scale`) also emit a machine-readable
-//! `BENCH_<name>.json` via [`json::write_bench_json`].
+//! (`fig13_compile_time`, `fig14_physical_coverage`, `fig15a_processing_time`,
+//! `fig15b_throughput`, `overhead_runtime`, `scenario`, `faults`,
+//! `compile_scale`, `dataplane`, `physical_scale`) also emit a
+//! machine-readable `BENCH_<name>.json` via [`json::write_bench_json`].
 //!
 //! This crate also exposes the shared helpers those binaries use, so that
 //! integration tests can validate the harness itself.

@@ -183,6 +183,49 @@ impl LogicalCompilation {
     }
 }
 
+/// Aggregated compile-time solver statistics: the logical and physical
+/// halves of one compile, flattened into the numbers worth diffing across
+/// PRs. Carried on every [`Deployment`] and serialized into `BENCH_*.json`
+/// via the bench harness's `BenchMeta`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SolverStats {
+    /// Wall-clock time of the logical search in milliseconds.
+    pub logical_wall_ms: f64,
+    /// Optimizer calls issued by the logical search (Figures 10–12).
+    pub optimizer_calls: usize,
+    /// Wall-clock time of the physical search in milliseconds.
+    pub physical_wall_ms: f64,
+    /// Search-tree vertices expanded by the physical search (for GreedyPhy,
+    /// LLF pack attempts).
+    pub dfs_expanded: usize,
+    /// Search-tree branches cut by the physical search's pruning rules.
+    pub dfs_pruned: usize,
+    /// Times the physical search replaced its incumbent solution.
+    pub incumbent_updates: usize,
+    /// [`RobustLogicalSolution::fingerprint`] of the logical solution —
+    /// detects a changed plan set across runs without deep comparison.
+    pub solution_fingerprint: u64,
+}
+
+impl SolverStats {
+    /// Flatten the two phases' statistics into one record.
+    pub fn from_parts(
+        logical: &SearchStats,
+        physical: &PhysicalSearchStats,
+        solution_fingerprint: u64,
+    ) -> Self {
+        Self {
+            logical_wall_ms: logical.elapsed_ms(),
+            optimizer_calls: logical.optimizer_calls,
+            physical_wall_ms: physical.elapsed_ms(),
+            dfs_expanded: physical.nodes_expanded,
+            dfs_pruned: physical.nodes_pruned,
+            incumbent_updates: physical.incumbent_updates,
+            solution_fingerprint,
+        }
+    }
+}
+
 /// The serializable artifact of a full compile: plans, robust regions,
 /// occurrence weights, placement and search statistics. Everything the
 /// runtime ([`Deployment::deploy`] / [`Deployment::deploy_hybrid`]) and the
@@ -217,6 +260,9 @@ pub struct Deployment {
     pub claimed_coverage: f64,
     /// The classification overhead to charge at runtime.
     pub classification_overhead: f64,
+    /// Flattened solver statistics of both compile phases (diffable across
+    /// PRs via the bench harness).
+    pub solver_stats: SolverStats,
 }
 
 impl Deployment {
@@ -472,6 +518,11 @@ impl RobustCompiler {
         // order) — no second pass over the regions.
         let weights = support.profiles().iter().map(|p| p.weight).collect();
         let claimed_coverage = logical.solution.claimed_coverage(&logical.space);
+        let solver_stats = SolverStats::from_parts(
+            &logical.stats,
+            &physical_stats,
+            logical.solution.fingerprint(),
+        );
         Ok(Deployment {
             query: self.query.clone(),
             space: logical.space,
@@ -486,6 +537,7 @@ impl RobustCompiler {
             support,
             claimed_coverage,
             classification_overhead: self.classification_overhead,
+            solver_stats,
         })
     }
 }
@@ -538,6 +590,12 @@ mod tests {
         for (w, p) in deployment.weights.iter().zip(support.profiles()) {
             assert!((w - p.weight).abs() < 1e-12);
         }
+        // The flattened solver stats agree with the per-phase records.
+        let ss = deployment.solver_stats;
+        assert_eq!(ss.optimizer_calls, deployment.logical_stats.optimizer_calls);
+        assert_eq!(ss.dfs_expanded, deployment.physical_stats.nodes_expanded);
+        assert_eq!(ss.solution_fingerprint, deployment.logical.fingerprint());
+        assert!(ss.logical_wall_ms >= 0.0 && ss.physical_wall_ms >= 0.0);
     }
 
     #[test]

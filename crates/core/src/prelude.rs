@@ -13,7 +13,7 @@
 pub use crate::baselines::{deploy_dyn, deploy_rod};
 pub use crate::compiler::{
     Deployment, LogicalCompilation, LogicalSolverSpec, PhysicalSolverSpec, RobustCompiler,
-    UncertaintySpec,
+    SolverStats, UncertaintySpec,
 };
 pub use crate::optimizer::{PhysicalStrategy, RldConfig, RldOptimizer, RldSolution};
 pub use crate::scenario::{
@@ -42,8 +42,9 @@ pub use rld_logical::{
 };
 pub use rld_paramspace::{OccurrenceModel, ParameterSpace, Point, Region};
 pub use rld_physical::{
-    Cluster, ClusterView, DynPlanner, ExhaustivePhysicalSearch, GreedyPhy, OptPrune, PhysicalPlan,
-    PhysicalPlanGenerator, PhysicalSearchStats, RodPlanner, SupportModel,
+    llf_assign, llf_assign_naive, Cluster, ClusterView, DynPlanner, ExhaustivePhysicalSearch,
+    GreedyPhy, LlfPacker, NaiveGreedyPhy, NaiveOptPrune, OptPrune, PackMemo, PhysicalPlan,
+    PhysicalPlanGenerator, PhysicalSearchStats, PlanLoadProfile, RodPlanner, SupportModel,
 };
 pub use rld_query::{CostModel, JoinOrderOptimizer, LogicalPlan, OptStrategy, Optimizer};
 pub use rld_workloads::{

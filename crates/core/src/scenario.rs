@@ -19,8 +19,8 @@
 //! drops out of regimes it cannot keep up with.
 
 use crate::baselines::{deploy_dyn, deploy_rod};
-use crate::compiler::Deployment;
-use crate::optimizer::RldConfig;
+use crate::compiler::{Deployment, SolverStats};
+use crate::optimizer::{PhysicalStrategy, RldConfig};
 use rld_common::{NodeId, Query, Result, RldError};
 use rld_engine::{
     DistributionStrategy, FaultPlan, RecoverySemantic, RunMetrics, SimConfig, Simulator,
@@ -185,6 +185,9 @@ pub struct StrategyOutcome {
     pub metrics: Option<RunMetrics>,
     /// Why the strategy was skipped (compile-time deployment infeasible).
     pub skipped: Option<String>,
+    /// Compile-time solver statistics, for strategies deployed through the
+    /// [`crate::compiler::RobustCompiler`] (RLD and HYB).
+    pub solver_stats: Option<SolverStats>,
 }
 
 /// The result of running every strategy of a scenario.
@@ -340,9 +343,11 @@ impl Scenario {
         };
         let mut outcomes = Vec::with_capacity(self.strategies.len());
         for spec in &self.strategies {
+            let mut solver_stats: Option<SolverStats> = None;
             let built: std::result::Result<Box<dyn DistributionStrategy>, String> =
                 match spec.rld_config() {
                     Some(config) => solve(config).and_then(|solution| {
+                        solver_stats = Some(solution.solver_stats);
                         spec.build_from(&self.query, &self.cluster, Some(&solution))
                             .map_err(|e| e.to_string())
                     }),
@@ -365,12 +370,14 @@ impl Scenario {
                         strategy: metrics.system.clone(),
                         metrics: Some(metrics),
                         skipped: None,
+                        solver_stats,
                     });
                 }
                 Err(reason) => outcomes.push(StrategyOutcome {
                     strategy: spec.name().to_string(),
                     metrics: None,
                     skipped: Some(reason),
+                    solver_stats: None,
                 }),
             }
         }
@@ -585,6 +592,7 @@ pub fn builtin_names() -> Vec<&'static str> {
         "q1-overload",
         "q2-regime-switch",
         "q2-rate-steps",
+        "q1-wide-cluster",
         "q1-node-crash",
         "q2-straggler",
         "q1-flap",
@@ -660,6 +668,29 @@ pub fn builtin(name: &str) -> Result<Scenario> {
                 .workload(workload)
                 .duration_secs(3600.0)
                 .default_strategies(runtime_rld_config())
+                .build()
+        }
+        "q1-wide-cluster" => {
+            let query = Query::q1_stock_monitoring();
+            // 128 heterogeneous machines in three capacity tiers. The tier
+            // pattern is fixed (not seeded) so the scenario is identical on
+            // every backend and every run.
+            let base = runtime_capacity(&query, 128, 3.0);
+            let tiers = [1.0, 1.25, 1.5];
+            let capacities: Vec<f64> = (0..128).map(|i| base * tiers[i % tiers.len()]).collect();
+            let mut config = RldConfig::default().with_uncertainty(3);
+            // OptPrune requires a homogeneous cluster; the wide tiered cluster
+            // exercises the heap-based LLF packing inside GreedyPhy instead.
+            config.physical_strategy = PhysicalStrategy::Greedy;
+            Scenario::builder("q1-wide-cluster", query)
+                .describe(
+                    "Q1 spread across 128 heterogeneous nodes (three capacity tiers): \
+                     stresses the scaled GreedyPhy/LLF packing path",
+                )
+                .cluster(Cluster::new(capacities)?)
+                .workload(StockWorkload::default_config())
+                .duration_secs(60.0)
+                .default_strategies(config)
                 .build()
         }
         "q1-node-crash" => {

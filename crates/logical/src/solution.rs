@@ -145,6 +145,36 @@ impl RobustLogicalSolution {
             .coverage_fraction(space)
     }
 
+    /// Stable FNV-1a fingerprint over the solution's plans and robust
+    /// regions (order-sensitive, so it is deterministic for a deterministic
+    /// solver run).
+    ///
+    /// Downstream consumers that re-solve physical placement across repeated
+    /// WRP/ERP frontier evaluations — GreedyPhy's pack memo, the
+    /// `SolverStats` carried on every deployment — use this to detect an
+    /// unchanged plan set without deep comparison.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.entries.len() as u64);
+        for e in &self.entries {
+            for op in e.plan.ordering() {
+                mix(op.index() as u64);
+            }
+            mix(u64::MAX); // plan/region delimiter
+            mix(e.regions.len() as u64);
+            for r in &e.regions {
+                for v in r.lo.iter().chain(&r.hi) {
+                    mix(*v as u64);
+                }
+            }
+        }
+        h
+    }
+
     /// Occurrence-probability weight of every plan (§5.2), in entry order.
     pub fn plan_weights(&self, space: &ParameterSpace, model: OccurrenceModel) -> Vec<f64> {
         self.entries
@@ -291,6 +321,25 @@ mod tests {
         let removed = sol.remove_plan(&plan(&[0, 1])).unwrap();
         assert_eq!(removed.plan, plan(&[0, 1]));
         assert!(sol.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let mut a = RobustLogicalSolution::new();
+        a.add(plan(&[0, 1]), Region::new(vec![0, 0], vec![3, 3]));
+        a.add(plan(&[1, 0]), Region::new(vec![4, 0], vec![8, 3]));
+        let mut same = RobustLogicalSolution::new();
+        same.add(plan(&[0, 1]), Region::new(vec![0, 0], vec![3, 3]));
+        same.add(plan(&[1, 0]), Region::new(vec![4, 0], vec![8, 3]));
+        assert_eq!(a.fingerprint(), same.fingerprint());
+        // A different region changes the fingerprint; so does a new plan.
+        let mut other_region = same.clone();
+        other_region.add(plan(&[0, 1]), Region::new(vec![0, 4], vec![3, 8]));
+        assert_ne!(a.fingerprint(), other_region.fingerprint());
+        let mut other_plan = a.clone();
+        other_plan.add(plan(&[2, 0]), Region::new(vec![0, 0], vec![1, 1]));
+        assert_ne!(a.fingerprint(), other_plan.fingerprint());
+        assert_ne!(a.fingerprint(), RobustLogicalSolution::new().fingerprint());
     }
 
     #[test]

@@ -7,13 +7,25 @@
 //! load, the paper's `getMinWeightPlanWithMaxOp`) is dropped from the support
 //! set and the packing is retried. The result is a physical plan supporting
 //! the most probable logical plans, found in linear time.
+//!
+//! The solve is incremental: one [`LlfPacker`] is held across all drop
+//! attempts (the node sort is paid once, not per attempt), the whole drop
+//! schedule is presorted once — the reference's per-attempt `min_by` scan
+//! over (weight asc, total load desc) with first-of-equals tie-breaking is
+//! exactly a stable sort by (weight asc, total desc, index asc), so popping
+//! the schedule is O(1) per drop — and the `lp_max` vector is maintained by
+//! delta: an operator's maximum is only recomputed when the dropped profile
+//! was the one attaining it. All comparisons use the same float operand
+//! order as a from-scratch rebuild, so placements and drop decisions are
+//! bit-identical to [`crate::naive::NaiveGreedyPhy`].
 
 use crate::cluster::Cluster;
-use crate::llf::llf_assign;
+use crate::llf::LlfPacker;
 use crate::plan::PhysicalPlan;
 use crate::support::{PhysicalSearchStats, SupportModel};
 use crate::PhysicalPlanGenerator;
 use rld_common::{Result, RldError};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// The GreedyPhy physical plan generator.
@@ -32,19 +44,83 @@ impl GreedyPhy {
         model: &SupportModel,
         cluster: &Cluster,
     ) -> Result<(PhysicalPlan, PhysicalSearchStats, Vec<usize>)> {
+        self.solve(model, cluster, None)
+    }
+
+    /// Run GreedyPhy with a [`PackMemo`]: LLF pack results are looked up by
+    /// the exact bit pattern of the `lp_max` vector, so repeated solves over
+    /// unchanged plan sets (WRP/ERP frontier sweeps re-evaluating the same
+    /// logical solution against one cluster) skip the packing entirely.
+    pub fn generate_with_kept_memo(
+        &self,
+        model: &SupportModel,
+        cluster: &Cluster,
+        memo: &mut PackMemo,
+    ) -> Result<(PhysicalPlan, PhysicalSearchStats, Vec<usize>)> {
+        self.solve(model, cluster, Some(memo))
+    }
+
+    fn solve(
+        &self,
+        model: &SupportModel,
+        cluster: &Cluster,
+        mut memo: Option<&mut PackMemo>,
+    ) -> Result<(PhysicalPlan, PhysicalSearchStats, Vec<usize>)> {
         // rld-allow(D2): compile-time solver wall-ms, reported in SolveStats only — never a tuple result
         let start = Instant::now();
-        let mut active: Vec<usize> = (0..model.profiles().len()).collect();
+        let packer = LlfPacker::new(cluster);
+        let profiles = model.profiles();
+        let num_ops = model.num_operators();
+        // Per-profile total worst-case load, precomputed with the same
+        // summation order the naive drop tie-break uses.
+        let totals: Vec<f64> = profiles.iter().map(|p| p.loads.iter().sum()).collect();
+        // The full drop schedule, presorted. The reference drops the first
+        // minimum under (weight asc, total desc) from an index-ascending
+        // active list each round; a stable sort with an index-ascending
+        // final tie-break yields the identical sequence, making each drop a
+        // pointer bump instead of an O(active) scan.
+        let mut drop_order: Vec<usize> = (0..profiles.len()).collect();
+        drop_order.sort_by(|a, b| {
+            profiles[*a]
+                .weight
+                .partial_cmp(&profiles[*b].weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    totals[*b]
+                        .partial_cmp(&totals[*a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then_with(|| a.cmp(b))
+        });
+        let mut next_drop = 0usize;
+        let mut alive = vec![true; profiles.len()];
+        // lp_max over the active set, with the index of the profile attaining
+        // each operator's maximum; dropping a non-attaining profile leaves
+        // the maximum untouched.
+        let mut lp_max = vec![0.0f64; num_ops];
+        let mut argmax = vec![usize::MAX; num_ops];
+        for (i, p) in profiles.iter().enumerate() {
+            for (o, l) in p.loads.iter().enumerate() {
+                if *l > lp_max[o] {
+                    lp_max[o] = *l;
+                    argmax[o] = i;
+                }
+            }
+        }
         let mut attempts = 0usize;
         loop {
             attempts += 1;
-            let lp_max = model.lp_max_loads_of(&active);
-            if let Some(pp) = llf_assign(model.query(), &lp_max, cluster)? {
+            let packed = match memo.as_deref_mut() {
+                Some(m) => m.pack(&packer, model, &lp_max)?,
+                None => packer.pack(model.query(), &lp_max)?,
+            };
+            if let Some(pp) = packed {
                 let stats =
                     model.stats_for(&pp, cluster, start.elapsed().as_micros() as u64, attempts);
-                return Ok((pp, stats, active));
+                let kept: Vec<usize> = (0..profiles.len()).filter(|i| alive[*i]).collect();
+                return Ok((pp, stats, kept));
             }
-            if active.is_empty() {
+            if next_drop == drop_order.len() {
                 // Even the empty support set (all-zero loads) failed, which
                 // can only happen for a degenerate cluster.
                 return Err(RldError::Infeasible(
@@ -53,24 +129,27 @@ impl GreedyPhy {
             }
             // Drop the least-weighted plan; ties go to the plan with the
             // larger total worst-case load (frees the most capacity).
-            let drop_pos = active
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    let pa = &model.profiles()[**a];
-                    let pb = &model.profiles()[**b];
-                    pa.weight
-                        .partial_cmp(&pb.weight)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| {
-                            let la: f64 = pa.loads.iter().sum();
-                            let lb: f64 = pb.loads.iter().sum();
-                            lb.partial_cmp(&la).unwrap_or(std::cmp::Ordering::Equal)
-                        })
-                })
-                .map(|(pos, _)| pos)
-                .expect("active set is non-empty");
-            active.remove(drop_pos);
+            let dropped = drop_order[next_drop];
+            next_drop += 1;
+            alive[dropped] = false;
+            // Maintain lp_max by delta: only operators whose maximum the
+            // dropped profile attained need a rescan of the active set.
+            for o in 0..num_ops {
+                if argmax[o] == dropped {
+                    lp_max[o] = 0.0;
+                    argmax[o] = usize::MAX;
+                    for (i, p) in profiles.iter().enumerate() {
+                        if !alive[i] {
+                            continue;
+                        }
+                        let l = p.loads[o];
+                        if l > lp_max[o] {
+                            lp_max[o] = l;
+                            argmax[o] = i;
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -88,6 +167,73 @@ impl PhysicalPlanGenerator for GreedyPhy {
         let (pp, stats, _) = self.generate_with_kept(model, cluster)?;
         Ok((pp, stats))
     }
+}
+
+/// Memoized LLF pack results, keyed by the exact bit pattern of the load
+/// vector (plus a query/cluster fingerprint).
+///
+/// WRP/ERP frontier evaluation re-solves the same logical solution against
+/// the same cluster many times; each re-solve walks the same `lp_max`
+/// sequence, so every pack after the first sweep is a lookup. The map is only
+/// ever probed with [`HashMap::get`]/[`HashMap::insert`] — it is never
+/// iterated, keeping the solver deterministic (invariant D1).
+#[derive(Debug, Default)]
+pub struct PackMemo {
+    packs: HashMap<Vec<u64>, Option<PhysicalPlan>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl PackMemo {
+    /// Create an empty memo. Use one memo per (query, cluster) pair or rely
+    /// on the built-in fingerprint to keep entries from colliding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of packs answered from the memo.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of packs that had to run.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    fn pack(
+        &mut self,
+        packer: &LlfPacker,
+        model: &SupportModel,
+        loads: &[f64],
+    ) -> Result<Option<PhysicalPlan>> {
+        let mut key = Vec::with_capacity(loads.len() + 1);
+        key.push(fingerprint_context(model, packer));
+        key.extend(loads.iter().map(|l| l.to_bits()));
+        if let Some(hit) = self.packs.get(&key) {
+            self.hits += 1;
+            return Ok(hit.clone());
+        }
+        self.misses += 1;
+        let packed = packer.pack(model.query(), loads)?;
+        self.packs.insert(key, packed.clone());
+        Ok(packed)
+    }
+}
+
+/// FNV-1a over the query shape and the packer's node order/capacities, so one
+/// memo can be shared across clusters without mixing their entries.
+fn fingerprint_context(model: &SupportModel, packer: &LlfPacker) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(model.num_operators() as u64);
+    for c in packer.capacities() {
+        mix(c.to_bits());
+    }
+    h
 }
 
 #[cfg(test)]
@@ -166,5 +312,39 @@ mod tests {
             );
             prev_score = stats.score;
         }
+    }
+
+    #[test]
+    fn memoized_solve_is_identical_and_hits_on_repeat() {
+        let (_q, m) = model(3, 9);
+        let total: f64 = m.lp_max_loads().iter().sum();
+        let cluster = Cluster::homogeneous(2, total * 0.35).unwrap();
+        let (plain_pp, plain_stats, plain_kept) =
+            GreedyPhy::new().generate_with_kept(&m, &cluster).unwrap();
+        let mut memo = PackMemo::new();
+        let (pp1, stats1, kept1) = GreedyPhy::new()
+            .generate_with_kept_memo(&m, &cluster, &mut memo)
+            .unwrap();
+        assert_eq!(pp1, plain_pp);
+        assert_eq!(kept1, plain_kept);
+        assert_eq!(stats1.score, plain_stats.score);
+        assert_eq!(memo.hits(), 0);
+        let first_misses = memo.misses();
+        assert!(first_misses >= 1);
+        // Second solve over the unchanged plan set: every pack is a lookup.
+        let (pp2, _, kept2) = GreedyPhy::new()
+            .generate_with_kept_memo(&m, &cluster, &mut memo)
+            .unwrap();
+        assert_eq!(pp2, plain_pp);
+        assert_eq!(kept2, plain_kept);
+        assert_eq!(memo.hits(), first_misses);
+        assert_eq!(memo.misses(), first_misses);
+        // A different cluster does not collide with the first one's entries.
+        let other = Cluster::homogeneous(3, total * 0.35).unwrap();
+        let (other_pp, _, _) = GreedyPhy::new()
+            .generate_with_kept_memo(&m, &other, &mut memo)
+            .unwrap();
+        let (other_plain, _, _) = GreedyPhy::new().generate_with_kept(&m, &other).unwrap();
+        assert_eq!(other_pp, other_plain);
     }
 }

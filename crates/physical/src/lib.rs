@@ -40,6 +40,7 @@ pub mod dyn_dist;
 pub mod exhaustive;
 pub mod greedy;
 pub mod llf;
+pub mod naive;
 pub mod optprune;
 pub mod plan;
 pub mod rod;
@@ -49,12 +50,13 @@ pub use availability::ClusterView;
 pub use cluster::Cluster;
 pub use dyn_dist::{DynPlanner, MigrationDecision};
 pub use exhaustive::ExhaustivePhysicalSearch;
-pub use greedy::GreedyPhy;
-pub use llf::llf_assign;
+pub use greedy::{GreedyPhy, PackMemo};
+pub use llf::{llf_assign, LlfPacker};
+pub use naive::{llf_assign_naive, NaiveGreedyPhy, NaiveOptPrune};
 pub use optprune::OptPrune;
 pub use plan::PhysicalPlan;
 pub use rod::RodPlanner;
-pub use support::{PhysicalSearchStats, SupportModel};
+pub use support::{PhysicalSearchStats, PlanLoadProfile, SupportModel};
 
 use rld_common::Result;
 

@@ -97,6 +97,15 @@ impl PhysicalPlan {
             .map(|(i, ops)| (NodeId::new(i), ops.as_slice()))
     }
 
+    /// Only the (node, operators) pairs that actually host operators.
+    ///
+    /// Capacity checks over wide clusters use this: a plan on 512 nodes has
+    /// at most `num_operators()` occupied entries, so probing occupied nodes
+    /// is O(operators) instead of O(nodes).
+    pub fn occupied(&self) -> impl Iterator<Item = (NodeId, &[OperatorId])> {
+        self.iter().filter(|(_, ops)| !ops.is_empty())
+    }
+
     /// Total number of operators assigned.
     pub fn num_operators(&self) -> usize {
         self.assignment.iter().map(Vec::len).sum()

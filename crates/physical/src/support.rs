@@ -18,7 +18,7 @@
 
 use crate::cluster::Cluster;
 use crate::plan::PhysicalPlan;
-use rld_common::{OperatorId, Query, Result};
+use rld_common::{NodeId, OperatorId, Query, Result};
 use rld_logical::RobustLogicalSolution;
 use rld_paramspace::{OccurrenceModel, ParameterSpace, Region, RegionSet};
 use rld_query::{CostModel, LogicalPlan};
@@ -58,6 +58,11 @@ pub struct PhysicalSearchStats {
     pub supported_plans: usize,
     /// Number of logical plans from the solution that had to be dropped.
     pub dropped_plans: usize,
+    /// Number of search-tree branches cut by a pruning rule (0 for solvers
+    /// without a branch-and-bound search).
+    pub nodes_pruned: usize,
+    /// Number of times the incumbent (best-so-far) solution was replaced.
+    pub incumbent_updates: usize,
 }
 
 impl PhysicalSearchStats {
@@ -117,6 +122,28 @@ impl SupportModel {
         })
     }
 
+    /// Build a support model directly from precomputed load profiles.
+    ///
+    /// The bench harness and the equivalence proptests use this to construct
+    /// synthetic Q1/Q2-shaped plan sets without running the logical solvers;
+    /// `lp_max` is rederived from the profiles exactly as [`Self::build`]
+    /// does. `total_cells` only scales [`Self::coverage`] and must be
+    /// strictly positive.
+    pub fn from_profiles(query: &Query, profiles: Vec<PlanLoadProfile>, total_cells: f64) -> Self {
+        let mut lp_max = vec![0.0f64; query.num_operators()];
+        for p in &profiles {
+            for (m, l) in lp_max.iter_mut().zip(&p.loads) {
+                *m = (*m).max(*l);
+            }
+        }
+        Self {
+            query: query.clone(),
+            profiles,
+            lp_max,
+            total_cells: total_cells.max(f64::MIN_POSITIVE),
+        }
+    }
+
     /// The query being planned.
     pub fn query(&self) -> &Query {
         &self.query
@@ -156,18 +183,36 @@ impl SupportModel {
 
     /// Whether a physical plan supports profile `idx`: every node's total
     /// worst-case load under that plan is within the node's capacity.
+    ///
+    /// Empty nodes always fit (capacities are strictly positive), so only
+    /// occupied nodes are probed — at 512 nodes and a handful of operators
+    /// this is the difference between O(nodes) and O(operators) per profile.
     pub fn plan_supported(&self, pp: &PhysicalPlan, idx: usize, cluster: &Cluster) -> bool {
+        if pp.num_nodes() > cluster.num_nodes() {
+            return false;
+        }
         let profile = &self.profiles[idx];
-        pp.iter().all(|(node, ops)| {
-            node.index() < cluster.num_nodes()
-                && profile.load_of(ops) <= cluster.capacity(node) + 1e-9
-        })
+        pp.occupied()
+            .all(|(node, ops)| profile.load_of(ops) <= cluster.capacity(node) + 1e-9)
     }
 
     /// Indices of all profiles supported by a physical plan.
     pub fn supported_indices(&self, pp: &PhysicalPlan, cluster: &Cluster) -> Vec<usize> {
+        if pp.num_nodes() > cluster.num_nodes() {
+            return Vec::new();
+        }
+        // Collect the occupied nodes once: probing the collected list per
+        // profile visits the same nodes in the same order as
+        // [`Self::plan_supported`], but skips the O(nodes) empty-node sweep
+        // each of the `profiles.len()` feasibility checks would repeat.
+        let occupied: Vec<(NodeId, &[OperatorId])> = pp.occupied().collect();
         (0..self.profiles.len())
-            .filter(|i| self.plan_supported(pp, *i, cluster))
+            .filter(|i| {
+                let profile = &self.profiles[*i];
+                occupied
+                    .iter()
+                    .all(|(node, ops)| profile.load_of(ops) <= cluster.capacity(*node) + 1e-9)
+            })
             .collect()
     }
 
@@ -224,6 +269,8 @@ impl SupportModel {
             score: supported.iter().map(|i| self.profiles[*i].weight).sum(),
             supported_plans: supported.len(),
             dropped_plans: self.profiles.len() - supported.len(),
+            nodes_pruned: 0,
+            incumbent_updates: 0,
         }
     }
 }
